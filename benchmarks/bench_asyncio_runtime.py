@@ -1,0 +1,71 @@
+"""E8 — Runtime equivalence and overhead: discrete-event simulator vs asyncio.
+
+The same protocol objects run on two substrates: the deterministic
+discrete-event simulator and an asyncio event loop with real (scaled) sleeps.
+The experiment checks that deterministic configurations produce *identical*
+outputs on both runtimes and measures the wall-clock overhead of the asyncio
+realisation (the repro note for this paper: "asyncio works; slower but fine
+for small n").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.core.termination import FixedRounds
+from repro.net.network import ConstantDelay
+from repro.sim.experiments import ExperimentRecord
+from repro.sim.runner import run_protocol
+from repro.sim.workloads import linear_inputs
+
+from conftest import emit_table
+
+SYSTEM_SIZES = [4, 7, 10]
+ROUNDS = 5
+
+
+def run_cell(n: int) -> ExperimentRecord:
+    t = max(1, (n - 1) // 3)
+    inputs = linear_inputs(n, 0.0, 1.0)
+    kwargs = dict(
+        t=t, epsilon=0.01, round_policy=FixedRounds(ROUNDS), delay_model=ConstantDelay(1.0)
+    )
+    des = run_protocol("async-crash", inputs, runtime="des", **kwargs)
+    aio = run_protocol("async-crash", inputs, runtime="asyncio", **kwargs)
+    identical = all(
+        abs(des.outputs[pid] - aio.outputs[pid]) < 1e-12 for pid in des.outputs
+    )
+    overhead = aio.wall_time_seconds / max(des.wall_time_seconds, 1e-9)
+    return ExperimentRecord(
+        experiment="E8",
+        params={"n": n, "t": t},
+        measured={
+            "identical_outputs": identical,
+            "des_seconds": des.wall_time_seconds,
+            "asyncio_seconds": aio.wall_time_seconds,
+            "overhead_x": overhead,
+        },
+        ok=des.ok and aio.ok and identical,
+    )
+
+
+def run_sweep() -> List[ExperimentRecord]:
+    return [run_cell(n) for n in SYSTEM_SIZES]
+
+
+def test_e8_runtime_equivalence_and_overhead(benchmark):
+    records = run_sweep()
+    emit_table(
+        "E8: DES vs asyncio runtime (identical outputs, wall-clock overhead)",
+        records,
+        ["n", "t", "identical_outputs", "des_seconds", "asyncio_seconds", "overhead_x", "ok"],
+    )
+    assert all(record.ok for record in records)
+    # The asyncio runtime is expected to be slower (it sleeps in real time).
+    assert all(record.measured["overhead_x"] >= 1.0 for record in records)
+    benchmark(lambda: run_protocol(
+        "async-crash", linear_inputs(7, 0.0, 1.0), t=2, epsilon=0.01,
+        round_policy=FixedRounds(ROUNDS), delay_model=ConstantDelay(1.0), runtime="des",
+    ))

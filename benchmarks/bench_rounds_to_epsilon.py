@@ -1,0 +1,73 @@
+"""E3 — Round complexity: rounds to reach ε-agreement versus ε.
+
+Reproduces the logarithmic round-complexity claim: the number of rounds
+needed scales as ``⌈log_{1/K}(S/ε)⌉`` where ``S`` is the initial spread and
+``K`` the per-round contraction.  The sweep runs the crash, Byzantine and
+witness protocols over six decades of ε and compares the measured round count
+(with the default spread-derived fixed-round policy) against the prediction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.core.rounds import async_byzantine_bounds, async_crash_bounds, witness_bounds
+from repro.net.network import UniformRandomDelay
+from repro.sim.experiments import ExperimentRecord
+from repro.sim.runner import run_protocol
+from repro.sim.workloads import linear_inputs
+
+from conftest import emit_table
+
+EPSILONS = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6]
+
+CONFIGS = [
+    ("async-crash", 7, 3, async_crash_bounds),
+    ("async-byzantine", 11, 2, async_byzantine_bounds),
+    ("witness", 7, 2, witness_bounds),
+]
+
+
+def run_cell(protocol: str, n: int, t: int, bounds_fn, epsilon: float) -> ExperimentRecord:
+    inputs = linear_inputs(n, 0.0, 1.0)
+    bounds = bounds_fn(n, t)
+    predicted = bounds.rounds_for(1.0, epsilon)
+    result = run_protocol(
+        protocol, inputs, t=t, epsilon=epsilon,
+        delay_model=UniformRandomDelay(0.2, 2.0, seed=17),
+    )
+    return ExperimentRecord(
+        experiment="E3",
+        params={"protocol": protocol, "n": n, "t": t, "epsilon": epsilon},
+        measured={"rounds": result.rounds_used, "output_spread": result.report.output_spread},
+        expected={"rounds": predicted},
+        ok=result.ok and result.rounds_used == predicted,
+    )
+
+
+def run_sweep() -> List[ExperimentRecord]:
+    return [
+        run_cell(protocol, n, t, bounds_fn, epsilon)
+        for protocol, n, t, bounds_fn in CONFIGS
+        for epsilon in EPSILONS
+    ]
+
+
+def test_e3_rounds_scale_logarithmically(benchmark):
+    records = run_sweep()
+    emit_table(
+        "E3: rounds to reach epsilon-agreement (measured vs predicted)",
+        records,
+        ["protocol", "n", "t", "epsilon", "rounds", "expected_rounds", "output_spread", "ok"],
+    )
+    assert all(record.ok for record in records)
+    # Logarithmic shape: each 10x tightening of epsilon adds a bounded,
+    # roughly constant number of rounds.
+    for protocol, n, t, bounds_fn in CONFIGS:
+        rounds = [r.measured["rounds"] for r in records if r.params["protocol"] == protocol]
+        increments = [b - a for a, b in zip(rounds, rounds[1:])]
+        assert all(0 <= inc <= 8 for inc in increments)
+        assert rounds == sorted(rounds)
+    benchmark(lambda: run_cell("async-crash", 7, 3, async_crash_bounds, 1e-4))

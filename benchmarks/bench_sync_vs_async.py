@@ -1,0 +1,81 @@
+"""E6 — Synchronous versus asynchronous convergence (the paper's motivating gap).
+
+Reproduces the comparison the paper is framed around: with the same inputs and
+the same fault budget, a synchronous system converges faster per round than an
+asynchronous one, because every process hears from every correct process
+instead of only ``n − t`` of them.  The harness measures rounds-to-ε for the
+synchronous and asynchronous variants of both failure models and checks the
+theoretical ranking.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.core.rounds import (
+    async_byzantine_bounds,
+    async_crash_bounds,
+    sync_byzantine_bounds,
+    sync_crash_bounds,
+)
+from repro.sim.experiments import ExperimentRecord
+from repro.sim.runner import run_protocol
+from repro.sim.workloads import linear_inputs
+
+from conftest import emit_table
+
+EPS = 1e-4
+
+PAIRS = [
+    ("sync-crash", "async-crash", 10, 3, sync_crash_bounds, async_crash_bounds),
+    ("sync-byzantine", "async-byzantine", 11, 2, sync_byzantine_bounds, async_byzantine_bounds),
+]
+
+
+def run_cell(protocol: str, n: int, t: int, bounds_fn) -> ExperimentRecord:
+    inputs = linear_inputs(n, 0.0, 1.0)
+    result = run_protocol(protocol, inputs, t=t, epsilon=EPS)
+    bounds = bounds_fn(n, t)
+    return ExperimentRecord(
+        experiment="E6",
+        params={"protocol": protocol, "n": n, "t": t},
+        measured={
+            "rounds": result.rounds_used,
+            "messages": result.stats.messages_sent,
+            "contraction_bound": bounds.contraction,
+        },
+        ok=result.ok,
+    )
+
+
+def run_sweep() -> List[ExperimentRecord]:
+    records = []
+    for sync_name, async_name, n, t, sync_bounds, async_bounds in PAIRS:
+        records.append(run_cell(sync_name, n, t, sync_bounds))
+        records.append(run_cell(async_name, n, t, async_bounds))
+    return records
+
+
+def test_e6_sync_vs_async(benchmark):
+    records = run_sweep()
+    emit_table(
+        "E6: synchronous vs asynchronous round complexity (same inputs, same faults)",
+        records,
+        ["protocol", "n", "t", "rounds", "contraction_bound", "messages", "ok"],
+    )
+    assert all(record.ok for record in records)
+    by_name = {r.params["protocol"]: r for r in records}
+    # Synchrony buys strictly fewer (or equal) rounds for the same configuration.
+    assert by_name["sync-crash"].measured["rounds"] <= by_name["async-crash"].measured["rounds"]
+    assert (
+        by_name["sync-byzantine"].measured["rounds"]
+        <= by_name["async-byzantine"].measured["rounds"]
+    )
+    # And a strictly better guaranteed contraction factor.
+    assert (
+        by_name["sync-crash"].measured["contraction_bound"]
+        < by_name["async-crash"].measured["contraction_bound"]
+    )
+    benchmark(lambda: run_cell("async-crash", 10, 3, async_crash_bounds))

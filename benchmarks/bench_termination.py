@@ -1,0 +1,87 @@
+"""E9 — Round (termination) policies: fixed, known-range, spread-estimate.
+
+Compares the three halting rules on the crash model: the unconditionally
+sound fixed-round and known-range policies versus the adaptive
+spread-estimation policy (which may run different processes for different
+numbers of rounds and relies on halt echoes).  The experiment reports the
+rounds actually executed and whether the correctness conditions held, and it
+quantifies the cost of adaptivity (extra rounds) versus the cost of a loose a
+priori range bound.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.core.rounds import async_crash_bounds
+from repro.core.termination import FixedRounds, KnownRangeRounds, SpreadEstimateRounds
+from repro.net.adversary import CrashFaultPlan, CrashPoint
+from repro.net.network import UniformRandomDelay
+from repro.sim.experiments import ExperimentRecord
+from repro.sim.runner import run_protocol
+from repro.sim.workloads import uniform_inputs
+
+from conftest import emit_table
+
+N, T = 10, 3
+EPS = 1e-3
+ACTUAL_LOW, ACTUAL_HIGH = 0.2, 0.8
+LOOSE_LOW, LOOSE_HIGH = -10.0, 10.0
+
+
+def policies():
+    bounds = async_crash_bounds(N, T)
+    exact_rounds = bounds.rounds_for(ACTUAL_HIGH - ACTUAL_LOW, EPS)
+    return {
+        "fixed-exact": FixedRounds(exact_rounds),
+        "known-range-tight": KnownRangeRounds(ACTUAL_LOW, ACTUAL_HIGH),
+        "known-range-loose": KnownRangeRounds(LOOSE_LOW, LOOSE_HIGH),
+        "spread-estimate": SpreadEstimateRounds(slack_factor=2.0, extra_rounds=2),
+    }
+
+
+def run_cell(name: str, policy) -> ExperimentRecord:
+    inputs = uniform_inputs(N, ACTUAL_LOW, ACTUAL_HIGH, seed=3)
+    plan = CrashFaultPlan({9: CrashPoint(after_sends=0), 8: CrashPoint(after_sends=2 * N)})
+    result = run_protocol(
+        "async-crash", inputs, t=T, epsilon=EPS, round_policy=policy,
+        fault_plan=plan, delay_model=UniformRandomDelay(0.2, 2.0, seed=7),
+    )
+    return ExperimentRecord(
+        experiment="E9",
+        params={"policy": name},
+        measured={
+            "rounds": result.rounds_used,
+            "messages": result.stats.messages_sent,
+            "output_spread": result.report.output_spread,
+        },
+        ok=result.ok,
+    )
+
+
+def run_sweep() -> List[ExperimentRecord]:
+    return [run_cell(name, policy) for name, policy in policies().items()]
+
+
+def test_e9_termination_policies(benchmark):
+    records = run_sweep()
+    emit_table(
+        "E9: round policies on async-crash (n=10, t=3, crash faults, random delays)",
+        records,
+        ["policy", "rounds", "messages", "output_spread", "ok"],
+    )
+    assert all(record.ok for record in records)
+    by_name = {r.params["policy"]: r for r in records}
+    # A loose a-priori bound costs extra rounds compared to the tight bound.
+    assert (
+        by_name["known-range-loose"].measured["rounds"]
+        >= by_name["known-range-tight"].measured["rounds"]
+    )
+    # The tight known-range policy matches the exact fixed-round policy.
+    assert (
+        by_name["known-range-tight"].measured["rounds"]
+        == by_name["fixed-exact"].measured["rounds"]
+    )
+    benchmark(lambda: run_cell("fixed-exact", policies()["fixed-exact"]))

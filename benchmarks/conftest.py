@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every benchmark module reproduces one experiment from DESIGN.md (E1–E9):
+it runs the experiment sweep once, prints the result table (visible with
+``pytest benchmarks/ --benchmark-only -s``), asserts the qualitative shape the
+theory predicts, and times a representative configuration with
+pytest-benchmark so regressions in the simulator itself are visible too.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import pytest
+
+from repro.analysis.tables import render_records
+from repro.sim.experiments import ExperimentRecord
+
+
+def emit_table(title: str, records: Sequence[ExperimentRecord], columns: Sequence[str]) -> None:
+    """Print an experiment table (shown when pytest runs with ``-s``)."""
+    print()
+    print(render_records(list(records), columns, title=title))
+
+
+@pytest.fixture
+def table_printer():
+    return emit_table

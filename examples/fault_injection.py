@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Fault-injection tour: what the adversary can do, and what it costs.
+
+This example walks through the adversarial machinery of the library — crash
+points, Byzantine value strategies, and adversarial scheduling — running the
+same agreement task under progressively nastier conditions and reporting how
+convergence degrades (and that correctness never does, as long as the fault
+budget is respected).
+
+Run with::
+
+    python examples/fault_injection.py
+"""
+
+from __future__ import annotations
+
+from repro import run_protocol
+from repro.analysis.convergence import compare_to_bound
+from repro.analysis.tables import render_table
+from repro.core.rounds import async_byzantine_bounds
+from repro.net.adversary import (
+    AntiConvergenceStrategy,
+    ByzantineFaultPlan,
+    ComposedFaultPlan,
+    CrashFaultPlan,
+    CrashPoint,
+    EquivocatingStrategy,
+    PartitionDelay,
+    RoundEchoByzantine,
+)
+from repro.net.network import ConstantDelay, UniformRandomDelay
+from repro.sim.metrics import geometric_mean_contraction
+from repro.sim.workloads import two_cluster_inputs
+
+N, T = 11, 2
+EPS = 1e-4
+
+
+def scenarios():
+    """Yield (name, fault_plan, delay_model) tuples of increasing nastiness."""
+    camp_a = set(range((N + 1) // 2))
+    yield "no faults, unit delays", None, ConstantDelay(1.0)
+    yield "no faults, random delays", None, UniformRandomDelay(0.1, 3.0, seed=1)
+    yield (
+        "2 crashes (one mid-multicast)",
+        CrashFaultPlan(
+            {9: CrashPoint(after_sends=0), 10: CrashPoint.mid_multicast(2, N, 5)}
+        ),
+        UniformRandomDelay(0.1, 3.0, seed=2),
+    )
+    yield (
+        "2 equivocating Byzantine",
+        ByzantineFaultPlan(
+            {9: RoundEchoByzantine(EquivocatingStrategy(-1e3, 1e3)),
+             10: RoundEchoByzantine(EquivocatingStrategy(1e3, -1e3))}
+        ),
+        UniformRandomDelay(0.1, 3.0, seed=3),
+    )
+    yield (
+        "adaptive Byzantine + partition",
+        ByzantineFaultPlan(
+            {9: RoundEchoByzantine(AntiConvergenceStrategy()),
+             10: RoundEchoByzantine(AntiConvergenceStrategy())}
+        ),
+        PartitionDelay(camp_a, fast=1.0, slow=40.0),
+    )
+    yield (
+        "crash + Byzantine mix + partition",
+        ComposedFaultPlan(
+            [
+                CrashFaultPlan({9: CrashPoint.mid_multicast(1, N, 3)}),
+                ByzantineFaultPlan({10: RoundEchoByzantine(AntiConvergenceStrategy())}),
+            ]
+        ),
+        PartitionDelay(camp_a, fast=1.0, slow=40.0),
+    )
+
+
+def main() -> None:
+    inputs = two_cluster_inputs(N, 0.0, 1.0, jitter=0.0)
+    bounds = async_byzantine_bounds(N, T)
+    rows = []
+    for name, fault_plan, delay_model in scenarios():
+        result = run_protocol(
+            "async-byzantine", inputs, t=T, epsilon=EPS,
+            fault_plan=fault_plan, delay_model=delay_model,
+        )
+        comparison = compare_to_bound(bounds, result.trajectory)
+        mean_contraction = geometric_mean_contraction(result.trajectory)
+        rows.append(
+            [
+                name,
+                result.rounds_used,
+                "exact in 1 round" if mean_contraction is None else f"{mean_contraction:.3f}",
+                f"{bounds.contraction:.3f}",
+                f"{result.report.output_spread:.2e}",
+                result.ok and comparison.bound_respected,
+            ]
+        )
+
+    print(
+        render_table(
+            ["scenario", "rounds", "mean contraction", "guaranteed", "output spread", "correct"],
+            rows,
+            title=f"Fault-injection tour: async-byzantine, n={N}, t={T}, epsilon={EPS}",
+        )
+    )
+    print(
+        "\nThe nastier the adversary, the closer the measured contraction creeps toward\n"
+        "the guaranteed worst-case factor — but it never exceeds it, and every\n"
+        "execution stays epsilon-agreeing and valid."
+    )
+
+
+if __name__ == "__main__":
+    main()

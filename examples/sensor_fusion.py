@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Sensor fusion with Byzantine sensor nodes.
+
+A replicated control system reads a physical quantity (say, a temperature)
+through ``n`` sensor nodes.  Readings are noisy, a couple of sensors are
+miscalibrated, and up to ``t`` nodes may be outright Byzantine — reporting
+wildly wrong values, or different values to different peers, in an attempt to
+destabilise the controllers.  Before acting, the nodes must agree on
+approximately the same fused reading, and that reading must be inside the
+range of what the non-Byzantine sensors actually observed.
+
+This is exactly asynchronous approximate agreement.  The example runs both the
+direct ``t < n/5`` algorithm and the witness-technique ``t < n/3`` protocol on
+the same readings and compares their costs.
+
+Run with::
+
+    python examples/sensor_fusion.py
+"""
+
+from __future__ import annotations
+
+from repro import run_protocol
+from repro.analysis.tables import render_table
+from repro.net.adversary import (
+    ByzantineFaultPlan,
+    EquivocatingStrategy,
+    FixedValueStrategy,
+    RoundEchoByzantine,
+)
+from repro.net.network import ExponentialRandomDelay
+from repro.sim.workloads import sensor_readings
+
+
+def fuse(protocol: str, readings, t: int, fault_plan, epsilon: float):
+    return run_protocol(
+        protocol,
+        readings,
+        t=t,
+        epsilon=epsilon,
+        fault_plan=fault_plan,
+        delay_model=ExponentialRandomDelay(mean=1.0, seed=7),
+    )
+
+
+def main() -> None:
+    n, t = 11, 2
+    epsilon = 0.05  # agree to within 0.05 degrees
+
+    # Ten honest-but-noisy sensors around 21.4 degrees, one of them
+    # miscalibrated by +3 degrees (honest, so validity must cover it).
+    readings = sensor_readings(
+        n, true_value=21.4, noise=0.2, outliers=1, outlier_magnitude=3.0, seed=5
+    )
+
+    # Two sensors are Byzantine: one reports an absurd constant, the other
+    # equivocates, telling half the nodes the plant is freezing and the other
+    # half that it is on fire.
+    byzantine = ByzantineFaultPlan(
+        {
+            9: RoundEchoByzantine(FixedValueStrategy(500.0)),
+            10: RoundEchoByzantine(EquivocatingStrategy(-40.0, 90.0)),
+        }
+    )
+
+    rows = []
+    for protocol in ("async-byzantine", "witness"):
+        result = fuse(protocol, readings, t, byzantine, epsilon)
+        honest_outputs = [v for v in result.outputs.values() if v is not None]
+        rows.append(
+            [
+                protocol,
+                round(min(honest_outputs), 3),
+                round(max(honest_outputs), 3),
+                f"{result.report.output_spread:.4f}",
+                result.rounds_used,
+                result.stats.messages_sent,
+                result.ok,
+            ]
+        )
+
+    honest_readings = [readings[pid] for pid in range(n) if pid not in (9, 10)]
+    print(f"honest sensor readings: min={min(honest_readings):.3f} max={max(honest_readings):.3f}")
+    print("Byzantine sensors report 500.0 (node 9) and ±extremes (node 10)\n")
+    print(
+        render_table(
+            ["protocol", "fused min", "fused max", "spread", "rounds", "messages", "correct"],
+            rows,
+            title=f"Sensor fusion with n={n}, t={t}, epsilon={epsilon}",
+        )
+    )
+    print(
+        "\nBoth protocols keep the fused value inside the honest readings; the witness\n"
+        "protocol tolerates up to t < n/3 Byzantine sensors at the price of ~n times\n"
+        "more messages per round than the direct t < n/5 algorithm."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+The project is fully described by ``pyproject.toml``; this file exists so that
+``pip install -e .`` keeps working on minimal/offline toolchains that cannot
+build PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""Analysis utilities: convergence comparisons and report tables."""
+
+from repro.analysis.convergence import ConvergenceComparison, compare_to_bound, predicted_rounds
+from repro.analysis.tables import format_cell, render_records, render_table
+
+__all__ = [
+    "ConvergenceComparison",
+    "compare_to_bound",
+    "format_cell",
+    "predicted_rounds",
+    "render_records",
+    "render_table",
+]

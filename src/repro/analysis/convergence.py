@@ -1,0 +1,84 @@
+"""Convergence analysis: theoretical bounds versus measured behaviour.
+
+These helpers compare an execution's measured convergence trajectory against
+the closed-form guarantees of :mod:`repro.core.rounds`.  They are what the
+EXPERIMENTS.md tables and the benchmarks report: for every configuration, the
+theoretical per-round contraction factor, the measured worst and geometric
+mean factors, and whether the theoretical bound was respected (it must be —
+the bound is a worst case over all schedules and adversaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.rounds import AlgorithmBounds, rounds_to_epsilon
+from repro.sim.metrics import geometric_mean_contraction, worst_contraction
+
+__all__ = ["ConvergenceComparison", "compare_to_bound", "predicted_rounds"]
+
+
+@dataclass(frozen=True)
+class ConvergenceComparison:
+    """Theory-versus-measurement summary of one execution (or one sweep cell)."""
+
+    algorithm: str
+    n: int
+    t: int
+    theoretical_contraction: float
+    measured_worst_contraction: Optional[float]
+    measured_mean_contraction: Optional[float]
+
+    @property
+    def bound_respected(self) -> bool:
+        """Whether every observed round contracted at least as fast as promised.
+
+        A small multiplicative slack (1e-9) absorbs floating-point noise in
+        the spread computations; the bound itself is exact.
+        """
+        if self.measured_worst_contraction is None:
+            return True
+        return self.measured_worst_contraction <= self.theoretical_contraction * (1 + 1e-9)
+
+    @property
+    def speedup_over_bound(self) -> Optional[float]:
+        """How much faster the execution converged than the worst-case bound.
+
+        Defined as ``theoretical / measured_mean`` (> 1 means faster than the
+        bound, which is typical under random schedules; adversarial schedules
+        push this toward 1).
+        """
+        if not self.measured_mean_contraction:
+            return None
+        return self.theoretical_contraction / self.measured_mean_contraction
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "t": self.t,
+            "theoretical_contraction": self.theoretical_contraction,
+            "measured_worst": self.measured_worst_contraction,
+            "measured_mean": self.measured_mean_contraction,
+            "bound_respected": self.bound_respected,
+        }
+
+
+def compare_to_bound(
+    bounds: AlgorithmBounds, trajectory: Sequence[float]
+) -> ConvergenceComparison:
+    """Compare one execution's spread trajectory against the algorithm's bound."""
+    return ConvergenceComparison(
+        algorithm=bounds.name,
+        n=bounds.n,
+        t=bounds.t,
+        theoretical_contraction=bounds.contraction,
+        measured_worst_contraction=worst_contraction(trajectory),
+        measured_mean_contraction=geometric_mean_contraction(trajectory),
+    )
+
+
+def predicted_rounds(bounds: AlgorithmBounds, initial_spread: float, epsilon: float) -> int:
+    """Rounds the theory predicts are sufficient for this configuration."""
+    return rounds_to_epsilon(initial_spread, epsilon, bounds.contraction)

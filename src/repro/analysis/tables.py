@@ -1,0 +1,56 @@
+"""Plain-text table rendering for experiment reports.
+
+Benchmarks and examples print their result tables through these helpers so
+that every artifact in EXPERIMENTS.md has the same, easily diff-able format.
+No third-party dependency is used; the output is aligned monospace text.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+__all__ = ["format_cell", "render_table", "render_records"]
+
+
+def format_cell(value: Any) -> str:
+    """Format one table cell: floats get 4 significant digits, rest is ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Render an aligned plain-text table with an optional title line."""
+    formatted_rows: List[List[str]] = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row([str(h) for h in headers]))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in formatted_rows)
+    return "\n".join(lines)
+
+
+def render_records(records: Sequence["ExperimentRecord"], columns: Sequence[str], title: str = "") -> str:
+    """Render a list of :class:`~repro.sim.experiments.ExperimentRecord` rows."""
+    rows = [record.as_row(columns) for record in records]
+    return render_table(columns, rows, title=title)

@@ -1,0 +1,62 @@
+"""Asynchronous Byzantine-tolerant approximate agreement (``t < n/5``).
+
+The Byzantine variant of the paper's asynchronous algorithm: the structure is
+identical to the crash algorithm — multicast, wait for ``n − t`` round-``r``
+values, apply an approximation function — but the approximation function must
+defend against forged and equivocated values:
+
+* ``reduce^t`` discards the ``t`` smallest and ``t`` largest collected values,
+  so the at most ``t`` Byzantine contributions can never drag the new value
+  outside the range of the honest values (validity);
+* the selection stride grows to ``2t`` because equivocation doubles the
+  possible divergence between two honest samples: two honest processes may
+  disagree both on *which* ``t`` honest senders they missed and on *what* the
+  ``t`` Byzantine senders told them.
+
+The resulting contraction is ``1/(⌊(n−3t−1)/(2t)⌋ + 1)`` per round and the
+resilience condition is ``n ≥ 5t + 1`` — the classical ``t < n/5`` threshold
+for asynchronous approximate agreement *without* reliable broadcast.  The
+witness-technique protocol in :mod:`repro.core.witness` lifts the threshold to
+the optimal ``t < n/3`` at the price of ``Θ(n³)`` messages per iteration; the
+resilience and message-complexity benchmarks (E4, E5) reproduce exactly this
+trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.protocol import AsyncRoundProcess, ProtocolConfig
+from repro.core.rounds import AlgorithmBounds, async_byzantine_bounds
+from repro.core.termination import FixedRounds, RoundPolicy
+
+__all__ = ["AsyncByzantineProcess", "make_async_byzantine_processes"]
+
+
+class AsyncByzantineProcess(AsyncRoundProcess):
+    """One process of the asynchronous Byzantine-tolerant algorithm."""
+
+    def algorithm_bounds(self) -> AlgorithmBounds:
+        return async_byzantine_bounds(self.config.n, self.config.t)
+
+
+def make_async_byzantine_processes(
+    inputs: Sequence[float],
+    t: int,
+    epsilon: float,
+    round_policy: RoundPolicy = None,
+    strict: bool = True,
+) -> List[AsyncByzantineProcess]:
+    """Build one :class:`AsyncByzantineProcess` per input value.
+
+    See :func:`repro.core.async_crash.make_async_crash_processes` for the
+    parameter conventions; the only difference is the algorithm (and hence the
+    default round count, which uses this algorithm's contraction factor).
+    """
+    n = len(inputs)
+    if round_policy is None:
+        from repro.core.async_crash import _default_round_policy
+
+        round_policy = _default_round_policy(async_byzantine_bounds(n, t), inputs, epsilon)
+    config = ProtocolConfig(n=n, t=t, epsilon=epsilon, round_policy=round_policy, strict=strict)
+    return [AsyncByzantineProcess(value, config) for value in inputs]

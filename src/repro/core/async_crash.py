@@ -1,0 +1,92 @@
+"""Asynchronous crash-tolerant approximate agreement.
+
+This is the core algorithm of the paper for the fail-stop model: fully
+asynchronous, no clocks, up to ``t < n/2`` processes may crash (possibly in
+the middle of a multicast).
+
+Algorithm (per round ``r``, starting from the process's input):
+
+1. multicast the current value tagged with ``r``;
+2. wait until round-``r`` values from ``n − t`` distinct processes have been
+   received (a process's own multicast counts);
+3. adopt ``mean(select_t(V))`` of the collected multiset ``V`` as the new
+   value and move to round ``r + 1``.
+
+After ``R`` rounds (as dictated by the round policy) the process outputs its
+current value.
+
+Guarantees (derivations in :mod:`repro.core.rounds`):
+
+* **validity** — all collected values are genuine protocol values (crash
+  faults never forge), so every intermediate value stays inside the interval
+  of the honest inputs;
+* **convergence** — any two honest samples of one round share at least
+  ``n − 2t`` values, so by the convergence lemma the diameter of honest values
+  shrinks by a factor ``1/(⌊(n−t−1)/t⌋ + 1)`` per round — ``1/3`` per round at
+  ``n = 3t + 1``, approaching ``1/(n/t)`` for large ``n/t``;
+* **liveness** — at most ``t`` processes crash, so the ``n − t`` quorum is
+  always eventually reached;
+* **resilience** — ``n ≥ 2t + 1`` is required (and sufficient) for the
+  contraction factor to be strictly smaller than one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.protocol import AsyncRoundProcess, ProtocolConfig
+from repro.core.rounds import AlgorithmBounds, async_crash_bounds
+from repro.core.termination import FixedRounds, RoundPolicy
+
+__all__ = ["AsyncCrashProcess", "make_async_crash_processes"]
+
+
+class AsyncCrashProcess(AsyncRoundProcess):
+    """One process of the asynchronous crash-tolerant algorithm."""
+
+    def algorithm_bounds(self) -> AlgorithmBounds:
+        return async_crash_bounds(self.config.n, self.config.t)
+
+
+def make_async_crash_processes(
+    inputs: Sequence[float],
+    t: int,
+    epsilon: float,
+    round_policy: RoundPolicy = None,
+    strict: bool = True,
+) -> List[AsyncCrashProcess]:
+    """Build one :class:`AsyncCrashProcess` per input value.
+
+    Parameters
+    ----------
+    inputs:
+        Input value of every process; ``len(inputs)`` determines ``n``.
+    t:
+        Fault threshold the execution must tolerate.
+    epsilon:
+        Required output agreement.
+    round_policy:
+        Round policy shared by all processes; defaults to the number of rounds
+        needed for the *actual* spread of ``inputs`` (convenient for examples
+        and tests where the inputs are known to the caller anyway).
+    strict:
+        Raise if ``(n, t)`` violates the resilience condition.
+    """
+    n = len(inputs)
+    if round_policy is None:
+        round_policy = _default_round_policy(async_crash_bounds(n, t), inputs, epsilon)
+    config = ProtocolConfig(n=n, t=t, epsilon=epsilon, round_policy=round_policy, strict=strict)
+    return [AsyncCrashProcess(value, config) for value in inputs]
+
+
+def _default_round_policy(bounds, inputs, epsilon) -> RoundPolicy:
+    """Fixed round count covering the actual spread of ``inputs``.
+
+    Falls back to a small constant when ``(n, t)`` is outside the resilience
+    bound (the contraction factor is then 1 and no finite count converges);
+    strict constructors reject such configurations anyway.
+    """
+    if not bounds.resilience_ok:
+        return FixedRounds(10)
+    spread = max(inputs) - min(inputs) if inputs else 0.0
+    return FixedRounds(bounds.rounds_for(spread, epsilon))

@@ -1,0 +1,289 @@
+"""Sorted-multiset approximation machinery.
+
+Every approximate-agreement algorithm in the classical literature (and in this
+library) is built from the same three operations on finite multisets of reals:
+
+* ``reduce^j`` — discard the ``j`` smallest and ``j`` largest elements;
+* ``select_k`` — of the sorted multiset, keep the elements at positions
+  ``0, k, 2k, …``;
+* ``mean`` — average the surviving elements.
+
+The composition ``mean(select_k(reduce^j(V)))`` is the *approximation
+function* a process applies each round to the multiset of values it collected.
+Two lemmas make the analysis work, and both are implemented here as checkable
+functions (and verified by property-based tests in
+``tests/property/test_multiset_lemmas.py``):
+
+**Validity lemma.**  If at most ``j`` elements of ``V`` are "bad" (reported by
+Byzantine processes, hence arbitrary), every element of ``reduce^j(V)`` lies
+within the interval spanned by the good elements of ``V``
+(:func:`reduce_clips_to_good_range`).  Consequently the approximation function
+maps into the convex hull of the good values, which gives validity.
+
+**Convergence lemma.**  Let ``U`` and ``V`` be multisets of equal size ``m``
+that contain a common sub-multiset of size ``m − D``, and let ``k ≥ D`` and
+``j ≥ 0``.  Then
+
+    ``|f(U) − f(V)| ≤ spread(U ∪ V) / c(m, j, k)``
+
+where ``f = mean ∘ select_k ∘ reduce^j`` and
+``c(m, j, k) = ⌊(m − 2j − 1)/k⌋ + 1`` is the number of selected elements
+(:func:`convergence_bound_holds` checks a concrete instance;
+:func:`contraction_denominator` computes ``c``).  This is the per-round
+contraction factor: each asynchronous round multiplies the diameter of the
+honest processes' values by at most ``1/c``.
+
+The proof of the convergence lemma is elementary and is reproduced in the
+docstring of :func:`convergence_bound_holds` because the constants it yields
+(`1/3` per round for crash faults at ``n = 3t + 1``, ``1/2`` per round for
+Byzantine faults at ``n = 5t + 1``) are the headline numbers of the
+evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "spread",
+    "midpoint",
+    "mean",
+    "reduce_multiset",
+    "select_multiset",
+    "approximate",
+    "midpoint_of_reduced",
+    "contraction_denominator",
+    "common_submultiset_size",
+    "symmetric_difference_size",
+    "reduce_clips_to_good_range",
+    "convergence_bound_holds",
+    "in_range_of",
+]
+
+
+# ----------------------------------------------------------------------
+# Elementary operations
+# ----------------------------------------------------------------------
+
+
+def spread(values: Iterable[float]) -> float:
+    """Diameter of a multiset: ``max − min`` (0 for empty or singleton sets).
+
+    >>> spread([3.0, 1.0, 2.0])
+    2.0
+    >>> spread([])
+    0.0
+    """
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    return max(values) - min(values)
+
+
+def midpoint(values: Iterable[float]) -> float:
+    """Midpoint of the range of a multiset: ``(min + max) / 2``.
+
+    >>> midpoint([0.0, 10.0, 4.0])
+    5.0
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("midpoint of an empty multiset is undefined")
+    return (min(values) + max(values)) / 2.0
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean of a non-empty multiset."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of an empty multiset is undefined")
+    return math.fsum(values) / len(values)
+
+
+def reduce_multiset(values: Sequence[float], j: int) -> List[float]:
+    """Return ``reduce^j(values)``: drop the ``j`` smallest and ``j`` largest.
+
+    The result is sorted.  Raises :class:`ValueError` if fewer than ``2j + 1``
+    elements are available, because the algorithms never reduce away their
+    whole sample (their resilience conditions guarantee this).
+
+    >>> reduce_multiset([5, 1, 9, 3, 7], 1)
+    [3, 5, 7]
+    """
+    if j < 0:
+        raise ValueError("j must be non-negative")
+    ordered = sorted(values)
+    if len(ordered) < 2 * j + 1:
+        raise ValueError(
+            f"cannot remove {j} extremes from each side of a multiset of size {len(ordered)}"
+        )
+    return ordered[j : len(ordered) - j] if j > 0 else ordered
+
+
+def select_multiset(values: Sequence[float], k: int) -> List[float]:
+    """Return ``select_k(values)``: every ``k``-th element of the sorted multiset.
+
+    Selection starts at the smallest element, so the result has
+    ``⌊(m − 1)/k⌋ + 1`` elements for a multiset of size ``m``.
+
+    >>> select_multiset([1, 2, 3, 4, 5, 6, 7], 3)
+    [1, 4, 7]
+    >>> select_multiset([1, 2, 3], 1)
+    [1, 2, 3]
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("cannot select from an empty multiset")
+    return ordered[::k]
+
+
+def approximate(values: Sequence[float], j: int, k: int) -> float:
+    """The approximation function ``mean(select_k(reduce^j(values)))``.
+
+    This is the new value a process adopts at the end of a round, computed
+    from the multiset of round-``r`` values it collected.
+    """
+    return mean(select_multiset(reduce_multiset(values, j), k))
+
+
+def midpoint_of_reduced(values: Sequence[float], j: int) -> float:
+    """``midpoint(reduce^j(values))`` — the update rule of the witness protocol.
+
+    With the witness technique guaranteeing that any two honest processes
+    share at least ``2t + 1`` collected values, the reduced ranges of any two
+    honest processes overlap, so their midpoints differ by at most half the
+    containing honest diameter: a fixed ``1/2`` contraction per iteration.
+    """
+    return midpoint(reduce_multiset(values, j))
+
+
+# ----------------------------------------------------------------------
+# Quantities appearing in the analysis
+# ----------------------------------------------------------------------
+
+
+def contraction_denominator(m: int, j: int, k: int) -> int:
+    """Number of elements selected by ``select_k ∘ reduce^j`` on a size-``m`` multiset.
+
+    This is the ``c`` of the convergence lemma: the per-round contraction
+    factor is ``1/c``.  Requires ``m − 2j ≥ 1``.
+
+    >>> contraction_denominator(m=10, j=0, k=3)   # crash, n-t=10, t=3
+    4
+    >>> contraction_denominator(m=5, j=1, k=2)    # Byzantine, n=6, t=1
+    2
+    """
+    if m - 2 * j < 1:
+        raise ValueError("reduction would consume the whole multiset")
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    return (m - 2 * j - 1) // k + 1
+
+
+def common_submultiset_size(u: Sequence[float], v: Sequence[float]) -> int:
+    """Size of the largest common sub-multiset of ``u`` and ``v``.
+
+    Uses multiset (bag) intersection semantics: an element occurring ``a``
+    times in ``u`` and ``b`` times in ``v`` contributes ``min(a, b)``.
+
+    >>> common_submultiset_size([1, 1, 2, 3], [1, 2, 2, 4])
+    2
+    """
+    from collections import Counter
+
+    counts_u = Counter(u)
+    counts_v = Counter(v)
+    return sum(min(counts_u[x], counts_v[x]) for x in counts_u)
+
+
+def symmetric_difference_size(u: Sequence[float], v: Sequence[float]) -> int:
+    """Number of element slots in which ``u`` and ``v`` differ (bag semantics)."""
+    return len(u) + len(v) - 2 * common_submultiset_size(u, v)
+
+
+def in_range_of(value: float, values: Sequence[float], tolerance: float = 0.0) -> bool:
+    """Whether ``value`` lies within ``[min(values) − tol, max(values) + tol]``."""
+    if not values:
+        return False
+    return min(values) - tolerance <= value <= max(values) + tolerance
+
+
+# ----------------------------------------------------------------------
+# The two lemmas, as executable checks
+# ----------------------------------------------------------------------
+
+
+def reduce_clips_to_good_range(
+    all_values: Sequence[float], good_values: Sequence[float], j: int
+) -> bool:
+    """Check the validity lemma on a concrete instance.
+
+    ``all_values`` is a multiset containing the sub-multiset ``good_values``
+    plus at most ``j`` additional (arbitrary, possibly adversarial) elements.
+    The lemma states that every element of ``reduce^j(all_values)`` lies in
+    ``[min(good_values), max(good_values)]``.
+
+    The check returns ``True`` when the lemma's conclusion holds (callers and
+    tests assert on it).  It raises :class:`ValueError` when the premise is
+    violated (more than ``j`` bad elements), because in that case the lemma
+    simply does not apply.
+    """
+    bad_count = len(all_values) - common_submultiset_size(all_values, good_values)
+    if bad_count > j:
+        raise ValueError(f"premise violated: {bad_count} bad elements but j={j}")
+    if not good_values:
+        raise ValueError("good_values must be non-empty")
+    lo, hi = min(good_values), max(good_values)
+    reduced = reduce_multiset(all_values, j)
+    return all(lo <= x <= hi for x in reduced)
+
+
+def convergence_bound_holds(
+    u: Sequence[float],
+    v: Sequence[float],
+    j: int,
+    k: int,
+    slack: float = 1e-9,
+) -> bool:
+    """Check the convergence lemma on a concrete instance.
+
+    Premises: ``|u| = |v| = m``; ``u`` and ``v`` contain a common
+    sub-multiset of size ``m − D`` with ``D ≤ k``; ``m − 2j ≥ 1``.
+
+    Conclusion (checked): with ``f = mean ∘ select_k ∘ reduce^j`` and
+    ``c = contraction_denominator(m, j, k)``,
+
+        ``|f(u) − f(v)| ≤ spread(u ∪ v) / c + slack``.
+
+    Proof sketch (the constants used throughout the library come from this
+    argument).  Write the sorted multisets as ``u[0] ≤ … ≤ u[m−1]`` and
+    likewise for ``v``.  Because ``u`` and ``v`` share ``m − D`` elements,
+    ranks shift by at most ``D``: ``u[i] ≤ v[i + D]`` and ``v[i] ≤ u[i + D]``
+    whenever the indices exist.  The selected elements after reduction are
+    ``a_i = u[j + ik]`` and ``b_i = v[j + ik]`` for ``i = 0 … c−1``.  Since
+    ``k ≥ D``, ``a_i ≤ v[j + ik + D] ≤ v[j + (i+1)k] = b_{i+1}`` for
+    ``i < c − 1`` (and symmetrically ``b_i ≤ a_{i+1}``).  Telescoping,
+
+        ``f(u) − f(v) = (1/c) Σ (a_i − b_i)
+                       ≤ (1/c) (a_{c−1} − b_0) ≤ spread(u ∪ v)/c``
+
+    because every other term ``a_i − b_{i+1}`` is non-positive; the symmetric
+    argument bounds ``f(v) − f(u)``.  ∎
+
+    Returns ``True`` when the conclusion holds; raises :class:`ValueError`
+    when a premise is violated.
+    """
+    if len(u) != len(v):
+        raise ValueError("premise violated: the multisets must have equal size")
+    m = len(u)
+    d = m - common_submultiset_size(u, v)
+    if d > k:
+        raise ValueError(f"premise violated: multisets differ in {d} > k={k} elements")
+    c = contraction_denominator(m, j, k)
+    fu = approximate(u, j, k)
+    fv = approximate(v, j, k)
+    bound = spread(list(u) + list(v)) / c
+    return abs(fu - fv) <= bound + slack

@@ -1,0 +1,205 @@
+"""Problem definitions and output-condition checkers.
+
+Approximate agreement is specified by two properties over the outputs of the
+*honest* (never-faulty) processes:
+
+* **ε-agreement** — every two honest outputs differ by at most ``ε``;
+* **validity** — every honest output lies in the convex hull (for reals: the
+  interval) of the *validity reference inputs*.
+
+The validity reference depends on the failure model, following the classical
+definitions:
+
+* **Byzantine faults** — the reference is the inputs of the honest processes
+  only; a Byzantine process's claimed input is meaningless and the algorithms
+  (via ``reduce^t``) guarantee it cannot drag outputs outside the honest range.
+* **Crash faults** — the reference is the inputs of *all* processes, because a
+  crash-faulty process follows the protocol until it stops: its input is a
+  legitimate value and may already have been averaged into other processes'
+  values by the time it crashes.  (Indeed no deterministic algorithm can keep
+  outputs inside the never-faulty-only range in the crash model: a process
+  that crashes right after its first multicast is indistinguishable from a
+  slow honest process.)
+
+:class:`ProblemInstance` therefore records which faulty processes are
+Byzantine; the validity reference is every process that is *not* Byzantine.
+
+This module provides the problem value object and pure functions checking the
+two properties on a set of outputs, so that runners, tests and benchmarks all
+share a single, unambiguous definition of "the protocol worked".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.multiset import spread
+
+__all__ = [
+    "ProblemInstance",
+    "ValidationReport",
+    "check_epsilon_agreement",
+    "check_validity",
+    "validate_outputs",
+]
+
+
+@dataclass(frozen=True)
+class ProblemInstance:
+    """One approximate-agreement problem instance.
+
+    Attributes
+    ----------
+    n:
+        Number of processes.
+    t:
+        Maximum number of faulty processes the execution must tolerate.
+    epsilon:
+        Required output agreement.
+    inputs:
+        Input value of every process (index = process id).  Inputs of faulty
+        processes are listed too (they are what the process *would* have used
+        had it been honest); whether they count toward validity depends on
+        whether the process is Byzantine (see the module docstring).
+    faulty:
+        Identifiers of the faulty processes in this instance (crash or
+        Byzantine).
+    byzantine:
+        The subset of ``faulty`` that is Byzantine.  Non-Byzantine faulty
+        processes are crash-faulty and their inputs remain part of the
+        validity reference.
+    """
+
+    n: int
+    t: int
+    epsilon: float
+    inputs: Sequence[float]
+    faulty: Sequence[int] = ()
+    byzantine: Sequence[int] = ()
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("n must be positive")
+        if self.t < 0:
+            raise ValueError("t must be non-negative")
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if len(self.inputs) != self.n:
+            raise ValueError(f"expected {self.n} inputs, got {len(self.inputs)}")
+        if len(self.faulty) > self.t:
+            raise ValueError("more faulty processes than the threshold t allows")
+        for pid in self.faulty:
+            if not 0 <= pid < self.n:
+                raise ValueError(f"faulty id {pid} out of range")
+        if not set(self.byzantine) <= set(self.faulty):
+            raise ValueError("byzantine processes must be a subset of the faulty processes")
+
+    @property
+    def honest(self) -> List[int]:
+        """Identifiers of the honest (never-faulty) processes."""
+        faulty = set(self.faulty)
+        return [pid for pid in range(self.n) if pid not in faulty]
+
+    @property
+    def honest_inputs(self) -> List[float]:
+        """Inputs of the honest processes."""
+        return [float(self.inputs[pid]) for pid in self.honest]
+
+    @property
+    def validity_inputs(self) -> List[float]:
+        """Inputs of every non-Byzantine process (the validity reference set)."""
+        byzantine = set(self.byzantine)
+        return [float(self.inputs[pid]) for pid in range(self.n) if pid not in byzantine]
+
+    @property
+    def honest_spread(self) -> float:
+        """Diameter of the honest inputs — the paper's ``S``."""
+        return spread(self.honest_inputs)
+
+
+@dataclass
+class ValidationReport:
+    """Result of checking one execution's outputs against the problem spec."""
+
+    all_decided: bool
+    epsilon_agreement: bool
+    validity: bool
+    output_spread: float
+    outputs: Dict[int, float] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the execution satisfied every required property."""
+        return self.all_decided and self.epsilon_agreement and self.validity
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        return (
+            f"[{status}] decided={self.all_decided} "
+            f"eps-agreement={self.epsilon_agreement} validity={self.validity} "
+            f"output-spread={self.output_spread:.3g}"
+        )
+
+
+def check_epsilon_agreement(outputs: Iterable[float], epsilon: float) -> bool:
+    """Whether every pair of outputs differs by at most ``epsilon``.
+
+    A tiny relative slack (1e-9 of epsilon) absorbs floating-point rounding in
+    long executions; the protocols themselves work with exact IEEE arithmetic.
+    """
+    outputs = list(outputs)
+    if len(outputs) < 2:
+        return True
+    return spread(outputs) <= epsilon * (1.0 + 1e-9)
+
+
+def check_validity(
+    outputs: Iterable[float], honest_inputs: Sequence[float], tolerance: float = 1e-9
+) -> bool:
+    """Whether every output lies within the range of the honest inputs."""
+    if not honest_inputs:
+        raise ValueError("honest_inputs must be non-empty")
+    lo, hi = min(honest_inputs), max(honest_inputs)
+    slack = tolerance * max(1.0, abs(lo), abs(hi))
+    return all(lo - slack <= y <= hi + slack for y in outputs)
+
+
+def validate_outputs(
+    problem: ProblemInstance, outputs_by_pid: Dict[int, Optional[float]]
+) -> ValidationReport:
+    """Check an execution's honest outputs against ``problem``.
+
+    ``outputs_by_pid`` maps process ids to their outputs (``None`` for a
+    process that did not decide); only honest processes are considered.
+    """
+    honest = problem.honest
+    decided = {pid: outputs_by_pid.get(pid) for pid in honest}
+    missing = [pid for pid, value in decided.items() if value is None]
+    all_decided = not missing
+
+    present = {pid: float(v) for pid, v in decided.items() if v is not None}
+    values = list(present.values())
+    agreement = check_epsilon_agreement(values, problem.epsilon) if values else False
+    validity = check_validity(values, problem.validity_inputs) if values else False
+
+    violations: List[str] = []
+    if missing:
+        violations.append(f"processes without output: {missing}")
+    if values and not agreement:
+        violations.append(
+            f"output spread {spread(values):.6g} exceeds epsilon {problem.epsilon:.6g}"
+        )
+    if values and not validity:
+        lo, hi = min(problem.validity_inputs), max(problem.validity_inputs)
+        violations.append(f"some output escapes the validity input range [{lo}, {hi}]")
+
+    return ValidationReport(
+        all_decided=all_decided,
+        epsilon_agreement=agreement,
+        validity=validity,
+        output_spread=spread(values) if values else float("nan"),
+        outputs=present,
+        violations=violations,
+    )

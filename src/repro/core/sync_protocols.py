@@ -1,0 +1,88 @@
+"""Synchronous baselines: crash-tolerant and Byzantine-tolerant lockstep algorithms.
+
+The paper's contribution is the *asynchronous* setting, but its results are
+stated relative to what synchrony buys: in a synchronous round every process
+hears from every non-faulty process, so the per-round contraction is better
+(the sample is larger and the divergence between two samples smaller).  These
+two baselines make that comparison concrete and are used by benchmark E6
+(synchronous vs asynchronous convergence) and by the round-count experiments.
+
+Both algorithms follow the classical full-information exchange:
+
+1. multicast the current value tagged with the round number;
+2. when the round ends (the lockstep runner signals it), form a sample of
+   size exactly ``n`` by substituting the receiver's own value for any sender
+   it did not hear from;
+3. apply ``mean(select_k(reduce^j(·)))`` with
+   ``(j, k) = (0, t)`` for crash faults and ``(t, t)`` for Byzantine faults;
+4. after the configured number of rounds, output the current value.
+
+Contractions per round (derivations in :mod:`repro.core.rounds`):
+``1/(⌊(n−1)/t⌋ + 1)`` for crash and ``1/(⌊(n−2t−1)/t⌋ + 1)`` for Byzantine
+faults, the latter requiring ``n ≥ 3t + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.protocol import ProtocolConfig, SyncRoundProcess
+from repro.core.rounds import AlgorithmBounds, sync_byzantine_bounds, sync_crash_bounds
+from repro.core.termination import FixedRounds, RoundPolicy
+
+__all__ = [
+    "SyncCrashProcess",
+    "SyncByzantineProcess",
+    "make_sync_crash_processes",
+    "make_sync_byzantine_processes",
+]
+
+
+class SyncCrashProcess(SyncRoundProcess):
+    """One process of the synchronous crash-tolerant algorithm."""
+
+    def algorithm_bounds(self) -> AlgorithmBounds:
+        return sync_crash_bounds(self.config.n, self.config.t)
+
+
+class SyncByzantineProcess(SyncRoundProcess):
+    """One process of the synchronous Byzantine-tolerant algorithm (``n > 3t``)."""
+
+    def algorithm_bounds(self) -> AlgorithmBounds:
+        return sync_byzantine_bounds(self.config.n, self.config.t)
+
+
+def _default_policy(bounds: AlgorithmBounds, inputs: Sequence[float], epsilon: float) -> RoundPolicy:
+    from repro.core.async_crash import _default_round_policy
+
+    return _default_round_policy(bounds, inputs, epsilon)
+
+
+def make_sync_crash_processes(
+    inputs: Sequence[float],
+    t: int,
+    epsilon: float,
+    round_policy: RoundPolicy = None,
+    strict: bool = True,
+) -> List[SyncCrashProcess]:
+    """Build one :class:`SyncCrashProcess` per input value."""
+    n = len(inputs)
+    if round_policy is None:
+        round_policy = _default_policy(sync_crash_bounds(n, t), inputs, epsilon)
+    config = ProtocolConfig(n=n, t=t, epsilon=epsilon, round_policy=round_policy, strict=strict)
+    return [SyncCrashProcess(value, config) for value in inputs]
+
+
+def make_sync_byzantine_processes(
+    inputs: Sequence[float],
+    t: int,
+    epsilon: float,
+    round_policy: RoundPolicy = None,
+    strict: bool = True,
+) -> List[SyncByzantineProcess]:
+    """Build one :class:`SyncByzantineProcess` per input value."""
+    n = len(inputs)
+    if round_policy is None:
+        round_policy = _default_policy(sync_byzantine_bounds(n, t), inputs, epsilon)
+    config = ProtocolConfig(n=n, t=t, epsilon=epsilon, round_policy=round_policy, strict=strict)
+    return [SyncByzantineProcess(value, config) for value in inputs]

@@ -1,0 +1,168 @@
+"""Round policies: how many rounds to run and how to halt.
+
+A round-based approximate-agreement protocol contracts the honest diameter by
+a fixed factor every round; the only remaining question is *when to stop*.
+The library separates that decision into a pluggable :class:`RoundPolicy`:
+
+``FixedRounds``
+    The caller supplies the number of rounds directly.  This is the policy
+    used by the test-suite and the benchmarks: it is unconditionally sound
+    (all honest processes run the same number of rounds) and it matches the
+    way the paper states its results ("after R rounds the diameter is at most
+    ``K^R · S``").
+
+``KnownRangeRounds``
+    The inputs are known to lie in a public interval ``[low, high]`` (e.g.
+    sensor readings with a datasheet range, clock offsets bounded by the
+    synchronisation interval).  Every process computes the same round count
+    from the interval's width, so the policy is as sound as ``FixedRounds``.
+
+``SpreadEstimateRounds``
+    No public bound is available: each process estimates the spread from the
+    first multiset it collects and computes its own round count.  Because
+    estimates may differ, processes may halt at different rounds; the policy
+    therefore instructs the protocol to (a) add ``extra_rounds`` of slack and
+    (b) multicast a ``HALT`` message carrying its final value, which other
+    processes substitute for the halted process in every later round.
+    Validity is unconditional under this policy.  ε-agreement additionally
+    holds whenever the spread estimates of the honest processes are within a
+    factor ``contraction^{-extra_rounds}`` of each other, which the default
+    slack of two extra rounds guarantees for the crash model (estimates are
+    sub-multisets of the true value multiset, hence underestimate the true
+    spread by at most one contraction step once the slack round is accounted
+    for); against Byzantine faults the policy is a well-performing heuristic
+    and is evaluated empirically in benchmark E9.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+from repro.core.multiset import spread
+from repro.core.rounds import rounds_to_epsilon
+
+__all__ = ["RoundPolicy", "FixedRounds", "KnownRangeRounds", "SpreadEstimateRounds"]
+
+
+class RoundPolicy(abc.ABC):
+    """Decides the number of rounds a process runs and the halting behaviour."""
+
+    #: Whether a process must multicast a ``HALT`` message (carrying its final
+    #: value) when it decides, so that processes running longer can substitute
+    #: the halted process's value in later rounds.
+    echo_on_halt: bool = False
+
+    #: Whether the policy yields the same round count at every honest process
+    #: (used by protocols, like the witness protocol, that require it).
+    uniform: bool = True
+
+    @abc.abstractmethod
+    def required_rounds(
+        self,
+        contraction: float,
+        epsilon: float,
+        first_sample: Optional[Sequence[float]] = None,
+    ) -> int:
+        """Total number of rounds to run.
+
+        ``first_sample`` is the multiset collected in round 1 (available to
+        adaptive policies); upfront policies ignore it.  The returned count is
+        the number of value-exchange rounds; ``0`` means "output the input".
+        """
+
+    def rounds_known_upfront(self) -> Optional[int]:
+        """Round count if it can be computed before the first exchange."""
+        try:
+            return self.required_rounds(contraction=0.5, epsilon=1.0, first_sample=None)
+        except TypeError:  # pragma: no cover - defensive
+            return None
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class FixedRounds(RoundPolicy):
+    """Run exactly ``rounds`` value-exchange rounds."""
+
+    def __init__(self, rounds: int) -> None:
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        self.rounds = rounds
+
+    def required_rounds(
+        self,
+        contraction: float,
+        epsilon: float,
+        first_sample: Optional[Sequence[float]] = None,
+    ) -> int:
+        return self.rounds
+
+    def describe(self) -> str:
+        return f"FixedRounds({self.rounds})"
+
+
+class KnownRangeRounds(RoundPolicy):
+    """Compute the round count from a publicly known input interval.
+
+    All processes know that every input lies in ``[low, high]``, so the
+    initial honest spread is at most ``high − low`` and
+    ``⌈log_{1/K}((high − low)/ε)⌉`` rounds suffice.  Every process computes
+    the same number, so no halt echoes are needed.
+    """
+
+    def __init__(self, low: float, high: float) -> None:
+        if high < low:
+            raise ValueError("require low <= high")
+        self.low = float(low)
+        self.high = float(high)
+
+    def required_rounds(
+        self,
+        contraction: float,
+        epsilon: float,
+        first_sample: Optional[Sequence[float]] = None,
+    ) -> int:
+        return rounds_to_epsilon(self.high - self.low, epsilon, contraction)
+
+    def describe(self) -> str:
+        return f"KnownRangeRounds([{self.low}, {self.high}])"
+
+
+class SpreadEstimateRounds(RoundPolicy):
+    """Estimate the spread from the first collected multiset.
+
+    Parameters
+    ----------
+    slack_factor:
+        Multiplier applied to the estimated spread before computing the round
+        count (compensates for the estimate being computed from a subset of
+        the true value multiset).
+    extra_rounds:
+        Additional rounds run beyond the computed count.
+    """
+
+    echo_on_halt = True
+    uniform = False
+
+    def __init__(self, slack_factor: float = 2.0, extra_rounds: int = 2) -> None:
+        if slack_factor < 1.0:
+            raise ValueError("slack_factor must be at least 1")
+        if extra_rounds < 0:
+            raise ValueError("extra_rounds must be non-negative")
+        self.slack_factor = slack_factor
+        self.extra_rounds = extra_rounds
+
+    def required_rounds(
+        self,
+        contraction: float,
+        epsilon: float,
+        first_sample: Optional[Sequence[float]] = None,
+    ) -> int:
+        if first_sample is None:
+            raise TypeError("SpreadEstimateRounds needs the first collected multiset")
+        estimate = spread(first_sample) * self.slack_factor
+        return rounds_to_epsilon(estimate, epsilon, contraction) + self.extra_rounds
+
+    def describe(self) -> str:
+        return f"SpreadEstimateRounds(x{self.slack_factor}, +{self.extra_rounds})"

@@ -1,0 +1,233 @@
+"""Witness-technique asynchronous Byzantine approximate agreement (``t < n/3``).
+
+The direct asynchronous Byzantine algorithm (:mod:`repro.core.async_byzantine`)
+needs ``n > 5t`` because a Byzantine process can tell different honest
+processes different values *and* the asynchrony lets the adversary feed
+different honest processes different ``n − t`` subsets.  The follow-on line of
+work that the paper founded removes the first power with **reliable
+broadcast** and tames the second with the **witness technique**, reaching the
+optimal resilience ``t < n/3`` at the price of ``Θ(n³)`` messages per
+iteration.  This module implements that protocol so the library covers the
+full resilience/communication trade-off (benchmarks E4 and E5).
+
+One iteration ``i`` of the protocol, for a process with current value ``v``:
+
+1. **Reliable broadcast** — broadcast ``v`` with Bracha's protocol
+   (:mod:`repro.net.rbc`), so every honest process that delivers this
+   process's iteration-``i`` value delivers the *same* value.
+2. **Report** — once values from ``n − t`` distinct originators have been
+   delivered, multicast the set of originator identifiers delivered so far
+   (the *report*).
+3. **Witnesses** — a process ``p`` becomes a *witness* for ``q`` once ``q``
+   has delivered every value listed in ``p``'s report.  Wait for ``n − t``
+   witnesses.
+4. **Update** — let ``V`` be all values delivered so far (for iteration
+   ``i``); adopt ``midpoint(reduce^t(V))`` and move to iteration ``i + 1``.
+
+Why this works (full derivations in :mod:`repro.core.rounds`):
+
+* any two honest processes have at least ``n − 2t ≥ t + 1`` witnesses in
+  common, and any common witness's report is contained in both processes'
+  delivered sets, so the two samples share at least ``n − t ≥ 2t + 1`` values;
+* each sample contains at most ``t`` Byzantine values, so ``reduce^t`` keeps
+  the update inside the honest range (validity);
+* sharing ``2t + 1`` values makes the two reduced ranges overlap, and the
+  midpoints of two overlapping sub-intervals of the honest range differ by at
+  most half the honest diameter: a guaranteed ``1/2`` contraction per
+  iteration.
+
+The protocol is *live* rather than terminating: a process that has produced
+its output keeps serving the reliable-broadcast and report machinery of the
+current iteration so that slower processes can finish (the classical
+formulation of the problem; runners stop the execution once every honest
+process has output).  For this reason the round policy must be *uniform* —
+every process must run the same number of iterations — which
+:class:`~repro.core.termination.FixedRounds` and
+:class:`~repro.core.termination.KnownRangeRounds` are.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from repro.core.multiset import midpoint_of_reduced
+from repro.core.protocol import ProtocolConfig, ResilienceError
+from repro.core.rounds import AlgorithmBounds, witness_bounds
+from repro.core.termination import FixedRounds, RoundPolicy
+from repro.net.interfaces import Process, ProcessContext
+from repro.net.message import Message
+from repro.net.rbc import RbcMultiplexer
+
+__all__ = ["WitnessProcess", "make_witness_processes"]
+
+
+REPORT_KIND = "REPORT"
+
+
+class WitnessProcess(Process):
+    """One process of the witness-technique protocol."""
+
+    def __init__(self, input_value: float, config: ProtocolConfig) -> None:
+        self.config = config
+        self.input_value = float(input_value)
+        self.current_value = float(input_value)
+        self.current_iteration = 1
+        self.total_rounds: Optional[int] = None
+        self.rounds_completed = 0
+        self.value_history: List[float] = [self.current_value]
+        self._decided = False
+
+        bounds = self.algorithm_bounds()
+        if config.strict and not bounds.resilience_ok:
+            raise ResilienceError(
+                f"witness protocol does not tolerate t={config.t} faults with n={config.n}"
+            )
+        if not config.round_policy.uniform:
+            raise ValueError(
+                "the witness protocol requires a uniform round policy "
+                "(FixedRounds or KnownRangeRounds)"
+            )
+
+        self._rbc = RbcMultiplexer(n=config.n, t=config.t, on_deliver=self._on_rbc_deliver)
+        # Per-iteration state, keyed by iteration number.
+        self._delivered: Dict[int, Dict[int, float]] = {}
+        self._reports: Dict[int, Dict[int, FrozenSet[int]]] = {}
+        self._reported: Dict[int, bool] = {}
+        self._pending_ctx: Optional[ProcessContext] = None
+
+    # ------------------------------------------------------------------
+    # Protocol parameters
+    # ------------------------------------------------------------------
+
+    def algorithm_bounds(self) -> AlgorithmBounds:
+        return witness_bounds(self.config.n, self.config.t)
+
+    @property
+    def quorum_size(self) -> int:
+        return self.config.n - self.config.t
+
+    @property
+    def decided(self) -> bool:
+        return self._decided
+
+    # ------------------------------------------------------------------
+    # Process callbacks
+    # ------------------------------------------------------------------
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        bounds = self.algorithm_bounds()
+        self.total_rounds = self.config.round_policy.required_rounds(
+            bounds.contraction, self.config.epsilon, None
+        )
+        if self.total_rounds == 0:
+            self._decide(ctx, self.current_value)
+            return
+        self._start_iteration(ctx, 1)
+
+    def on_message(self, ctx: ProcessContext, sender: int, message: Message) -> None:
+        # The reliable-broadcast layer and the report exchange keep running
+        # even after this process has decided, so that slower processes can
+        # complete their final iteration (liveness of the overall execution).
+        if self._rbc.handles(message):
+            self._pending_ctx = ctx
+            try:
+                self._rbc.handle(ctx, sender, message)
+            except ValueError:
+                return  # malformed broadcast message from a Byzantine sender
+            finally:
+                self._pending_ctx = None
+            self._advance_while_possible(ctx)
+            return
+
+        if message.kind == REPORT_KIND and message.round is not None:
+            if not isinstance(message.value, (tuple, list, frozenset, set)):
+                return
+            try:
+                ids = frozenset(int(pid) for pid in message.value)
+            except (TypeError, ValueError):
+                return
+            if not all(0 <= pid < self.config.n for pid in ids):
+                return
+            reports = self._reports.setdefault(message.round, {})
+            reports.setdefault(sender, ids)
+            self._advance_while_possible(ctx)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _start_iteration(self, ctx: ProcessContext, iteration: int) -> None:
+        self.current_iteration = iteration
+        self._rbc.broadcast(ctx, iteration, self.current_value)
+
+    def _on_rbc_deliver(self, iteration: int, originator: int, value: object) -> None:
+        if not isinstance(value, (int, float)) or not isinstance(iteration, int):
+            return
+        delivered = self._delivered.setdefault(iteration, {})
+        delivered.setdefault(originator, float(value))
+        ctx = self._pending_ctx
+        if ctx is not None and len(delivered) >= self.quorum_size:
+            self._maybe_send_report(ctx, iteration)
+
+    def _maybe_send_report(self, ctx: ProcessContext, iteration: int) -> None:
+        if self._reported.get(iteration):
+            return
+        self._reported[iteration] = True
+        delivered_ids = tuple(sorted(self._delivered.get(iteration, {})))
+        ctx.multicast(Message(kind=REPORT_KIND, round=iteration, value=delivered_ids))
+
+    def _witness_count(self, iteration: int) -> int:
+        delivered_ids = set(self._delivered.get(iteration, {}))
+        reports = self._reports.get(iteration, {})
+        return sum(1 for ids in reports.values() if ids <= delivered_ids)
+
+    def _advance_while_possible(self, ctx: ProcessContext) -> None:
+        while not self._decided:
+            iteration = self.current_iteration
+            delivered = self._delivered.get(iteration, {})
+            if len(delivered) >= self.quorum_size:
+                self._maybe_send_report(ctx, iteration)
+            if len(delivered) < self.quorum_size:
+                return
+            if self._witness_count(iteration) < self.quorum_size:
+                return
+            sample = list(delivered.values())
+            self.current_value = midpoint_of_reduced(sample, self.config.t)
+            self.rounds_completed = iteration
+            self.value_history.append(self.current_value)
+            if iteration >= (self.total_rounds or 0):
+                self._decide(ctx, self.current_value)
+                return
+            self._start_iteration(ctx, iteration + 1)
+
+    def _decide(self, ctx: ProcessContext, value: float) -> None:
+        if self._decided:
+            return
+        self._decided = True
+        ctx.output(value)
+        # Deliberately no ctx.halt(): the process keeps serving the reliable
+        # broadcast and report machinery so that slower processes can finish.
+
+    def describe(self) -> str:
+        return f"WitnessProcess(pid={self.process_id}, n={self.config.n}, t={self.config.t})"
+
+
+def make_witness_processes(
+    inputs: Sequence[float],
+    t: int,
+    epsilon: float,
+    round_policy: RoundPolicy = None,
+    strict: bool = True,
+) -> List[WitnessProcess]:
+    """Build one :class:`WitnessProcess` per input value.
+
+    The default round policy runs ``⌈log₂(spread/ε)⌉`` iterations, computed
+    from the actual spread of ``inputs`` (which the caller knows anyway).
+    """
+    n = len(inputs)
+    if round_policy is None:
+        from repro.core.async_crash import _default_round_policy
+
+        round_policy = _default_round_policy(witness_bounds(n, t), inputs, epsilon)
+    config = ProtocolConfig(n=n, t=t, epsilon=epsilon, round_policy=round_policy, strict=strict)
+    return [WitnessProcess(value, config) for value in inputs]

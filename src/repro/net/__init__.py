@@ -1,0 +1,75 @@
+"""Network substrate: messages, runtimes, adversaries, reliable broadcast.
+
+The :mod:`repro.net` package simulates the execution environment the paper
+assumes — an asynchronous, fully connected, reliable, authenticated
+message-passing system with up to ``t`` faulty processes — and provides the
+adversarial machinery (fault plans, Byzantine behaviours, scheduling policies)
+needed to exercise the worst cases of the convergence analysis.
+"""
+
+from repro.net.adversary import (
+    AntiConvergenceStrategy,
+    ByzantineFaultPlan,
+    ComposedFaultPlan,
+    CrashFaultPlan,
+    CrashPoint,
+    EquivocatingStrategy,
+    FixedValueStrategy,
+    HonestWithCorruptedInput,
+    LaggardDelay,
+    PartitionDelay,
+    RandomValueStrategy,
+    RoundEchoByzantine,
+    SilentProcess,
+    StaggeredExclusionDelay,
+    TargetedDelay,
+)
+from repro.net.asyncio_runtime import AsyncioRuntime
+from repro.net.interfaces import Process, ProcessContext
+from repro.net.message import Message, message_bits
+from repro.net.network import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialRandomDelay,
+    FaultPlan,
+    NetworkStats,
+    NoFaults,
+    SimulatedNetwork,
+    UniformRandomDelay,
+)
+from repro.net.rbc import BrachaInstance, RbcMultiplexer
+from repro.net.scheduler import EventScheduler
+
+__all__ = [
+    "AntiConvergenceStrategy",
+    "AsyncioRuntime",
+    "BrachaInstance",
+    "ByzantineFaultPlan",
+    "ComposedFaultPlan",
+    "ConstantDelay",
+    "CrashFaultPlan",
+    "CrashPoint",
+    "DelayModel",
+    "EquivocatingStrategy",
+    "EventScheduler",
+    "ExponentialRandomDelay",
+    "FaultPlan",
+    "FixedValueStrategy",
+    "HonestWithCorruptedInput",
+    "LaggardDelay",
+    "Message",
+    "message_bits",
+    "NetworkStats",
+    "NoFaults",
+    "PartitionDelay",
+    "Process",
+    "ProcessContext",
+    "RandomValueStrategy",
+    "RbcMultiplexer",
+    "RoundEchoByzantine",
+    "SilentProcess",
+    "SimulatedNetwork",
+    "StaggeredExclusionDelay",
+    "TargetedDelay",
+    "UniformRandomDelay",
+]

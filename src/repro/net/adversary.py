@@ -1,0 +1,473 @@
+"""Fault and scheduling adversaries.
+
+The power of the adversary in the paper is threefold: it picks which ``t``
+processes are faulty (adaptively, but for a simulation a pre-committed choice
+exercises the same code paths), it controls what Byzantine processes send, and
+it schedules message deliveries arbitrarily.  This module provides concrete,
+composable realisations of all three powers:
+
+* **Crash fault plans** — a faulty process follows the protocol and then stops
+  forever, possibly in the middle of a multicast so that only some recipients
+  receive its last message.  This partial-multicast behaviour is exactly the
+  subtlety that separates the crash model from simple "slow process" behaviour.
+* **Byzantine behaviours** — replacement :class:`~repro.net.interfaces.Process`
+  objects that send arbitrary, possibly equivocating values.  Several
+  strategies are provided, from silent processes to an adaptive
+  anti-convergence strategy that always reports values at the far end of the
+  honest range.
+* **Adversarial delay models** — scheduling policies that maximise the
+  divergence between the value multisets collected by different honest
+  processes (the quantity the convergence analysis bounds), such as a network
+  partitioned into two halves with slow cross-traffic.
+
+All randomised components take explicit seeds; there is no hidden global RNG.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.net.interfaces import Process, ProcessContext
+from repro.net.message import Message
+from repro.net.network import DelayModel, FaultPlan
+
+__all__ = [
+    "CrashPoint",
+    "CrashFaultPlan",
+    "ByzantineFaultPlan",
+    "ComposedFaultPlan",
+    "SilentProcess",
+    "ByzantineValueStrategy",
+    "FixedValueStrategy",
+    "EquivocatingStrategy",
+    "RandomValueStrategy",
+    "AntiConvergenceStrategy",
+    "RoundEchoByzantine",
+    "HonestWithCorruptedInput",
+    "PartitionDelay",
+    "LaggardDelay",
+    "StaggeredExclusionDelay",
+    "TargetedDelay",
+]
+
+
+# ----------------------------------------------------------------------
+# Crash faults
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """Describes when a crash-faulty process stops.
+
+    ``after_sends`` is the number of point-to-point messages the process is
+    allowed to send before it crashes; a multicast counts as ``n`` sends in
+    increasing recipient order, so crashes in the middle of a multicast are
+    expressed naturally.  ``after_sends=0`` means the process crashes before
+    sending anything (it is initially dead).  ``None`` means the process
+    never crashes (useful when composing plans).
+    """
+
+    after_sends: Optional[int] = None
+
+    @staticmethod
+    def before_round(round_number: int, n: int) -> "CrashPoint":
+        """Crash just before the process multicasts its round ``round_number`` value.
+
+        Rounds are 1-based and each round of the direct protocols is a single
+        multicast of ``n`` point-to-point messages.
+        """
+        return CrashPoint(after_sends=(round_number - 1) * n)
+
+    @staticmethod
+    def mid_multicast(round_number: int, n: int, deliveries: int) -> "CrashPoint":
+        """Crash during the round ``round_number`` multicast after ``deliveries`` sends."""
+        if not 0 <= deliveries <= n:
+            raise ValueError("deliveries must be between 0 and n")
+        return CrashPoint(after_sends=(round_number - 1) * n + deliveries)
+
+
+class CrashFaultPlan(FaultPlan):
+    """Crash the given processes at the given points.
+
+    Parameters
+    ----------
+    crash_points:
+        Mapping from process id to :class:`CrashPoint`.
+    """
+
+    def __init__(self, crash_points: Dict[int, CrashPoint]) -> None:
+        self._crash_points = dict(crash_points)
+
+    def faulty_ids(self, n: int) -> Sequence[int]:
+        return tuple(sorted(pid for pid in self._crash_points if pid < n))
+
+    def crashes_before_send(self, process_id: int, messages_sent: int, now: float) -> bool:
+        point = self._crash_points.get(process_id)
+        if point is None or point.after_sends is None:
+            return False
+        return messages_sent >= point.after_sends
+
+    def describe(self) -> str:
+        points = ", ".join(
+            f"P{pid}@{cp.after_sends}" for pid, cp in sorted(self._crash_points.items())
+        )
+        return f"CrashFaultPlan({points})"
+
+
+# ----------------------------------------------------------------------
+# Byzantine behaviours
+# ----------------------------------------------------------------------
+
+
+class SilentProcess(Process):
+    """A Byzantine process that never sends anything (a de-facto crash)."""
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        return None
+
+    def on_message(self, ctx: ProcessContext, sender: int, message: Message) -> None:
+        return None
+
+
+class ByzantineValueStrategy(abc.ABC):
+    """Strategy choosing the value a Byzantine process reports.
+
+    The strategy is consulted once per (round, recipient) pair, so it can
+    equivocate — report different values to different recipients in the same
+    round — which is the capability that forces the double-sided ``reduce`` in
+    the Byzantine algorithms.
+    """
+
+    @abc.abstractmethod
+    def value(self, round_number: int, recipient: int, observed: Sequence[float]) -> float:
+        """Value to report to ``recipient`` in ``round_number``.
+
+        ``observed`` is the list of honest values the Byzantine process has
+        seen so far (the adversary is full-information).
+        """
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class FixedValueStrategy(ByzantineValueStrategy):
+    """Always report the same constant value (e.g. an enormous outlier)."""
+
+    def __init__(self, reported_value: float) -> None:
+        self.reported_value = float(reported_value)
+
+    def value(self, round_number: int, recipient: int, observed: Sequence[float]) -> float:
+        return self.reported_value
+
+    def describe(self) -> str:
+        return f"FixedValueStrategy({self.reported_value})"
+
+
+class EquivocatingStrategy(ByzantineValueStrategy):
+    """Report ``low`` to one half of the recipients and ``high`` to the other.
+
+    This is the canonical equivocation attack: it tries to pull different
+    honest processes toward opposite ends of the value range, and it is the
+    reason the asynchronous Byzantine algorithm needs ``n > 5t`` without the
+    witness technique.
+    """
+
+    def __init__(self, low: float, high: float) -> None:
+        self.low = float(low)
+        self.high = float(high)
+
+    def value(self, round_number: int, recipient: int, observed: Sequence[float]) -> float:
+        return self.low if recipient % 2 == 0 else self.high
+
+    def describe(self) -> str:
+        return f"EquivocatingStrategy({self.low}, {self.high})"
+
+
+class RandomValueStrategy(ByzantineValueStrategy):
+    """Report independent uniformly random values in ``[low, high]``."""
+
+    def __init__(self, low: float, high: float, seed: int = 0) -> None:
+        self.low = float(low)
+        self.high = float(high)
+        self._rng = random.Random(seed)
+
+    def value(self, round_number: int, recipient: int, observed: Sequence[float]) -> float:
+        return self._rng.uniform(self.low, self.high)
+
+    def describe(self) -> str:
+        return f"RandomValueStrategy([{self.low}, {self.high}])"
+
+
+class AntiConvergenceStrategy(ByzantineValueStrategy):
+    """Adaptively report values at the far ends of the observed honest range.
+
+    The strategy keeps track of the smallest and largest honest values it has
+    seen and reports the minimum to recipients with even identifiers and the
+    maximum to recipients with odd identifiers, optionally stretched by
+    ``stretch`` beyond the observed range.  Because the reported values stay
+    close to (or just outside) the honest range, the ``reduce`` step cannot
+    always discard them, making this the strongest convergence-slowing
+    strategy among the ones shipped with the library (exercised by the
+    adversary-ablation benchmark).
+    """
+
+    def __init__(self, stretch: float = 0.0) -> None:
+        self.stretch = float(stretch)
+
+    def value(self, round_number: int, recipient: int, observed: Sequence[float]) -> float:
+        if not observed:
+            return 0.0
+        low = min(observed) - self.stretch
+        high = max(observed) + self.stretch
+        return low if recipient % 2 == 0 else high
+
+    def describe(self) -> str:
+        return f"AntiConvergenceStrategy(stretch={self.stretch})"
+
+
+class RoundEchoByzantine(Process):
+    """Byzantine behaviour for round-structured protocols.
+
+    The behaviour watches the honest traffic to learn which round is current
+    and, for every round it observes, sends each recipient an adversarially
+    chosen value (per :class:`ByzantineValueStrategy`).  It never crashes and
+    never stops, so it participates in every quorum an honest process might
+    wait for, which is the worst case for convergence (a silent Byzantine
+    process is no stronger than a crash).
+
+    ``value_kinds`` lists the message kinds that carry per-round values in the
+    protocol under attack; the default covers the direct protocols
+    (``"VALUE"``) and the witness protocol's reliable-broadcast initiation
+    (``"RBC_INIT"``).
+    """
+
+    def __init__(
+        self,
+        strategy: ByzantineValueStrategy,
+        value_kinds: Sequence[str] = ("VALUE",),
+        max_round: int = 10_000,
+    ) -> None:
+        self.strategy = strategy
+        self.value_kinds = tuple(value_kinds)
+        self.max_round = max_round
+        self._rounds_done: Set[int] = set()
+        self._observed: List[float] = []
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        self._attack_round(ctx, 1)
+
+    def on_message(self, ctx: ProcessContext, sender: int, message: Message) -> None:
+        if message.kind in self.value_kinds and isinstance(message.value, (int, float)):
+            self._observed.append(float(message.value))
+        if message.round is not None and message.kind in self.value_kinds:
+            self._attack_round(ctx, message.round)
+
+    def _attack_round(self, ctx: ProcessContext, round_number: int) -> None:
+        if round_number in self._rounds_done or round_number > self.max_round:
+            return
+        self._rounds_done.add(round_number)
+        for recipient in range(ctx.n):
+            reported = self.strategy.value(round_number, recipient, self._observed)
+            for kind in self.value_kinds:
+                ctx.send(recipient, Message(kind=kind, round=round_number, value=reported))
+
+    def describe(self) -> str:
+        return f"RoundEchoByzantine({self.strategy.describe()})"
+
+
+class HonestWithCorruptedInput(Process):
+    """A Byzantine process that runs the honest protocol with a forged input.
+
+    This is the mildest Byzantine behaviour — protocol-compliant but with an
+    input far outside the honest range — and it is the sharpest test of the
+    validity property: the honest outputs must stay inside the *honest* input
+    range no matter how extreme the forged input is.  Because it follows the
+    protocol, it works against every protocol in the library, including the
+    witness-technique protocol whose reliable-broadcast sub-structure a
+    generic equivocator does not speak.
+    """
+
+    def __init__(self, process_factory: Callable[[], Process]) -> None:
+        self._inner = process_factory()
+
+    def bind(self, process_id: int) -> Process:
+        super().bind(process_id)
+        self._inner.bind(process_id)
+        return self
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        self._inner.on_start(ctx)
+
+    def on_message(self, ctx: ProcessContext, sender: int, message: Message) -> None:
+        self._inner.on_message(ctx, sender, message)
+
+    def on_round_timeout(self, ctx: ProcessContext, round_number: int) -> None:
+        self._inner.on_round_timeout(ctx, round_number)
+
+    def describe(self) -> str:
+        return f"HonestWithCorruptedInput({self._inner.describe()})"
+
+
+class ByzantineFaultPlan(FaultPlan):
+    """Replace the given processes with Byzantine behaviours."""
+
+    def __init__(self, behaviours: Dict[int, Process]) -> None:
+        self._behaviours = dict(behaviours)
+
+    def faulty_ids(self, n: int) -> Sequence[int]:
+        return tuple(sorted(pid for pid in self._behaviours if pid < n))
+
+    def byzantine_ids(self, n: int) -> Sequence[int]:
+        return self.faulty_ids(n)
+
+    def replacement_process(self, process_id: int, original: Process) -> Optional[Process]:
+        return self._behaviours.get(process_id)
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"P{pid}:{proc.describe()}" for pid, proc in sorted(self._behaviours.items())
+        )
+        return f"ByzantineFaultPlan({parts})"
+
+
+class ComposedFaultPlan(FaultPlan):
+    """Union of several fault plans (e.g. some crashes plus some Byzantine)."""
+
+    def __init__(self, plans: Sequence[FaultPlan]) -> None:
+        self._plans = list(plans)
+
+    def faulty_ids(self, n: int) -> Sequence[int]:
+        ids: Set[int] = set()
+        for plan in self._plans:
+            ids.update(plan.faulty_ids(n))
+        return tuple(sorted(ids))
+
+    def byzantine_ids(self, n: int) -> Sequence[int]:
+        ids: Set[int] = set()
+        for plan in self._plans:
+            ids.update(plan.byzantine_ids(n))
+        return tuple(sorted(ids))
+
+    def replacement_process(self, process_id: int, original: Process) -> Optional[Process]:
+        for plan in self._plans:
+            replacement = plan.replacement_process(process_id, original)
+            if replacement is not None:
+                return replacement
+        return None
+
+    def crashes_before_send(self, process_id: int, messages_sent: int, now: float) -> bool:
+        return any(
+            plan.crashes_before_send(process_id, messages_sent, now) for plan in self._plans
+        )
+
+    def describe(self) -> str:
+        return "ComposedFaultPlan(" + " + ".join(plan.describe() for plan in self._plans) + ")"
+
+
+# ----------------------------------------------------------------------
+# Adversarial delay models
+# ----------------------------------------------------------------------
+
+
+class PartitionDelay(DelayModel):
+    """Split the honest processes into two camps with slow cross-traffic.
+
+    Messages within a camp arrive after ``fast`` time units; messages that
+    cross the camp boundary arrive after ``slow`` time units.  With
+    ``slow >> fast`` every process fills its per-round quorum almost entirely
+    from its own camp, which maximises the divergence ``D`` between the value
+    multisets of processes in different camps — the exact quantity the
+    convergence lemma is stated in terms of.  This is the schedule used by the
+    worst-case convergence experiments.
+    """
+
+    def __init__(self, camp_a: Iterable[int], fast: float = 1.0, slow: float = 25.0) -> None:
+        if fast <= 0 or slow <= 0:
+            raise ValueError("delays must be positive")
+        self.camp_a = frozenset(camp_a)
+        self.fast = fast
+        self.slow = slow
+
+    def delay(self, sender: int, recipient: int, message: Message, now: float) -> float:
+        same_camp = (sender in self.camp_a) == (recipient in self.camp_a)
+        return self.fast if same_camp else self.slow
+
+
+class LaggardDelay(DelayModel):
+    """Messages from the given senders are always slow.
+
+    Permanently slow senders are effectively excluded from every quorum, which
+    is how the adversary "uses up" its ``t`` omissions against asynchronous
+    algorithms without corrupting anyone.
+    """
+
+    def __init__(self, slow_senders: Iterable[int], fast: float = 1.0, slow: float = 50.0) -> None:
+        if fast <= 0 or slow <= 0:
+            raise ValueError("delays must be positive")
+        self.slow_senders = frozenset(slow_senders)
+        self.fast = fast
+        self.slow = slow
+
+    def delay(self, sender: int, recipient: int, message: Message, now: float) -> float:
+        return self.slow if sender in self.slow_senders else self.fast
+
+
+class StaggeredExclusionDelay(DelayModel):
+    """Per-recipient, per-round rotating exclusion of ``exclude`` senders.
+
+    For the round-``r`` value message destined to recipient ``q``, the senders
+    with identifiers ``(q + r) mod n, …, (q + r + exclude − 1) mod n`` are
+    slowed down; everything else is fast.  Because the excluded set differs
+    for every recipient (and rotates every round), different honest processes
+    keep filling their quorums from *different* sender subsets round after
+    round — the schedule that keeps the divergence ``D`` between honest
+    samples maximal for the whole execution, rather than only in the first
+    round as a static partition does.  This is the schedule used by the
+    convergence benchmarks to push executions toward the worst-case
+    contraction bound.
+    """
+
+    def __init__(self, n: int, exclude: int, fast: float = 1.0, slow: float = 50.0) -> None:
+        if fast <= 0 or slow <= 0:
+            raise ValueError("delays must be positive")
+        if not 0 <= exclude < n:
+            raise ValueError("exclude must be in [0, n)")
+        self.n = n
+        self.exclude = exclude
+        self.fast = fast
+        self.slow = slow
+
+    def delay(self, sender: int, recipient: int, message: Message, now: float) -> float:
+        if self.exclude == 0:
+            return self.fast
+        round_number = message.round if message.round is not None else 0
+        start = (recipient + round_number) % self.n
+        offset = (sender - start) % self.n
+        return self.slow if offset < self.exclude else self.fast
+
+
+class TargetedDelay(DelayModel):
+    """Slow down specific (sender, recipient) pairs; everything else is fast.
+
+    Lets tests construct hand-crafted schedules, e.g. ensuring that process 0
+    never hears from process 1 before filling its quorum in any round.
+    """
+
+    def __init__(
+        self,
+        slow_pairs: Iterable[tuple],
+        fast: float = 1.0,
+        slow: float = 50.0,
+    ) -> None:
+        if fast <= 0 or slow <= 0:
+            raise ValueError("delays must be positive")
+        self.slow_pairs = frozenset(tuple(pair) for pair in slow_pairs)
+        self.fast = fast
+        self.slow = slow
+
+    def delay(self, sender: int, recipient: int, message: Message, now: float) -> float:
+        return self.slow if (sender, recipient) in self.slow_pairs else self.fast

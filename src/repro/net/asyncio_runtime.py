@@ -1,0 +1,208 @@
+"""``asyncio``-based runtime for the same protocol objects.
+
+The discrete-event simulator in :mod:`repro.net.network` is the workhorse of
+the test-suite and the benchmarks, but the repro hint for this paper calls for
+an ``asyncio`` realisation as well: each process becomes a coroutine with an
+inbox queue, message delays become real ``await asyncio.sleep`` calls (scaled
+down so tests stay fast), and the scheduler is Python's event loop instead of
+our own heap.  Protocol objects are *identical* in both runtimes — they only
+see :class:`~repro.net.interfaces.ProcessContext` — which the equivalence
+tests and benchmark E8 exploit.
+
+The runtime reuses :class:`~repro.net.network.DelayModel` and
+:class:`~repro.net.network.FaultPlan`, so crash and Byzantine behaviours, and
+even the adversarial delay policies, carry over unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, List, Optional, Sequence
+
+from repro.net.interfaces import Process, ProcessContext
+from repro.net.message import Message
+from repro.net.network import ConstantDelay, DelayModel, FaultPlan, NetworkStats, NoFaults
+
+__all__ = ["AsyncioRuntime"]
+
+
+class _AsyncioContext(ProcessContext):
+    """Per-process context backed by the asyncio runtime."""
+
+    def __init__(self, runtime: "AsyncioRuntime", process_id: int) -> None:
+        self._runtime = runtime
+        self._process_id = process_id
+
+    @property
+    def process_id(self) -> int:
+        return self._process_id
+
+    @property
+    def n(self) -> int:
+        return self._runtime.n
+
+    @property
+    def time(self) -> float:
+        loop = asyncio.get_event_loop()
+        return loop.time() - self._runtime.start_time
+
+    def send(self, recipient: int, message: Message) -> None:
+        self._runtime._send(self._process_id, recipient, message)
+
+    def multicast(self, message: Message) -> None:
+        for recipient in range(self._runtime.n):
+            if self._runtime.is_crashed(self._process_id):
+                break
+            self._runtime._send(self._process_id, recipient, message)
+
+    def output(self, value: Any) -> None:
+        self._runtime.processes[self._process_id].record_output(value)
+        self._runtime._maybe_finish()
+
+    def halt(self) -> None:
+        self._runtime._halt(self._process_id)
+
+
+class AsyncioRuntime:
+    """Run protocol processes as asyncio tasks with real (scaled) delays.
+
+    Parameters
+    ----------
+    processes:
+        Protocol objects, one per process id.
+    delay_model:
+        Same interface as the discrete-event simulator; the returned delay is
+        multiplied by ``time_scale`` seconds before sleeping.
+    fault_plan:
+        Same interface as the discrete-event simulator.
+    time_scale:
+        Seconds of wall-clock time per simulated time unit.  The default of
+        one millisecond keeps even multi-round executions well under a second
+        for the system sizes the repro hint targets ("fine for small n").
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[Process],
+        delay_model: Optional[DelayModel] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        time_scale: float = 0.001,
+    ) -> None:
+        self.n = len(processes)
+        self.delay_model = delay_model or ConstantDelay(1.0)
+        self.delay_model.reset()
+        self.fault_plan = fault_plan or NoFaults()
+        self.time_scale = time_scale
+        self.stats = NetworkStats()
+        self.start_time = 0.0
+
+        self._faulty = set(self.fault_plan.faulty_ids(self.n))
+        self.processes: List[Process] = []
+        for pid, process in enumerate(processes):
+            replacement = None
+            if pid in self._faulty:
+                replacement = self.fault_plan.replacement_process(pid, process)
+            chosen = replacement if replacement is not None else process
+            chosen.bind(pid)
+            self.processes.append(chosen)
+
+        self._contexts = [_AsyncioContext(self, pid) for pid in range(self.n)]
+        self._inboxes: List[asyncio.Queue] = []
+        self._halted = [False] * self.n
+        self._crashed = [False] * self.n
+        self._sends_by_process = [0] * self.n
+        self._pending_deliveries = 0
+        self._done_event: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+
+    @property
+    def honest(self) -> Sequence[int]:
+        return tuple(pid for pid in range(self.n) if pid not in self._faulty)
+
+    def is_crashed(self, pid: int) -> bool:
+        return self._crashed[pid]
+
+    def honest_outputs(self) -> List[Any]:
+        return [
+            self.processes[pid].output_value
+            for pid in self.honest
+            if self.processes[pid].has_output
+        ]
+
+    def all_honest_output(self) -> bool:
+        return all(self.processes[pid].has_output for pid in self.honest)
+
+    def run(self, timeout: float = 30.0) -> List[Any]:
+        """Run the system until every honest process outputs (or timeout).
+
+        Returns the honest outputs in process-id order.  This is a blocking
+        convenience wrapper around :meth:`run_async` for callers that are not
+        themselves inside an event loop.
+        """
+        return asyncio.run(self.run_async(timeout=timeout))
+
+    async def run_async(self, timeout: float = 30.0) -> List[Any]:
+        loop = asyncio.get_event_loop()
+        self.start_time = loop.time()
+        self._done_event = asyncio.Event()
+        self._inboxes = [asyncio.Queue() for _ in range(self.n)]
+
+        consumer_tasks = [
+            asyncio.create_task(self._process_main(pid)) for pid in range(self.n)
+        ]
+        try:
+            await asyncio.wait_for(self._done_event.wait(), timeout=timeout)
+        except asyncio.TimeoutError:
+            pass
+        finally:
+            for task in consumer_tasks:
+                task.cancel()
+            await asyncio.gather(*consumer_tasks, return_exceptions=True)
+        return self.honest_outputs()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    async def _process_main(self, pid: int) -> None:
+        if not self._crashed[pid]:
+            self.processes[pid].on_start(self._contexts[pid])
+            self._maybe_finish()
+        inbox = self._inboxes[pid]
+        while True:
+            sender, message = await inbox.get()
+            if self._halted[pid] or self._crashed[pid]:
+                continue
+            self.processes[pid].on_message(self._contexts[pid], sender, message)
+            self._maybe_finish()
+
+    def _send(self, sender: int, recipient: int, message: Message) -> None:
+        if self._crashed[sender]:
+            return
+        if self.fault_plan.crashes_before_send(sender, self._sends_by_process[sender], 0.0):
+            self._crashed[sender] = True
+            self._halted[sender] = True
+            return
+        self._sends_by_process[sender] += 1
+        self.stats.record_send(sender, message)
+        delay = self.delay_model.delay(sender, recipient, message, 0.0) * self.time_scale
+        asyncio.get_event_loop().create_task(self._deliver_later(sender, recipient, message, delay))
+
+    async def _deliver_later(
+        self, sender: int, recipient: int, message: Message, delay: float
+    ) -> None:
+        await asyncio.sleep(delay)
+        if self._halted[recipient] or self._crashed[recipient]:
+            return
+        self.stats.record_delivery()
+        await self._inboxes[recipient].put((sender, message))
+
+    def _halt(self, pid: int) -> None:
+        self._halted[pid] = True
+
+    def _maybe_finish(self) -> None:
+        if self._done_event is not None and self.all_honest_output():
+            self._done_event.set()

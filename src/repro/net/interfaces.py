@@ -1,0 +1,130 @@
+"""Runtime-agnostic process and context interfaces.
+
+Approximate-agreement protocols in this library are written as *event-driven
+state machines* (:class:`Process`) that are completely independent of the
+runtime that drives them.  Two runtimes are provided:
+
+* :mod:`repro.net.network` — a deterministic discrete-event simulator, used by
+  the test-suite and the benchmarks because it is fast and exactly
+  reproducible, and because it lets adversarial delay policies realise
+  worst-case schedules on demand;
+* :mod:`repro.net.asyncio_runtime` — an ``asyncio``-based runtime in which each
+  process is a coroutine with an inbox queue, demonstrating that the very same
+  protocol objects run over a "real" concurrent substrate.
+
+A process interacts with the outside world only through its
+:class:`ProcessContext`: it can send a message to a single process, multicast a
+message to everybody, record an output, and halt.  The context also exposes the
+process identifier, the system size ``n`` and the current (simulated or wall)
+time, which protocols may use for logging but never for control flow — the
+model is fully asynchronous and has no clocks.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, List, Optional, Protocol, runtime_checkable
+
+from repro.net.message import Message
+
+__all__ = ["ProcessContext", "Process", "ProcessCrashed"]
+
+
+class ProcessCrashed(Exception):
+    """Raised internally by runtimes to unwind a process that has crashed."""
+
+
+@runtime_checkable
+class ProcessContext(Protocol):
+    """The interface a runtime exposes to a running :class:`Process`."""
+
+    @property
+    def process_id(self) -> int:
+        """Identifier of the running process (``0 .. n-1``)."""
+
+    @property
+    def n(self) -> int:
+        """Total number of processes in the system."""
+
+    @property
+    def time(self) -> float:
+        """Current simulated (or wall-clock) time.  Informational only."""
+
+    def send(self, recipient: int, message: Message) -> None:
+        """Send ``message`` to ``recipient`` over the reliable channel."""
+
+    def multicast(self, message: Message) -> None:
+        """Send ``message`` to every process, including the sender itself."""
+
+    def output(self, value: Any) -> None:
+        """Record the process's protocol output (its decision value)."""
+
+    def halt(self) -> None:
+        """Stop the process: no further events will be delivered to it."""
+
+
+class Process(abc.ABC):
+    """Base class for event-driven protocol state machines.
+
+    Subclasses implement :meth:`on_start` (called exactly once, when the
+    process acquires its input and the runtime starts it) and
+    :meth:`on_message` (called for every delivered message).  Synchronous
+    protocols additionally implement :meth:`on_round_timeout`, which a
+    lockstep runner calls at the end of every synchronous round; asynchronous
+    runtimes never call it.
+
+    A process must not retain the context between callbacks in a way that
+    outlives the runtime; runtimes pass a live context to every callback.
+    """
+
+    #: Identifier of this process; assigned by the runtime before start.
+    process_id: int = -1
+
+    def bind(self, process_id: int) -> "Process":
+        """Associate this process object with an identifier and return it."""
+        self.process_id = process_id
+        return self
+
+    @abc.abstractmethod
+    def on_start(self, ctx: ProcessContext) -> None:
+        """Called once when the process starts with its input available."""
+
+    @abc.abstractmethod
+    def on_message(self, ctx: ProcessContext, sender: int, message: Message) -> None:
+        """Called whenever a message from ``sender`` is delivered."""
+
+    def on_round_timeout(self, ctx: ProcessContext, round_number: int) -> None:
+        """Called by *synchronous* runners at the end of round ``round_number``.
+
+        Asynchronous runtimes never call this.  The default implementation
+        does nothing, so purely asynchronous protocols can ignore it.
+        """
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by runners, metrics and tests.
+    # ------------------------------------------------------------------
+
+    @property
+    def output_value(self) -> Optional[Any]:
+        """The value this process output, or ``None`` if it has not decided."""
+        return getattr(self, "_output_value", None)
+
+    @property
+    def has_output(self) -> bool:
+        """Whether the process has recorded an output."""
+        return getattr(self, "_has_output", False)
+
+    def record_output(self, value: Any) -> None:
+        """Record ``value`` as this process's output (runtimes call this)."""
+        if not getattr(self, "_has_output", False):
+            self._output_value = value
+            self._has_output = True
+
+    def describe(self) -> str:
+        """A short human-readable description used in logs and reports."""
+        return f"{type(self).__name__}(pid={self.process_id})"
+
+
+def collect_outputs(processes: List[Process]) -> List[Optional[Any]]:
+    """Return the list of outputs of ``processes`` (``None`` for undecided)."""
+    return [p.output_value if p.has_output else None for p in processes]

@@ -1,0 +1,57 @@
+"""Simulation harness: runners, metrics, workloads, experiment utilities."""
+
+from repro.sim.experiments import ExperimentRecord, aggregate, parameter_grid, summarize_results
+from repro.sim.metrics import (
+    CostSummary,
+    contraction_factors,
+    geometric_mean_contraction,
+    messages_per_round,
+    spread_trajectory,
+    worst_contraction,
+)
+from repro.sim.vector import VectorExecutionResult, run_vector_protocol
+from repro.sim.runner import (
+    PROTOCOL_FACTORIES,
+    SYNCHRONOUS_PROTOCOLS,
+    ExecutionResult,
+    run_async_network,
+    run_asyncio_runtime,
+    run_lockstep,
+    run_protocol,
+)
+from repro.sim.workloads import (
+    clock_offsets,
+    extremes_inputs,
+    linear_inputs,
+    sensor_readings,
+    two_cluster_inputs,
+    uniform_inputs,
+)
+
+__all__ = [
+    "CostSummary",
+    "ExecutionResult",
+    "ExperimentRecord",
+    "PROTOCOL_FACTORIES",
+    "SYNCHRONOUS_PROTOCOLS",
+    "VectorExecutionResult",
+    "aggregate",
+    "clock_offsets",
+    "contraction_factors",
+    "extremes_inputs",
+    "geometric_mean_contraction",
+    "linear_inputs",
+    "messages_per_round",
+    "parameter_grid",
+    "run_async_network",
+    "run_asyncio_runtime",
+    "run_lockstep",
+    "run_protocol",
+    "run_vector_protocol",
+    "sensor_readings",
+    "spread_trajectory",
+    "summarize_results",
+    "two_cluster_inputs",
+    "uniform_inputs",
+    "worst_contraction",
+]

@@ -1,0 +1,98 @@
+"""Experiment utilities: parameter sweeps, repeated trials, records.
+
+The benchmarks in ``benchmarks/`` are thin wrappers around these helpers so
+that the same experiment logic can be exercised by unit tests (small
+configurations) and by the full reproduction runs (larger sweeps), and so that
+experiment outputs have a single, uniform record format that the table
+renderer understands.
+"""
+
+from __future__ import annotations
+
+import itertools
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from repro.sim.runner import ExecutionResult
+
+__all__ = ["ExperimentRecord", "parameter_grid", "aggregate", "summarize_results"]
+
+
+@dataclass
+class ExperimentRecord:
+    """One row of an experiment table: parameters, measurements, expectation."""
+
+    experiment: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    measured: Dict[str, Any] = field(default_factory=dict)
+    expected: Dict[str, Any] = field(default_factory=dict)
+    ok: bool = True
+    notes: str = ""
+
+    def as_row(self, columns: Sequence[str]) -> List[Any]:
+        """Flatten the record into a row for the given column names.
+
+        Column names are looked up first in ``params``, then in ``measured``,
+        then in ``expected`` (prefix ``expected_`` strips to the bare name).
+        """
+        row: List[Any] = []
+        for column in columns:
+            if column in self.params:
+                row.append(self.params[column])
+            elif column in self.measured:
+                row.append(self.measured[column])
+            elif column.startswith("expected_") and column[len("expected_"):] in self.expected:
+                row.append(self.expected[column[len("expected_"):]])
+            elif column == "ok":
+                row.append("yes" if self.ok else "NO")
+            else:
+                row.append("")
+        return row
+
+
+def parameter_grid(**axes: Sequence[Any]) -> Iterator[Dict[str, Any]]:
+    """Cartesian product of named parameter axes, as dictionaries.
+
+    >>> list(parameter_grid(n=[4, 7], t=[1]))
+    [{'n': 4, 't': 1}, {'n': 7, 't': 1}]
+    """
+    names = list(axes)
+    for combination in itertools.product(*(axes[name] for name in names)):
+        yield dict(zip(names, combination))
+
+
+def aggregate(values: Iterable[float]) -> Dict[str, float]:
+    """Mean / min / max summary of a collection of measurements."""
+    values = [float(v) for v in values]
+    if not values:
+        return {"mean": float("nan"), "min": float("nan"), "max": float("nan")}
+    return {
+        "mean": statistics.fmean(values),
+        "min": min(values),
+        "max": max(values),
+    }
+
+
+def summarize_results(results: Sequence[ExecutionResult]) -> Dict[str, Any]:
+    """Aggregate a set of executions of the same configuration.
+
+    Returns the fraction of correct executions and the aggregate round,
+    message and output-spread statistics — the quantities every benchmark
+    table reports.
+    """
+    if not results:
+        raise ValueError("no results to summarize")
+    ok_count = sum(1 for result in results if result.ok)
+    return {
+        "runs": len(results),
+        "ok_fraction": ok_count / len(results),
+        "rounds": aggregate(result.rounds_used for result in results),
+        "messages": aggregate(result.stats.messages_sent for result in results),
+        "bits": aggregate(result.stats.bits_sent for result in results),
+        "output_spread": aggregate(
+            result.report.output_spread
+            for result in results
+            if result.report.outputs
+        ),
+    }

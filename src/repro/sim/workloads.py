@@ -1,0 +1,121 @@
+"""Input workload generators.
+
+Approximate agreement is motivated by tasks where distributed processes hold
+noisy observations of a common quantity and must act on approximately equal
+estimates despite faults: clock synchronisation, replicated sensor reading,
+stabilising control inputs.  These generators produce the corresponding input
+vectors, plus structured worst cases used by the convergence experiments.
+
+Every generator takes an explicit ``seed`` and returns a plain list of floats
+whose index is the process identifier; generators never mutate global state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "uniform_inputs",
+    "two_cluster_inputs",
+    "extremes_inputs",
+    "sensor_readings",
+    "clock_offsets",
+    "linear_inputs",
+]
+
+
+def uniform_inputs(n: int, low: float = 0.0, high: float = 1.0, seed: int = 0) -> List[float]:
+    """Inputs drawn independently and uniformly from ``[low, high]``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if high < low:
+        raise ValueError("require low <= high")
+    rng = random.Random(seed)
+    return [rng.uniform(low, high) for _ in range(n)]
+
+
+def two_cluster_inputs(
+    n: int,
+    low_center: float = 0.0,
+    high_center: float = 1.0,
+    jitter: float = 0.01,
+    seed: int = 0,
+) -> List[float]:
+    """Half the processes near ``low_center``, half near ``high_center``.
+
+    This bimodal workload maximises the initial spread for a given range and
+    is the configuration under which adversarial scheduling (a network
+    partition aligned with the clusters) slows convergence the most; the
+    worst-case convergence benchmark uses it.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    rng = random.Random(seed)
+    inputs = []
+    for pid in range(n):
+        center = low_center if pid < (n + 1) // 2 else high_center
+        inputs.append(center + rng.uniform(-jitter, jitter))
+    return inputs
+
+
+def extremes_inputs(n: int, low: float = 0.0, high: float = 1.0) -> List[float]:
+    """Deterministic worst-spread inputs: alternating ``low`` and ``high``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return [low if pid % 2 == 0 else high for pid in range(n)]
+
+
+def linear_inputs(n: int, low: float = 0.0, high: float = 1.0) -> List[float]:
+    """Inputs evenly spaced across ``[low, high]`` (deterministic)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if n == 1:
+        return [low]
+    step = (high - low) / (n - 1)
+    return [low + pid * step for pid in range(n)]
+
+
+def sensor_readings(
+    n: int,
+    true_value: float = 20.0,
+    noise: float = 0.5,
+    outliers: int = 0,
+    outlier_magnitude: float = 50.0,
+    seed: int = 0,
+) -> List[float]:
+    """Noisy sensor readings of a common quantity, with optional outliers.
+
+    ``outliers`` processes (the highest process identifiers) report readings
+    offset by ``outlier_magnitude`` — modelling miscalibrated sensors whose
+    *processes* are nevertheless honest, so validity must still cover their
+    readings.  Used by the sensor-fusion example.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if not 0 <= outliers <= n:
+        raise ValueError("outliers must be between 0 and n")
+    rng = random.Random(seed)
+    readings = [true_value + rng.gauss(0.0, noise) for _ in range(n)]
+    for pid in range(n - outliers, n):
+        readings[pid] += outlier_magnitude
+    return readings
+
+
+def clock_offsets(
+    n: int,
+    max_skew: float = 0.01,
+    drift_per_process: float = 0.001,
+    seed: int = 0,
+) -> List[float]:
+    """Per-process clock offsets (seconds) relative to an ideal reference.
+
+    Models the clock-synchronisation workload: each process's clock has
+    drifted by a random amount bounded by ``max_skew`` plus a deterministic
+    per-process drift.  Agreement on an approximate common offset lets the
+    processes resynchronise.  Used by the clock-synchronisation example.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    rng = random.Random(seed)
+    return [rng.uniform(-max_skew, max_skew) + pid * drift_per_process for pid in range(n)]

@@ -1,0 +1,55 @@
+"""Unit tests for the convergence analysis helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.convergence import compare_to_bound, predicted_rounds
+from repro.core.rounds import async_crash_bounds, witness_bounds
+from repro.sim.runner import run_protocol
+
+
+class TestCompareToBound:
+    def test_perfectly_matching_trajectory(self):
+        bounds = async_crash_bounds(4, 1)  # contraction 1/3
+        trajectory = [9.0, 3.0, 1.0]
+        comparison = compare_to_bound(bounds, trajectory)
+        assert comparison.theoretical_contraction == pytest.approx(1.0 / 3.0)
+        assert comparison.measured_worst_contraction == pytest.approx(1.0 / 3.0)
+        assert comparison.bound_respected
+
+    def test_violating_trajectory_detected(self):
+        bounds = async_crash_bounds(4, 1)
+        comparison = compare_to_bound(bounds, [1.0, 0.9])
+        assert not comparison.bound_respected
+
+    def test_empty_trajectory_is_trivially_respected(self):
+        bounds = witness_bounds(4, 1)
+        comparison = compare_to_bound(bounds, [])
+        assert comparison.bound_respected
+        assert comparison.measured_worst_contraction is None
+        assert comparison.speedup_over_bound is None
+
+    def test_speedup_over_bound(self):
+        bounds = witness_bounds(4, 1)  # contraction 1/2
+        comparison = compare_to_bound(bounds, [8.0, 2.0, 0.5])  # contraction 1/4
+        assert comparison.speedup_over_bound == pytest.approx(2.0)
+
+    def test_as_dict_round_trips_fields(self):
+        bounds = async_crash_bounds(7, 2)
+        comparison = compare_to_bound(bounds, [1.0, 0.2])
+        data = comparison.as_dict()
+        assert data["algorithm"] == "async-crash"
+        assert data["n"] == 7 and data["t"] == 2
+
+    def test_real_execution_respects_bound(self):
+        result = run_protocol("async-crash", [0.0, 0.25, 0.7, 1.0], t=1, epsilon=0.01)
+        comparison = compare_to_bound(async_crash_bounds(4, 1), result.trajectory)
+        assert comparison.bound_respected
+
+
+class TestPredictedRounds:
+    def test_matches_rounds_to_epsilon(self):
+        bounds = witness_bounds(4, 1)
+        assert predicted_rounds(bounds, 8.0, 1.0) == 3
+        assert predicted_rounds(bounds, 0.5, 1.0) == 0

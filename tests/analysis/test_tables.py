@@ -1,0 +1,48 @@
+"""Unit tests for the plain-text table renderer."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_cell, render_records, render_table
+from repro.sim.experiments import ExperimentRecord
+
+
+class TestFormatCell:
+    def test_booleans(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_floats(self):
+        assert format_cell(0.5) == "0.5"
+        assert format_cell(123456.0) == "1.235e+05"
+        assert format_cell(0.00001) == "1.000e-05"
+        assert format_cell(0.0) == "0"
+        assert format_cell(float("nan")) == "-"
+
+    def test_none_and_strings(self):
+        assert format_cell(None) == "-"
+        assert format_cell("abc") == "abc"
+        assert format_cell(7) == "7"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(["name", "value"], [["a", 1], ["bb", 22]], title="Demo")
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+        # All rows aligned to the same width.
+        assert len(lines[3]) == len(lines[4]) or abs(len(lines[3]) - len(lines[4])) <= 1
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+    def test_render_records(self):
+        records = [
+            ExperimentRecord(experiment="E", params={"n": 4}, measured={"rounds": 3}),
+            ExperimentRecord(experiment="E", params={"n": 7}, measured={"rounds": 4}),
+        ]
+        text = render_records(records, ["n", "rounds", "ok"], title="t")
+        assert "4" in text and "7" in text and "yes" in text

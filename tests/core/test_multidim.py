@@ -1,0 +1,118 @@
+"""Unit tests for the multidimensional correctness conditions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.multidim import (
+    check_box_validity,
+    check_l2_agreement,
+    check_linf_agreement,
+    l2_distance,
+    linf_distance,
+    validate_vector_outputs,
+)
+
+
+class TestDistances:
+    def test_linf_distance(self):
+        assert linf_distance((0.0, 0.0), (3.0, 4.0)) == 4.0
+        assert linf_distance((1.0,), (1.0,)) == 0.0
+
+    def test_l2_distance(self):
+        assert l2_distance((0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            linf_distance((0.0,), (1.0, 2.0))
+        with pytest.raises(ValueError):
+            l2_distance((0.0,), (1.0, 2.0))
+
+    def test_empty_vectors(self):
+        assert linf_distance((), ()) == 0.0
+        assert l2_distance((), ()) == 0.0
+
+
+class TestAgreementChecks:
+    def test_linf_agreement_accepts_close_vectors(self):
+        assert check_linf_agreement([(0.0, 0.0), (0.05, -0.05)], 0.05)
+
+    def test_linf_agreement_rejects_far_vectors(self):
+        assert not check_linf_agreement([(0.0, 0.0), (0.2, 0.0)], 0.1)
+
+    def test_l2_agreement(self):
+        assert check_l2_agreement([(0.0, 0.0), (0.06, 0.08)], 0.1)
+        assert not check_l2_agreement([(0.0, 0.0), (0.3, 0.4)], 0.1)
+
+    def test_single_or_no_vector_trivially_agrees(self):
+        assert check_linf_agreement([(1.0, 2.0)], 0.001)
+        assert check_linf_agreement([], 0.001)
+
+
+class TestBoxValidity:
+    def test_inside_box_accepted(self):
+        references = [(0.0, 0.0), (1.0, 2.0)]
+        assert check_box_validity([(0.5, 1.0)], references)
+
+    def test_outside_box_rejected(self):
+        references = [(0.0, 0.0), (1.0, 2.0)]
+        assert not check_box_validity([(0.5, 2.5)], references)
+        assert not check_box_validity([(-0.5, 1.0)], references)
+
+    def test_corner_points_accepted(self):
+        references = [(0.0, 0.0), (1.0, 2.0)]
+        assert check_box_validity([(0.0, 2.0), (1.0, 0.0)], references)
+
+    def test_dimension_mismatch_fails(self):
+        assert not check_box_validity([(0.5,)], [(0.0, 0.0), (1.0, 1.0)])
+
+    def test_empty_references_rejected(self):
+        with pytest.raises(ValueError):
+            check_box_validity([(0.0,)], [])
+
+    def test_inconsistent_reference_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            check_box_validity([(0.0, 0.0)], [(0.0, 0.0), (1.0,)])
+
+
+class TestValidateVectorOutputs:
+    def test_correct_execution(self):
+        report = validate_vector_outputs(
+            {0: (0.4, 0.5), 1: (0.42, 0.51)},
+            reference_inputs=[(0.0, 0.0), (1.0, 1.0)],
+            epsilon=0.05,
+            expected_pids=[0, 1],
+        )
+        assert report.ok
+        assert report.max_linf_distance <= 0.05
+        assert "OK" in report.summary()
+
+    def test_missing_output_detected(self):
+        report = validate_vector_outputs(
+            {0: (0.4, 0.5), 1: None},
+            reference_inputs=[(0.0, 0.0), (1.0, 1.0)],
+            epsilon=0.05,
+            expected_pids=[0, 1],
+        )
+        assert not report.ok
+        assert not report.all_decided
+
+    def test_agreement_violation_detected(self):
+        report = validate_vector_outputs(
+            {0: (0.0, 0.0), 1: (0.5, 0.0)},
+            reference_inputs=[(0.0, 0.0), (1.0, 1.0)],
+            epsilon=0.05,
+            expected_pids=[0, 1],
+        )
+        assert not report.ok
+        assert not report.linf_agreement
+
+    def test_validity_violation_detected(self):
+        report = validate_vector_outputs(
+            {0: (1.5, 0.5)},
+            reference_inputs=[(0.0, 0.0), (1.0, 1.0)],
+            epsilon=0.05,
+            expected_pids=[0],
+        )
+        assert not report.ok
+        assert not report.box_validity

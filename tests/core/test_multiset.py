@@ -1,0 +1,229 @@
+"""Unit tests for the sorted-multiset approximation machinery."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.multiset import (
+    approximate,
+    common_submultiset_size,
+    contraction_denominator,
+    convergence_bound_holds,
+    in_range_of,
+    mean,
+    midpoint,
+    midpoint_of_reduced,
+    reduce_clips_to_good_range,
+    reduce_multiset,
+    select_multiset,
+    spread,
+    symmetric_difference_size,
+)
+
+
+class TestSpread:
+    def test_spread_of_ordinary_multiset(self):
+        assert spread([3.0, 1.0, 2.0]) == 2.0
+
+    def test_spread_of_singleton_is_zero(self):
+        assert spread([7.0]) == 0.0
+
+    def test_spread_of_empty_is_zero(self):
+        assert spread([]) == 0.0
+
+    def test_spread_with_duplicates(self):
+        assert spread([5.0, 5.0, 5.0]) == 0.0
+
+    def test_spread_with_negative_values(self):
+        assert spread([-3.0, 4.0]) == 7.0
+
+    def test_spread_accepts_any_iterable(self):
+        assert spread(x for x in (1.0, 4.0)) == 3.0
+
+
+class TestMidpointAndMean:
+    def test_midpoint_of_range(self):
+        assert midpoint([0.0, 10.0, 4.0]) == 5.0
+
+    def test_midpoint_of_singleton(self):
+        assert midpoint([3.5]) == 3.5
+
+    def test_midpoint_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            midpoint([])
+
+    def test_mean_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_mean_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_mean_uses_accurate_summation(self):
+        # fsum keeps the mean exact even for ill-conditioned sums.
+        values = [1e16, 1.0, -1e16]
+        assert mean(values) == pytest.approx(1.0 / 3.0)
+
+
+class TestReduce:
+    def test_reduce_removes_extremes(self):
+        assert reduce_multiset([5, 1, 9, 3, 7], 1) == [3, 5, 7]
+
+    def test_reduce_zero_is_sorted_identity(self):
+        assert reduce_multiset([3, 1, 2], 0) == [1, 2, 3]
+
+    def test_reduce_two_sides(self):
+        assert reduce_multiset(list(range(10)), 3) == [3, 4, 5, 6]
+
+    def test_reduce_requires_enough_elements(self):
+        with pytest.raises(ValueError):
+            reduce_multiset([1, 2, 3, 4], 2)
+
+    def test_reduce_rejects_negative_j(self):
+        with pytest.raises(ValueError):
+            reduce_multiset([1, 2, 3], -1)
+
+    def test_reduce_keeps_duplicates(self):
+        assert reduce_multiset([1, 1, 1, 5, 9, 9, 9], 2) == [1, 5, 9]
+
+
+class TestSelect:
+    def test_select_every_third(self):
+        assert select_multiset([1, 2, 3, 4, 5, 6, 7], 3) == [1, 4, 7]
+
+    def test_select_stride_one_is_identity(self):
+        assert select_multiset([3, 1, 2], 1) == [1, 2, 3]
+
+    def test_select_large_stride_keeps_minimum(self):
+        assert select_multiset([4.0, 2.0, 9.0], 10) == [2.0]
+
+    def test_select_count_matches_formula(self):
+        values = list(range(17))
+        for k in range(1, 6):
+            assert len(select_multiset(values, k)) == (len(values) - 1) // k + 1
+
+    def test_select_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            select_multiset([1.0], 0)
+
+    def test_select_rejects_empty(self):
+        with pytest.raises(ValueError):
+            select_multiset([], 2)
+
+
+class TestApproximate:
+    def test_approximate_is_mean_of_selected_reduced(self):
+        values = [0.0, 1.0, 2.0, 3.0, 100.0]
+        # reduce^1 -> [1, 2, 3]; select_2 -> [1, 3]; mean -> 2
+        assert approximate(values, 1, 2) == pytest.approx(2.0)
+
+    def test_approximate_in_range_of_inputs(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0]
+        result = approximate(values, 1, 2)
+        assert min(values) <= result <= max(values)
+
+    def test_midpoint_of_reduced(self):
+        values = [0.0, 2.0, 4.0, 6.0, 100.0]
+        # reduce^1 -> [2, 4, 6]; midpoint -> 4
+        assert midpoint_of_reduced(values, 1) == pytest.approx(4.0)
+
+
+class TestContractionDenominator:
+    def test_known_values(self):
+        assert contraction_denominator(m=10, j=0, k=3) == 4
+        assert contraction_denominator(m=5, j=1, k=2) == 2
+        assert contraction_denominator(m=4, j=0, k=1) == 4
+
+    def test_reduction_consuming_everything_raises(self):
+        with pytest.raises(ValueError):
+            contraction_denominator(m=4, j=2, k=1)
+
+    def test_bad_stride_raises(self):
+        with pytest.raises(ValueError):
+            contraction_denominator(m=4, j=0, k=0)
+
+    def test_async_crash_n_equals_3t_plus_1_gives_three(self):
+        # n = 3t + 1, m = n - t = 2t + 1, j = 0, k = t -> c = 3
+        for t in range(1, 6):
+            assert contraction_denominator(m=2 * t + 1, j=0, k=t) == 3
+
+    def test_async_byzantine_n_equals_5t_plus_1_gives_two(self):
+        # n = 5t + 1, m = n - t = 4t + 1, j = t, k = 2t -> c = 2
+        for t in range(1, 6):
+            assert contraction_denominator(m=4 * t + 1, j=t, k=2 * t) == 2
+
+
+class TestMultisetComparison:
+    def test_common_submultiset_size(self):
+        assert common_submultiset_size([1, 1, 2, 3], [1, 2, 2, 4]) == 2
+
+    def test_common_submultiset_identical(self):
+        assert common_submultiset_size([1, 2, 3], [3, 2, 1]) == 3
+
+    def test_common_submultiset_disjoint(self):
+        assert common_submultiset_size([1, 2], [3, 4]) == 0
+
+    def test_symmetric_difference_size(self):
+        assert symmetric_difference_size([1, 1, 2], [1, 2, 3]) == 2
+
+    def test_in_range_of(self):
+        assert in_range_of(0.5, [0.0, 1.0])
+        assert not in_range_of(1.5, [0.0, 1.0])
+        assert in_range_of(1.05, [0.0, 1.0], tolerance=0.1)
+        assert not in_range_of(1.0, [])
+
+
+class TestValidityLemma:
+    def test_bad_values_are_clipped(self):
+        good = [1.0, 2.0, 3.0]
+        all_values = good + [1000.0]
+        assert reduce_clips_to_good_range(all_values, good, j=1)
+
+    def test_bad_values_on_both_sides(self):
+        good = [5.0, 6.0, 7.0, 8.0]
+        all_values = good + [-100.0, 500.0]
+        assert reduce_clips_to_good_range(all_values, good, j=2)
+
+    def test_premise_violation_raises(self):
+        good = [1.0, 2.0]
+        all_values = good + [10.0, 20.0]
+        with pytest.raises(ValueError):
+            reduce_clips_to_good_range(all_values, good, j=1)
+
+    def test_empty_good_raises(self):
+        with pytest.raises(ValueError):
+            reduce_clips_to_good_range([1.0], [], j=1)
+
+
+class TestConvergenceLemma:
+    def test_holds_on_simple_instance(self):
+        u = [0.0, 1.0, 2.0, 3.0, 4.0]
+        v = [0.0, 1.0, 2.0, 3.0, 9.0]
+        assert convergence_bound_holds(u, v, j=0, k=1)
+
+    def test_holds_with_reduction(self):
+        u = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        v = [0.0, 1.0, 2.0, 3.0, 4.0, 50.0, 60.0]
+        assert convergence_bound_holds(u, v, j=2, k=2)
+
+    def test_unequal_sizes_raise(self):
+        with pytest.raises(ValueError):
+            convergence_bound_holds([1.0, 2.0], [1.0, 2.0, 3.0], j=0, k=1)
+
+    def test_too_much_divergence_raises(self):
+        u = [0.0, 1.0, 2.0]
+        v = [5.0, 6.0, 7.0]
+        with pytest.raises(ValueError):
+            convergence_bound_holds(u, v, j=0, k=1)
+
+
+class TestDoctests:
+    def test_module_doctests_pass(self):
+        import doctest
+
+        import repro.core.multiset as module
+
+        failures, _ = doctest.testmod(module)
+        assert failures == 0

@@ -1,0 +1,150 @@
+"""Unit tests for problem specifications and output validation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.problem import (
+    ProblemInstance,
+    check_epsilon_agreement,
+    check_validity,
+    validate_outputs,
+)
+
+
+class TestProblemInstance:
+    def test_basic_construction(self):
+        problem = ProblemInstance(n=4, t=1, epsilon=0.1, inputs=[0.0, 0.5, 0.7, 1.0])
+        assert problem.honest == [0, 1, 2, 3]
+        assert problem.honest_spread == 1.0
+
+    def test_faulty_processes_excluded_from_honest(self):
+        problem = ProblemInstance(
+            n=4, t=1, epsilon=0.1, inputs=[0.0, 0.5, 0.7, 100.0], faulty=[3]
+        )
+        assert problem.honest == [0, 1, 2]
+        assert problem.honest_inputs == [0.0, 0.5, 0.7]
+        assert problem.honest_spread == pytest.approx(0.7)
+
+    def test_crash_faulty_inputs_remain_in_validity_reference(self):
+        # A crash-faulty process's input is legitimate: it stays in the
+        # validity reference even though the process is faulty.
+        problem = ProblemInstance(
+            n=4, t=1, epsilon=0.1, inputs=[0.0, 0.5, 0.7, 100.0], faulty=[3]
+        )
+        assert problem.validity_inputs == [0.0, 0.5, 0.7, 100.0]
+
+    def test_byzantine_inputs_removed_from_validity_reference(self):
+        problem = ProblemInstance(
+            n=4, t=1, epsilon=0.1, inputs=[0.0, 0.5, 0.7, 100.0], faulty=[3], byzantine=[3]
+        )
+        assert problem.validity_inputs == [0.0, 0.5, 0.7]
+
+    def test_byzantine_must_be_subset_of_faulty(self):
+        with pytest.raises(ValueError):
+            ProblemInstance(
+                n=4, t=1, epsilon=0.1, inputs=[0.0] * 4, faulty=[1], byzantine=[2]
+            )
+
+    def test_wrong_input_count_rejected(self):
+        with pytest.raises(ValueError):
+            ProblemInstance(n=3, t=1, epsilon=0.1, inputs=[0.0, 1.0])
+
+    def test_too_many_faulty_rejected(self):
+        with pytest.raises(ValueError):
+            ProblemInstance(n=4, t=1, epsilon=0.1, inputs=[0.0] * 4, faulty=[1, 2])
+
+    def test_faulty_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ProblemInstance(n=4, t=1, epsilon=0.1, inputs=[0.0] * 4, faulty=[7])
+
+    def test_non_positive_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            ProblemInstance(n=4, t=1, epsilon=0.0, inputs=[0.0] * 4)
+
+    def test_negative_t_rejected(self):
+        with pytest.raises(ValueError):
+            ProblemInstance(n=4, t=-1, epsilon=0.1, inputs=[0.0] * 4)
+
+
+class TestEpsilonAgreement:
+    def test_tight_agreement_accepted(self):
+        assert check_epsilon_agreement([0.0, 0.1], 0.1)
+
+    def test_violation_rejected(self):
+        assert not check_epsilon_agreement([0.0, 0.2], 0.1)
+
+    def test_single_output_trivially_agrees(self):
+        assert check_epsilon_agreement([42.0], 0.001)
+        assert check_epsilon_agreement([], 0.001)
+
+    def test_many_outputs(self):
+        assert check_epsilon_agreement([0.0, 0.05, 0.02, 0.1], 0.1)
+        assert not check_epsilon_agreement([0.0, 0.05, 0.02, 0.11], 0.1)
+
+
+class TestValidity:
+    def test_outputs_inside_range_accepted(self):
+        assert check_validity([0.3, 0.7], [0.0, 1.0])
+
+    def test_output_outside_range_rejected(self):
+        assert not check_validity([1.2], [0.0, 1.0])
+        assert not check_validity([-0.2], [0.0, 1.0])
+
+    def test_boundary_outputs_accepted(self):
+        assert check_validity([0.0, 1.0], [0.0, 1.0])
+
+    def test_singleton_input_range(self):
+        assert check_validity([5.0], [5.0])
+        assert not check_validity([5.1], [5.0])
+
+    def test_empty_honest_inputs_raise(self):
+        with pytest.raises(ValueError):
+            check_validity([0.0], [])
+
+
+class TestValidateOutputs:
+    def _problem(self):
+        return ProblemInstance(
+            n=4, t=1, epsilon=0.1, inputs=[0.0, 0.4, 0.6, 1.0], faulty=[3], byzantine=[3]
+        )
+
+    def test_correct_execution(self):
+        report = validate_outputs(self._problem(), {0: 0.5, 1: 0.45, 2: 0.52})
+        assert report.ok
+        assert report.all_decided
+        assert report.epsilon_agreement
+        assert report.validity
+        assert report.violations == []
+        assert "OK" in report.summary()
+
+    def test_missing_output_detected(self):
+        report = validate_outputs(self._problem(), {0: 0.5, 1: 0.45, 2: None})
+        assert not report.ok
+        assert not report.all_decided
+        assert any("without output" in v for v in report.violations)
+
+    def test_agreement_violation_detected(self):
+        report = validate_outputs(self._problem(), {0: 0.0, 1: 0.3, 2: 0.6})
+        assert not report.ok
+        assert not report.epsilon_agreement
+        assert report.output_spread == pytest.approx(0.6)
+
+    def test_validity_violation_detected(self):
+        report = validate_outputs(self._problem(), {0: 0.9, 1: 0.95, 2: 0.91})
+        # 0.95 > 0.6 (honest max) -> validity violated even though agreement holds.
+        assert not report.ok
+        assert report.epsilon_agreement
+        assert not report.validity
+
+    def test_faulty_process_outputs_ignored(self):
+        # Output of the faulty process 3 (even a wild one) must not matter.
+        report = validate_outputs(self._problem(), {0: 0.5, 1: 0.45, 2: 0.52, 3: 1e9})
+        assert report.ok
+
+    def test_output_spread_nan_when_nobody_decided(self):
+        report = validate_outputs(self._problem(), {})
+        assert not report.ok
+        assert math.isnan(report.output_spread)

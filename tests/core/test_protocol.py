@@ -1,0 +1,163 @@
+"""Unit tests for the protocol skeletons and their configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.async_crash import AsyncCrashProcess, make_async_crash_processes
+from repro.core.async_byzantine import AsyncByzantineProcess, make_async_byzantine_processes
+from repro.core.protocol import ProtocolConfig, ResilienceError
+from repro.core.sync_protocols import make_sync_byzantine_processes, make_sync_crash_processes
+from repro.core.termination import FixedRounds
+from repro.core.witness import WitnessProcess, make_witness_processes
+from repro.core.termination import SpreadEstimateRounds
+from repro.net.message import Message
+from repro.net.network import SimulatedNetwork
+
+
+class TestProtocolConfig:
+    def test_valid_config(self):
+        config = ProtocolConfig(n=4, t=1, epsilon=0.1)
+        assert config.n == 4
+        assert config.round_policy is not None
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(n=0, t=0, epsilon=0.1)
+
+    def test_invalid_t(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(n=4, t=4, epsilon=0.1)
+        with pytest.raises(ValueError):
+            ProtocolConfig(n=4, t=-1, epsilon=0.1)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(n=4, t=1, epsilon=0.0)
+
+
+class TestResilienceChecks:
+    def test_async_crash_rejects_half_faults(self):
+        config = ProtocolConfig(n=4, t=2, epsilon=0.1)
+        with pytest.raises(ResilienceError):
+            AsyncCrashProcess(0.0, config)
+
+    def test_async_crash_accepts_minority_faults(self):
+        config = ProtocolConfig(n=5, t=2, epsilon=0.1)
+        AsyncCrashProcess(0.0, config)  # must not raise
+
+    def test_async_byzantine_rejects_one_quarter_faults(self):
+        config = ProtocolConfig(n=8, t=2, epsilon=0.1)
+        with pytest.raises(ResilienceError):
+            AsyncByzantineProcess(0.0, config)
+
+    def test_async_byzantine_accepts_one_fifth(self):
+        config = ProtocolConfig(n=6, t=1, epsilon=0.1)
+        AsyncByzantineProcess(0.0, config)
+
+    def test_witness_rejects_one_third(self):
+        config = ProtocolConfig(n=6, t=2, epsilon=0.1)
+        with pytest.raises(ResilienceError):
+            WitnessProcess(0.0, config)
+
+    def test_witness_accepts_below_one_third(self):
+        config = ProtocolConfig(n=7, t=2, epsilon=0.1)
+        WitnessProcess(0.0, config)
+
+    def test_strict_false_skips_the_check(self):
+        config = ProtocolConfig(n=4, t=2, epsilon=0.1, strict=False)
+        AsyncCrashProcess(0.0, config)  # must not raise
+
+    def test_witness_rejects_non_uniform_policy(self):
+        config = ProtocolConfig(
+            n=7, t=2, epsilon=0.1, round_policy=SpreadEstimateRounds()
+        )
+        with pytest.raises(ValueError):
+            WitnessProcess(0.0, config)
+
+
+class TestFactories:
+    def test_async_crash_factory_builds_n_processes(self):
+        processes = make_async_crash_processes([0.0, 0.5, 1.0, 0.2], t=1, epsilon=0.01)
+        assert len(processes) == 4
+        assert all(isinstance(p, AsyncCrashProcess) for p in processes)
+        assert [p.input_value for p in processes] == [0.0, 0.5, 1.0, 0.2]
+
+    def test_default_policy_covers_actual_spread(self):
+        processes = make_async_crash_processes([0.0, 8.0, 4.0], t=1, epsilon=1.0)
+        policy = processes[0].config.round_policy
+        bounds = processes[0].algorithm_bounds()
+        rounds = policy.required_rounds(bounds.contraction, 1.0)
+        assert bounds.contraction**rounds * 8.0 <= 1.0 + 1e-9
+
+    def test_all_factories_share_one_config(self):
+        for factory in (
+            make_async_crash_processes,
+            make_async_byzantine_processes,
+            make_witness_processes,
+            make_sync_crash_processes,
+            make_sync_byzantine_processes,
+        ):
+            inputs = [float(i) for i in range(7)]
+            processes = factory(inputs, t=1, epsilon=0.5)
+            configs = {id(p.config) for p in processes}
+            assert len(configs) == 1
+
+
+class TestZeroRoundDecisions:
+    def test_fixed_zero_rounds_outputs_input(self):
+        processes = make_async_crash_processes(
+            [0.1, 0.2, 0.3, 0.4], t=1, epsilon=0.5, round_policy=FixedRounds(0)
+        )
+        network = SimulatedNetwork(processes)
+        network.start()
+        network.run()
+        assert [p.output_value for p in processes] == [0.1, 0.2, 0.3, 0.4]
+
+    def test_equal_inputs_need_zero_rounds_by_default(self):
+        processes = make_async_crash_processes([0.5, 0.5, 0.5, 0.5], t=1, epsilon=0.01)
+        assert processes[0].total_rounds is None  # not yet started
+        network = SimulatedNetwork(processes)
+        network.start()
+        network.run()
+        assert all(p.output_value == 0.5 for p in processes)
+
+
+class TestMessageHandlingRobustness:
+    def _started_process(self):
+        config = ProtocolConfig(n=4, t=1, epsilon=0.1, round_policy=FixedRounds(3))
+        process = AsyncCrashProcess(0.5, config).bind(0)
+        return process
+
+    def test_ignores_malformed_value_payloads(self):
+        process = self._started_process()
+        network = SimulatedNetwork([process] + [AsyncCrashProcess(0.5, process.config) for _ in range(3)])
+        network.start()
+        ctx = network.context_for(0)
+        # Non-numeric payloads and missing rounds must be ignored, not crash.
+        process.on_message(ctx, 1, Message(kind="VALUE", round=1, value="garbage"))
+        process.on_message(ctx, 1, Message(kind="VALUE", round=None, value=0.3))
+        process.on_message(ctx, 1, Message(kind="UNKNOWN", round=1, value=0.3))
+        assert not process.decided
+
+    def test_duplicate_round_values_from_same_sender_count_once(self):
+        process = self._started_process()
+        network = SimulatedNetwork(
+            [process] + [AsyncCrashProcess(0.5, process.config) for _ in range(3)]
+        )
+        network.start()
+        ctx = network.context_for(0)
+        for _ in range(10):
+            process.on_message(ctx, 1, Message(kind="VALUE", round=1, value=0.9))
+        # Quorum is 3: one sender repeating ten times must not fill it.
+        assert process.current_round == 1
+        assert not process.decided
+
+    def test_value_history_records_initial_value(self):
+        process = self._started_process()
+        assert process.value_history == [0.5]
+        assert process.rounds_completed == 0
+
+    def test_describe_mentions_pid(self):
+        process = self._started_process()
+        assert "pid=0" in process.describe()

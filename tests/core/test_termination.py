@@ -1,0 +1,96 @@
+"""Unit tests for round policies (termination rules)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rounds import rounds_to_epsilon
+from repro.core.termination import FixedRounds, KnownRangeRounds, SpreadEstimateRounds
+
+
+class TestFixedRounds:
+    def test_returns_configured_count(self):
+        policy = FixedRounds(7)
+        assert policy.required_rounds(0.5, 0.01) == 7
+        assert policy.required_rounds(0.9, 1.0, [0.0, 1.0]) == 7
+
+    def test_zero_rounds_allowed(self):
+        assert FixedRounds(0).required_rounds(0.5, 0.1) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedRounds(-1)
+
+    def test_is_uniform_and_does_not_echo(self):
+        policy = FixedRounds(3)
+        assert policy.uniform
+        assert not policy.echo_on_halt
+
+    def test_describe_mentions_count(self):
+        assert "5" in FixedRounds(5).describe()
+
+
+class TestKnownRangeRounds:
+    def test_matches_rounds_to_epsilon(self):
+        policy = KnownRangeRounds(0.0, 8.0)
+        assert policy.required_rounds(0.5, 1.0) == rounds_to_epsilon(8.0, 1.0, 0.5)
+
+    def test_degenerate_range_needs_zero_rounds(self):
+        policy = KnownRangeRounds(3.0, 3.0)
+        assert policy.required_rounds(0.5, 0.1) == 0
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            KnownRangeRounds(1.0, 0.0)
+
+    def test_ignores_first_sample(self):
+        policy = KnownRangeRounds(0.0, 4.0)
+        with_sample = policy.required_rounds(0.5, 1.0, [0.0, 100.0])
+        without_sample = policy.required_rounds(0.5, 1.0)
+        assert with_sample == without_sample == 2
+
+    def test_is_uniform(self):
+        assert KnownRangeRounds(0.0, 1.0).uniform
+
+
+class TestSpreadEstimateRounds:
+    def test_requires_first_sample(self):
+        policy = SpreadEstimateRounds()
+        with pytest.raises(TypeError):
+            policy.required_rounds(0.5, 0.1)
+
+    def test_uses_sample_spread_with_slack(self):
+        policy = SpreadEstimateRounds(slack_factor=1.0, extra_rounds=0)
+        rounds = policy.required_rounds(0.5, 1.0, [0.0, 8.0])
+        assert rounds == 3
+
+    def test_extra_rounds_added(self):
+        base = SpreadEstimateRounds(slack_factor=1.0, extra_rounds=0)
+        padded = SpreadEstimateRounds(slack_factor=1.0, extra_rounds=2)
+        sample = [0.0, 8.0]
+        assert padded.required_rounds(0.5, 1.0, sample) == base.required_rounds(0.5, 1.0, sample) + 2
+
+    def test_slack_factor_increases_rounds(self):
+        tight = SpreadEstimateRounds(slack_factor=1.0, extra_rounds=0)
+        slack = SpreadEstimateRounds(slack_factor=4.0, extra_rounds=0)
+        sample = [0.0, 1.0]
+        assert slack.required_rounds(0.5, 0.1, sample) >= tight.required_rounds(0.5, 0.1, sample)
+
+    def test_echoes_on_halt_and_not_uniform(self):
+        policy = SpreadEstimateRounds()
+        assert policy.echo_on_halt
+        assert not policy.uniform
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SpreadEstimateRounds(slack_factor=0.5)
+        with pytest.raises(ValueError):
+            SpreadEstimateRounds(extra_rounds=-1)
+
+
+class TestRoundsKnownUpfront:
+    def test_fixed_rounds_known_upfront(self):
+        assert FixedRounds(4).rounds_known_upfront() == 4
+
+    def test_known_range_known_upfront(self):
+        assert KnownRangeRounds(0.0, 2.0).rounds_known_upfront() == 1

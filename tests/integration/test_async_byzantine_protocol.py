@@ -1,0 +1,165 @@
+"""Integration tests: asynchronous Byzantine-tolerant approximate agreement (t < n/5).
+
+Every test runs the full protocol over the simulated network with Byzantine
+processes following one of the adversarial strategies and checks ε-agreement
+and validity of the honest outputs.  The Byzantine inputs play no role in the
+correctness conditions; in particular, validity is checked against the honest
+inputs only, which is exactly what the ``reduce^t`` step must enforce.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rounds import async_byzantine_bounds, max_faults_async_byzantine
+from repro.net.adversary import (
+    AntiConvergenceStrategy,
+    ByzantineFaultPlan,
+    ComposedFaultPlan,
+    CrashFaultPlan,
+    CrashPoint,
+    EquivocatingStrategy,
+    FixedValueStrategy,
+    HonestWithCorruptedInput,
+    PartitionDelay,
+    RandomValueStrategy,
+    RoundEchoByzantine,
+    SilentProcess,
+)
+from repro.net.network import UniformRandomDelay
+from repro.sim.runner import run_protocol
+from repro.sim.workloads import linear_inputs, two_cluster_inputs, uniform_inputs
+
+from tests.conftest import assert_execution_ok
+
+
+EPS = 0.01
+
+
+def byzantine_plan(faulty_ids, strategy_factory):
+    return ByzantineFaultPlan(
+        {pid: RoundEchoByzantine(strategy_factory()) for pid in faulty_ids}
+    )
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("n", [6, 8, 11, 16])
+    def test_no_faults_many_sizes(self, n):
+        t = max_faults_async_byzantine(n)
+        inputs = uniform_inputs(n, 0.0, 5.0, seed=n)
+        result = run_protocol(
+            "async-byzantine", inputs, t=t, epsilon=EPS,
+            delay_model=UniformRandomDelay(0.1, 2.0, seed=n),
+        )
+        assert_execution_ok(result, f"n={n}")
+
+
+class TestByzantineStrategies:
+    @pytest.mark.parametrize(
+        "strategy_factory",
+        [
+            lambda: FixedValueStrategy(1e9),
+            lambda: FixedValueStrategy(-1e9),
+            lambda: EquivocatingStrategy(-100.0, 100.0),
+            lambda: RandomValueStrategy(-50.0, 50.0, seed=5),
+            lambda: AntiConvergenceStrategy(stretch=0.0),
+            lambda: AntiConvergenceStrategy(stretch=10.0),
+        ],
+        ids=["huge", "negative-huge", "equivocate", "random", "anti-convergence", "stretch"],
+    )
+    def test_single_byzantine_under_each_strategy(self, strategy_factory):
+        n, t = 6, 1
+        inputs = linear_inputs(n, 0.0, 1.0)
+        plan = byzantine_plan([n - 1], strategy_factory)
+        result = run_protocol(
+            "async-byzantine", inputs, t=t, epsilon=EPS, fault_plan=plan,
+            delay_model=UniformRandomDelay(0.2, 2.5, seed=17),
+        )
+        assert_execution_ok(result, "strategy run")
+
+    def test_two_byzantine_processes(self):
+        n, t = 11, 2
+        inputs = linear_inputs(n, -2.0, 2.0)
+        plan = ByzantineFaultPlan(
+            {
+                9: RoundEchoByzantine(EquivocatingStrategy(-1e6, 1e6)),
+                10: RoundEchoByzantine(AntiConvergenceStrategy(stretch=5.0)),
+            }
+        )
+        result = run_protocol(
+            "async-byzantine", inputs, t=t, epsilon=EPS, fault_plan=plan,
+            delay_model=UniformRandomDelay(0.1, 3.0, seed=23),
+        )
+        assert_execution_ok(result, "two byzantine")
+
+    def test_silent_byzantine_is_tolerated(self):
+        n, t = 6, 1
+        inputs = linear_inputs(n, 0.0, 1.0)
+        plan = ByzantineFaultPlan({2: SilentProcess()})
+        result = run_protocol("async-byzantine", inputs, t=t, epsilon=EPS, fault_plan=plan)
+        assert_execution_ok(result, "silent byzantine")
+
+    def test_protocol_compliant_byzantine_with_forged_input(self):
+        from repro.core.async_byzantine import AsyncByzantineProcess
+        from repro.core.protocol import ProtocolConfig
+        from repro.core.termination import FixedRounds
+
+        n, t = 6, 1
+        inputs = [0.4, 0.45, 0.5, 0.55, 0.6, 0.5]
+        rounds = async_byzantine_bounds(n, t).rounds_for(0.2, EPS)
+        config = ProtocolConfig(n=n, t=t, epsilon=EPS, round_policy=FixedRounds(rounds))
+        plan = ByzantineFaultPlan(
+            {5: HonestWithCorruptedInput(lambda: AsyncByzantineProcess(1e12, config))}
+        )
+        result = run_protocol(
+            "async-byzantine", inputs, t=t, epsilon=EPS, fault_plan=plan,
+            round_policy=FixedRounds(rounds),
+        )
+        assert_execution_ok(result, "forged input")
+        # Validity against honest inputs only: every output must stay in [0.4, 0.6].
+        for output in result.report.outputs.values():
+            assert 0.4 - 1e-9 <= output <= 0.6 + 1e-9
+
+
+class TestByzantinePlusAdversarialSchedule:
+    def test_equivocation_with_partition(self):
+        n, t = 11, 2
+        inputs = two_cluster_inputs(n, 0.0, 1.0, jitter=0.0)
+        camp_a = set(range((n + 1) // 2))
+        plan = byzantine_plan([0, 5], lambda: EquivocatingStrategy(-10.0, 10.0))
+        result = run_protocol(
+            "async-byzantine", inputs, t=t, epsilon=EPS, fault_plan=plan,
+            delay_model=PartitionDelay(camp_a, fast=1.0, slow=30.0),
+        )
+        assert_execution_ok(result, "equivocation + partition")
+
+    def test_byzantine_and_crash_mix_within_threshold(self):
+        n, t = 11, 2
+        inputs = linear_inputs(n, 0.0, 4.0)
+        plan = ComposedFaultPlan(
+            [
+                CrashFaultPlan({3: CrashPoint.mid_multicast(2, n, 4)}),
+                ByzantineFaultPlan({7: RoundEchoByzantine(FixedValueStrategy(1e7))}),
+            ]
+        )
+        result = run_protocol(
+            "async-byzantine", inputs, t=t, epsilon=EPS, fault_plan=plan,
+            delay_model=UniformRandomDelay(0.2, 2.0, seed=31),
+        )
+        assert_execution_ok(result, "crash + byzantine mix")
+
+
+class TestConvergenceBound:
+    def test_contraction_bound_respected_with_byzantine_faults(self):
+        n, t = 6, 1
+        inputs = [0.0, 0.0, 0.5, 1.0, 1.0, 0.5]
+        plan = byzantine_plan([5], lambda: AntiConvergenceStrategy())
+        result = run_protocol(
+            "async-byzantine", inputs, t=t, epsilon=EPS, fault_plan=plan,
+            delay_model=UniformRandomDelay(0.3, 2.0, seed=7),
+        )
+        assert_execution_ok(result)
+        bound = async_byzantine_bounds(n, t).contraction
+        for previous, current in zip(result.trajectory, result.trajectory[1:]):
+            if previous > 1e-12:
+                assert current <= previous * bound * (1 + 1e-9)

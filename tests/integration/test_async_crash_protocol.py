@@ -1,0 +1,193 @@
+"""Integration tests: asynchronous crash-tolerant approximate agreement.
+
+These tests run the full protocol over the simulated network under the crash
+fault model, with fault injection (including crashes in the middle of a
+multicast), adversarial scheduling, staggered starts and adaptive round
+policies, and check the two correctness conditions of the paper on every
+execution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rounds import async_crash_bounds, max_faults_async_crash
+from repro.core.termination import FixedRounds, KnownRangeRounds, SpreadEstimateRounds
+from repro.net.adversary import CrashFaultPlan, CrashPoint, LaggardDelay, PartitionDelay
+from repro.net.network import ExponentialRandomDelay, UniformRandomDelay
+from repro.sim.runner import run_protocol
+from repro.sim.workloads import extremes_inputs, linear_inputs, two_cluster_inputs, uniform_inputs
+
+from tests.conftest import assert_execution_ok
+
+
+EPS = 0.01
+
+
+class TestFaultFreeExecutions:
+    @pytest.mark.parametrize("n", [3, 4, 5, 7, 10, 13])
+    def test_random_inputs_random_delays(self, n):
+        t = max_faults_async_crash(n)
+        inputs = uniform_inputs(n, 0.0, 10.0, seed=n)
+        result = run_protocol(
+            "async-crash", inputs, t=t, epsilon=EPS,
+            delay_model=UniformRandomDelay(0.1, 3.0, seed=n),
+        )
+        assert_execution_ok(result, f"n={n}, t={t}")
+
+    def test_heavy_tailed_delays(self):
+        inputs = linear_inputs(7, -5.0, 5.0)
+        result = run_protocol(
+            "async-crash", inputs, t=3, epsilon=EPS,
+            delay_model=ExponentialRandomDelay(mean=2.0, seed=3),
+        )
+        assert_execution_ok(result)
+
+    def test_staggered_starts(self):
+        inputs = linear_inputs(5, 0.0, 1.0)
+        result = run_protocol(
+            "async-crash", inputs, t=2, epsilon=EPS, start_jitter=25.0,
+            delay_model=UniformRandomDelay(0.5, 1.5, seed=9),
+        )
+        assert_execution_ok(result)
+
+    def test_negative_and_large_inputs(self):
+        inputs = [-1e6, -250.0, 0.0, 3.5, 9e5]
+        result = run_protocol("async-crash", inputs, t=2, epsilon=1.0)
+        assert_execution_ok(result)
+
+    def test_identical_inputs_decide_immediately(self):
+        result = run_protocol("async-crash", [2.5] * 6, t=2, epsilon=EPS)
+        assert_execution_ok(result)
+        assert result.rounds_used == 0
+        assert all(v == 2.5 for v in result.report.outputs.values())
+
+
+class TestCrashFaults:
+    def test_initially_dead_processes(self):
+        n, t = 7, 3
+        inputs = linear_inputs(n, 0.0, 1.0)
+        plan = CrashFaultPlan({pid: CrashPoint(after_sends=0) for pid in (1, 3, 5)})
+        result = run_protocol("async-crash", inputs, t=t, epsilon=EPS, fault_plan=plan)
+        assert_execution_ok(result, "three initially-dead processes")
+
+    def test_crash_in_the_middle_of_a_multicast(self):
+        n, t = 4, 1
+        inputs = [0.0, 0.4, 0.6, 1.0]
+        # Process 3 crashes after delivering its round-2 value to only one peer.
+        plan = CrashFaultPlan({3: CrashPoint.mid_multicast(2, n, deliveries=1)})
+        result = run_protocol(
+            "async-crash", inputs, t=t, epsilon=EPS, fault_plan=plan,
+            delay_model=UniformRandomDelay(0.2, 2.0, seed=4),
+        )
+        assert_execution_ok(result, "mid-multicast crash")
+
+    def test_late_crash_after_several_rounds(self):
+        n, t = 5, 2
+        inputs = linear_inputs(n, 0.0, 8.0)
+        plan = CrashFaultPlan(
+            {0: CrashPoint.before_round(4, n), 4: CrashPoint.mid_multicast(3, n, 2)}
+        )
+        result = run_protocol("async-crash", inputs, t=t, epsilon=EPS, fault_plan=plan)
+        assert_execution_ok(result, "late crashes")
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_crash_patterns(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(4, 9)
+        t = max_faults_async_crash(n)
+        faulty = rng.sample(range(n), rng.randint(0, t))
+        plan = CrashFaultPlan(
+            {pid: CrashPoint(after_sends=rng.randint(0, 4 * n)) for pid in faulty}
+        )
+        inputs = uniform_inputs(n, -3.0, 3.0, seed=seed)
+        result = run_protocol(
+            "async-crash", inputs, t=t, epsilon=EPS, fault_plan=plan,
+            delay_model=UniformRandomDelay(0.1, 4.0, seed=seed),
+        )
+        assert_execution_ok(result, f"seed={seed} faulty={faulty}")
+
+
+class TestAdversarialScheduling:
+    def test_partitioned_network_with_clustered_inputs(self):
+        # Worst case: the camps' inputs are at opposite ends of the range and
+        # the cross-camp traffic is slow, so each camp mostly hears itself.
+        n, t = 6, 2
+        inputs = two_cluster_inputs(n, 0.0, 1.0, jitter=0.0)
+        camp_a = set(range((n + 1) // 2))
+        result = run_protocol(
+            "async-crash", inputs, t=t, epsilon=EPS,
+            delay_model=PartitionDelay(camp_a, fast=1.0, slow=40.0),
+        )
+        assert_execution_ok(result, "partition schedule")
+
+    def test_laggard_senders_excluded_from_quorums(self):
+        n, t = 7, 3
+        inputs = extremes_inputs(n, 0.0, 1.0)
+        result = run_protocol(
+            "async-crash", inputs, t=t, epsilon=EPS,
+            delay_model=LaggardDelay(slow_senders={0, 1, 2}, fast=1.0, slow=60.0),
+        )
+        assert_execution_ok(result, "laggard schedule")
+
+    def test_contraction_bound_respected_under_partition(self):
+        n, t = 4, 1
+        inputs = [0.0, 0.0, 1.0, 1.0]
+        result = run_protocol(
+            "async-crash", inputs, t=t, epsilon=EPS,
+            delay_model=PartitionDelay({0, 1}, fast=1.0, slow=30.0),
+        )
+        assert_execution_ok(result)
+        bound = async_crash_bounds(n, t).contraction
+        for previous, current in zip(result.trajectory, result.trajectory[1:]):
+            if previous > 1e-12:
+                assert current <= previous * bound * (1 + 1e-9)
+
+
+class TestRoundPolicies:
+    def test_known_range_policy(self):
+        inputs = uniform_inputs(6, 2.0, 4.0, seed=1)
+        result = run_protocol(
+            "async-crash", inputs, t=2, epsilon=EPS,
+            round_policy=KnownRangeRounds(2.0, 4.0),
+        )
+        assert_execution_ok(result, "known-range policy")
+
+    def test_spread_estimate_policy_with_crashes(self):
+        n, t = 7, 3
+        inputs = linear_inputs(n, 0.0, 4.0)
+        plan = CrashFaultPlan({6: CrashPoint(after_sends=0)})
+        result = run_protocol(
+            "async-crash", inputs, t=t, epsilon=EPS,
+            round_policy=SpreadEstimateRounds(),
+            fault_plan=plan,
+            delay_model=UniformRandomDelay(0.2, 2.5, seed=13),
+        )
+        assert_execution_ok(result, "spread-estimate policy")
+
+    def test_more_rounds_than_needed_is_harmless(self):
+        inputs = [0.0, 0.5, 1.0]
+        result = run_protocol(
+            "async-crash", inputs, t=1, epsilon=0.25, round_policy=FixedRounds(12)
+        )
+        assert_execution_ok(result)
+        assert result.rounds_used == 12
+
+
+class TestOutputsMatchTheory:
+    def test_rounds_match_predicted_count(self):
+        n, t = 4, 1
+        inputs = [0.0, 0.3, 0.7, 1.0]
+        bounds = async_crash_bounds(n, t)
+        predicted = bounds.rounds_for(1.0, EPS)
+        result = run_protocol("async-crash", inputs, t=t, epsilon=EPS)
+        assert result.rounds_used == predicted
+
+    def test_outputs_inside_every_rounds_range(self):
+        inputs = [1.0, 2.0, 3.0, 10.0]
+        result = run_protocol("async-crash", inputs, t=1, epsilon=0.1)
+        assert_execution_ok(result)
+        for output in result.report.outputs.values():
+            assert 1.0 <= output <= 10.0

@@ -1,0 +1,121 @@
+"""Integration tests: resilience thresholds of every algorithm family.
+
+The thresholds are part of the paper's statement: asynchronous crash-tolerant
+approximate agreement needs an honest majority, the direct asynchronous
+Byzantine algorithm needs ``n > 5t``, and the witness technique reaches the
+optimal ``n > 3t``.  These tests check (a) that the library enforces the
+thresholds, (b) that executions exactly *at* the threshold still satisfy the
+correctness conditions under adversarial conditions, and (c) that the ranking
+between the algorithm families is what the theory says.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import ProtocolConfig, ResilienceError
+from repro.core.rounds import (
+    async_byzantine_bounds,
+    async_crash_bounds,
+    max_faults_async_byzantine,
+    max_faults_async_crash,
+    max_faults_witness,
+)
+from repro.core.async_byzantine import AsyncByzantineProcess
+from repro.core.async_crash import AsyncCrashProcess
+from repro.core.witness import WitnessProcess
+from repro.net.adversary import (
+    AntiConvergenceStrategy,
+    ByzantineFaultPlan,
+    CrashFaultPlan,
+    CrashPoint,
+    PartitionDelay,
+    RoundEchoByzantine,
+)
+from repro.sim.runner import run_protocol
+from repro.sim.workloads import linear_inputs, two_cluster_inputs
+
+from tests.conftest import assert_execution_ok
+
+
+class TestThresholdEnforcement:
+    @pytest.mark.parametrize(
+        "n,t,process_cls,accepted",
+        [
+            (5, 2, AsyncCrashProcess, True),
+            (4, 2, AsyncCrashProcess, False),
+            (6, 1, AsyncByzantineProcess, True),
+            (5, 1, AsyncByzantineProcess, False),
+            (11, 2, AsyncByzantineProcess, True),
+            (10, 2, AsyncByzantineProcess, False),
+            (4, 1, WitnessProcess, True),
+            (3, 1, WitnessProcess, False),
+            (7, 2, WitnessProcess, True),
+            (6, 2, WitnessProcess, False),
+        ],
+    )
+    def test_constructor_enforces_threshold(self, n, t, process_cls, accepted):
+        config = ProtocolConfig(n=n, t=t, epsilon=0.1)
+        if accepted:
+            process_cls(0.0, config)
+        else:
+            with pytest.raises(ResilienceError):
+                process_cls(0.0, config)
+
+
+class TestExecutionsAtTheThreshold:
+    def test_async_crash_at_exact_threshold(self):
+        # n = 2t + 1 with all t processes initially dead and a partition.
+        n, t = 7, 3
+        assert t == max_faults_async_crash(n)
+        inputs = two_cluster_inputs(n, 0.0, 1.0, jitter=0.0)
+        plan = CrashFaultPlan({pid: CrashPoint(after_sends=0) for pid in (4, 5, 6)})
+        result = run_protocol(
+            "async-crash", inputs, t=t, epsilon=0.01, fault_plan=plan,
+            delay_model=PartitionDelay({0, 1}, fast=1.0, slow=40.0),
+        )
+        assert_execution_ok(result, "crash threshold n=2t+1")
+        # At the threshold the guaranteed contraction is exactly 1/2.
+        assert async_crash_bounds(n, t).contraction == pytest.approx(0.5)
+
+    def test_async_byzantine_at_exact_threshold(self):
+        n, t = 6, 1
+        assert t == max_faults_async_byzantine(n)
+        inputs = linear_inputs(n, 0.0, 1.0)
+        plan = ByzantineFaultPlan({5: RoundEchoByzantine(AntiConvergenceStrategy())})
+        result = run_protocol("async-byzantine", inputs, t=t, epsilon=0.01, fault_plan=plan)
+        assert_execution_ok(result, "byzantine threshold n=5t+1")
+        assert async_byzantine_bounds(n, t).contraction == pytest.approx(0.5)
+
+    def test_witness_at_exact_threshold(self):
+        n, t = 4, 1
+        assert t == max_faults_witness(n)
+        inputs = [0.0, 0.4, 0.6, 1.0]
+        plan = ByzantineFaultPlan({3: RoundEchoByzantine(AntiConvergenceStrategy())})
+        result = run_protocol("witness", inputs, t=t, epsilon=0.01, fault_plan=plan)
+        assert_execution_ok(result, "witness threshold n=3t+1")
+
+
+class TestFamilyRanking:
+    def test_witness_covers_configurations_direct_cannot(self):
+        # For every n in a realistic range the witness protocol tolerates at
+        # least as many faults, and strictly more for all n >= 6.
+        for n in range(4, 30):
+            assert max_faults_witness(n) >= max_faults_async_byzantine(n)
+        assert all(
+            max_faults_witness(n) > max_faults_async_byzantine(n) for n in range(7, 30)
+        )
+
+    def test_crash_model_tolerates_more_than_byzantine_model(self):
+        for n in range(3, 30):
+            assert max_faults_async_crash(n) >= max_faults_witness(n)
+
+    def test_configuration_only_witness_can_handle_actually_works(self):
+        # n = 7, t = 2: only the witness protocol (among the asynchronous
+        # Byzantine-tolerant ones) accepts this configuration and it works.
+        n, t = 7, 2
+        inputs = linear_inputs(n, 0.0, 1.0)
+        with pytest.raises(ResilienceError):
+            run_protocol("async-byzantine", inputs, t=t, epsilon=0.01)
+        result = run_protocol("witness", inputs, t=t, epsilon=0.01)
+        assert_execution_ok(result)

@@ -1,0 +1,81 @@
+"""Integration tests: the DES and asyncio runtimes drive the same protocols.
+
+With a constant delay model and no faults the protocols are deterministic, so
+the two runtimes must produce *identical* outputs; with random delays the
+outputs differ but both must satisfy the correctness conditions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.termination import FixedRounds
+from repro.net.adversary import ByzantineFaultPlan, CrashFaultPlan, CrashPoint, SilentProcess
+from repro.net.network import ConstantDelay, UniformRandomDelay
+from repro.sim.runner import run_protocol
+from repro.sim.workloads import linear_inputs
+
+from tests.conftest import assert_execution_ok
+
+
+class TestDeterministicEquivalence:
+    @pytest.mark.parametrize("protocol", ["async-crash", "async-byzantine", "witness"])
+    def test_constant_delays_produce_identical_outputs(self, protocol):
+        n = 6 if protocol == "async-byzantine" else 4
+        inputs = linear_inputs(n, 0.0, 1.0)
+        kwargs = dict(
+            t=1, epsilon=0.05, round_policy=FixedRounds(4), delay_model=ConstantDelay(1.0)
+        )
+        des = run_protocol(protocol, inputs, runtime="des", **kwargs)
+        aio = run_protocol(protocol, inputs, runtime="asyncio", **kwargs)
+        assert_execution_ok(des, f"{protocol} on DES")
+        assert_execution_ok(aio, f"{protocol} on asyncio")
+        assert des.outputs.keys() == aio.outputs.keys()
+        for pid in des.outputs:
+            assert des.outputs[pid] == pytest.approx(aio.outputs[pid], abs=1e-12)
+
+    def test_message_counts_match_for_deterministic_runs(self):
+        inputs = linear_inputs(4, 0.0, 1.0)
+        kwargs = dict(
+            t=1, epsilon=0.05, round_policy=FixedRounds(3), delay_model=ConstantDelay(1.0)
+        )
+        des = run_protocol("async-crash", inputs, runtime="des", **kwargs)
+        aio = run_protocol("async-crash", inputs, runtime="asyncio", **kwargs)
+        assert des.stats.messages_sent == aio.stats.messages_sent
+
+
+class TestEquivalenceUnderFaults:
+    def test_crash_fault_on_both_runtimes(self):
+        inputs = linear_inputs(5, 0.0, 2.0)
+        plan = CrashFaultPlan({4: CrashPoint(after_sends=0)})
+        kwargs = dict(t=2, epsilon=0.05, fault_plan=plan, delay_model=ConstantDelay(1.0))
+        des = run_protocol("async-crash", inputs, runtime="des", **kwargs)
+        aio = run_protocol("async-crash", inputs, runtime="asyncio", **kwargs)
+        assert_execution_ok(des)
+        assert_execution_ok(aio)
+        for pid in des.outputs:
+            assert des.outputs[pid] == pytest.approx(aio.outputs[pid], abs=1e-12)
+
+    def test_byzantine_fault_on_both_runtimes(self):
+        inputs = linear_inputs(6, 0.0, 1.0)
+        plan = ByzantineFaultPlan({5: SilentProcess()})
+        kwargs = dict(t=1, epsilon=0.05, fault_plan=plan, delay_model=ConstantDelay(1.0))
+        des = run_protocol("async-byzantine", inputs, runtime="des", **kwargs)
+        aio = run_protocol("async-byzantine", inputs, runtime="asyncio", **kwargs)
+        assert_execution_ok(des)
+        assert_execution_ok(aio)
+
+
+class TestRandomDelaysBothCorrect:
+    def test_random_delays_both_runtimes_satisfy_the_spec(self):
+        inputs = linear_inputs(5, -1.0, 1.0)
+        for runtime in ("des", "asyncio"):
+            result = run_protocol(
+                "async-crash",
+                inputs,
+                t=2,
+                epsilon=0.02,
+                runtime=runtime,
+                delay_model=UniformRandomDelay(0.2, 1.5, seed=19),
+            )
+            assert_execution_ok(result, f"runtime={runtime}")

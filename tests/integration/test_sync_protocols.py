@@ -1,0 +1,108 @@
+"""Integration tests: synchronous (lockstep) baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rounds import sync_byzantine_bounds, sync_crash_bounds
+from repro.core.sync_protocols import SyncByzantineProcess
+from repro.core.protocol import ProtocolConfig
+from repro.core.termination import FixedRounds
+from repro.net.adversary import (
+    ByzantineFaultPlan,
+    CrashFaultPlan,
+    CrashPoint,
+    HonestWithCorruptedInput,
+    SilentProcess,
+)
+from repro.sim.runner import run_protocol
+from repro.sim.workloads import linear_inputs, uniform_inputs
+
+from tests.conftest import assert_execution_ok
+
+
+EPS = 0.01
+
+
+class TestSyncCrash:
+    @pytest.mark.parametrize("n,t", [(4, 1), (7, 2), (10, 3)])
+    def test_fault_free(self, n, t):
+        inputs = uniform_inputs(n, 0.0, 3.0, seed=n)
+        result = run_protocol("sync-crash", inputs, t=t, epsilon=EPS)
+        assert_execution_ok(result, f"sync-crash n={n}")
+        assert result.runtime == "lockstep"
+
+    def test_crash_mid_multicast(self):
+        n, t = 5, 2
+        inputs = linear_inputs(n, 0.0, 1.0)
+        plan = CrashFaultPlan(
+            {0: CrashPoint.mid_multicast(1, n, 2), 4: CrashPoint.before_round(3, n)}
+        )
+        result = run_protocol("sync-crash", inputs, t=t, epsilon=EPS, fault_plan=plan)
+        assert_execution_ok(result, "sync crash mid-multicast")
+
+    def test_converges_faster_per_round_than_async(self):
+        n, t = 4, 1
+        inputs = [0.0, 0.3, 0.7, 1.0]
+        sync_result = run_protocol("sync-crash", inputs, t=t, epsilon=EPS)
+        async_result = run_protocol("async-crash", inputs, t=t, epsilon=EPS)
+        assert_execution_ok(sync_result)
+        assert_execution_ok(async_result)
+        assert sync_result.rounds_used <= async_result.rounds_used
+
+
+class TestSyncByzantine:
+    @pytest.mark.parametrize("n,t", [(4, 1), (7, 2), (10, 3)])
+    def test_fault_free(self, n, t):
+        inputs = uniform_inputs(n, -1.0, 1.0, seed=n)
+        result = run_protocol("sync-byzantine", inputs, t=t, epsilon=EPS)
+        assert_execution_ok(result, f"sync-byzantine n={n}")
+
+    def test_silent_byzantine(self):
+        n, t = 4, 1
+        inputs = [0.0, 0.4, 0.6, 1.0]
+        plan = ByzantineFaultPlan({2: SilentProcess()})
+        result = run_protocol("sync-byzantine", inputs, t=t, epsilon=EPS, fault_plan=plan)
+        assert_execution_ok(result, "sync silent byzantine")
+
+    def test_protocol_compliant_byzantine_with_forged_input(self):
+        n, t = 4, 1
+        inputs = [0.45, 0.5, 0.55, 0.5]
+        rounds = sync_byzantine_bounds(n, t).rounds_for(0.1, EPS)
+        config = ProtocolConfig(n=n, t=t, epsilon=EPS, round_policy=FixedRounds(rounds))
+        plan = ByzantineFaultPlan(
+            {3: HonestWithCorruptedInput(lambda: SyncByzantineProcess(500.0, config))}
+        )
+        result = run_protocol(
+            "sync-byzantine", inputs, t=t, epsilon=EPS, fault_plan=plan,
+            round_policy=FixedRounds(rounds),
+        )
+        assert_execution_ok(result, "sync forged input")
+        for output in result.report.outputs.values():
+            assert 0.45 - 1e-9 <= output <= 0.55 + 1e-9
+
+    def test_contraction_bound_respected(self):
+        n, t = 4, 1
+        inputs = [0.0, 0.0, 1.0, 1.0]
+        result = run_protocol("sync-byzantine", inputs, t=t, epsilon=EPS)
+        assert_execution_ok(result)
+        bound = sync_byzantine_bounds(n, t).contraction
+        for previous, current in zip(result.trajectory, result.trajectory[1:]):
+            if previous > 1e-12:
+                assert current <= previous * bound * (1 + 1e-9)
+
+
+class TestRoundCounts:
+    def test_sync_crash_round_count_matches_theory(self):
+        n, t = 4, 1
+        inputs = [0.0, 0.2, 0.8, 1.0]
+        predicted = sync_crash_bounds(n, t).rounds_for(1.0, EPS)
+        result = run_protocol("sync-crash", inputs, t=t, epsilon=EPS)
+        assert result.rounds_used == predicted
+
+    def test_sync_byzantine_needs_more_rounds_than_crash(self):
+        n, t = 7, 2
+        inputs = linear_inputs(n, 0.0, 1.0)
+        crash = run_protocol("sync-crash", inputs, t=t, epsilon=EPS)
+        byzantine = run_protocol("sync-byzantine", inputs, t=t, epsilon=EPS)
+        assert crash.rounds_used <= byzantine.rounds_used

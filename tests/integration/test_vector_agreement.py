@@ -1,0 +1,75 @@
+"""Integration tests: vector (multidimensional) approximate agreement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.adversary import (
+    ByzantineFaultPlan,
+    CrashFaultPlan,
+    CrashPoint,
+    EquivocatingStrategy,
+    RoundEchoByzantine,
+)
+from repro.net.network import UniformRandomDelay
+from repro.sim.vector import run_vector_protocol
+
+
+class TestVectorCrashAgreement:
+    def test_2d_rendezvous_with_crash(self):
+        positions = [(0.0, 0.0), (1.0, 0.2), (0.5, 1.0), (0.9, 0.9), (0.1, 0.6)]
+        plan = CrashFaultPlan({4: CrashPoint(after_sends=3)})
+        result = run_vector_protocol(
+            "async-crash", positions, t=2, epsilon=0.01,
+            fault_plan=plan, delay_model=UniformRandomDelay(0.2, 2.0, seed=3),
+        )
+        assert result.ok, result.report.violations
+        assert result.dimension == 2
+        assert result.total_messages > 0
+        assert "R^2" in result.summary()
+
+    def test_3d_agreement(self):
+        inputs = [(float(i), float(-i), i * 0.5) for i in range(7)]
+        result = run_vector_protocol("async-crash", inputs, t=3, epsilon=0.05)
+        assert result.ok, result.report.violations
+        for vector in result.report.outputs.values():
+            assert len(vector) == 3
+
+
+class TestVectorByzantineAgreement:
+    def test_byzantine_fault_with_witness_protocol(self):
+        positions = [(0.1, 0.9), (0.2, 0.8), (0.3, 0.7), (0.4, 0.6)]
+        plan = ByzantineFaultPlan({3: RoundEchoByzantine(EquivocatingStrategy(-50.0, 50.0))})
+        result = run_vector_protocol(
+            "witness", positions, t=1, epsilon=0.01, fault_plan=plan,
+            delay_model=UniformRandomDelay(0.2, 1.5, seed=9),
+        )
+        assert result.ok, result.report.violations
+        # Box validity against the honest positions only.
+        for vector in result.report.outputs.values():
+            assert 0.1 - 1e-9 <= vector[0] <= 0.3 + 1e-9
+            assert 0.7 - 1e-9 <= vector[1] <= 0.9 + 1e-9
+
+    def test_direct_byzantine_protocol_in_2d(self):
+        positions = [(float(i) / 5.0, 1.0 - float(i) / 5.0) for i in range(6)]
+        plan = ByzantineFaultPlan({5: RoundEchoByzantine(EquivocatingStrategy(-9.0, 9.0))})
+        result = run_vector_protocol(
+            "async-byzantine", positions, t=1, epsilon=0.02, fault_plan=plan
+        )
+        assert result.ok, result.report.violations
+
+
+class TestInputValidation:
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            run_vector_protocol("async-crash", [], t=1, epsilon=0.1)
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            run_vector_protocol("async-crash", [(), ()], t=0, epsilon=0.1)
+
+    def test_mismatched_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            run_vector_protocol(
+                "async-crash", [(0.0, 1.0), (1.0,)], t=0, epsilon=0.1
+            )

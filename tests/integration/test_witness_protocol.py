@@ -1,0 +1,136 @@
+"""Integration tests: witness-technique protocol (optimal resilience t < n/3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import ProtocolConfig, ResilienceError
+from repro.core.rounds import max_faults_async_byzantine, max_faults_witness, witness_bounds
+from repro.core.termination import FixedRounds, KnownRangeRounds
+from repro.core.witness import WitnessProcess
+from repro.net.adversary import (
+    ByzantineFaultPlan,
+    CrashFaultPlan,
+    CrashPoint,
+    HonestWithCorruptedInput,
+    PartitionDelay,
+    SilentProcess,
+)
+from repro.net.network import UniformRandomDelay
+from repro.sim.runner import run_protocol
+from repro.sim.workloads import linear_inputs, two_cluster_inputs, uniform_inputs
+
+from tests.conftest import assert_execution_ok
+
+
+EPS = 0.01
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("n", [4, 5, 7, 10])
+    def test_no_faults(self, n):
+        t = max_faults_witness(n)
+        inputs = uniform_inputs(n, 0.0, 2.0, seed=n)
+        result = run_protocol(
+            "witness", inputs, t=t, epsilon=EPS,
+            delay_model=UniformRandomDelay(0.2, 2.0, seed=n),
+        )
+        assert_execution_ok(result, f"witness n={n} t={t}")
+
+    def test_contraction_bound_of_one_half_respected(self):
+        inputs = [0.0, 0.0, 1.0, 1.0]
+        result = run_protocol("witness", inputs, t=1, epsilon=EPS)
+        assert_execution_ok(result)
+        for previous, current in zip(result.trajectory, result.trajectory[1:]):
+            if previous > 1e-12:
+                assert current <= previous * 0.5 * (1 + 1e-9)
+
+    def test_known_range_policy(self):
+        inputs = uniform_inputs(7, 1.0, 3.0, seed=2)
+        result = run_protocol(
+            "witness", inputs, t=2, epsilon=EPS, round_policy=KnownRangeRounds(1.0, 3.0)
+        )
+        assert_execution_ok(result)
+
+
+class TestByzantineFaults:
+    def test_silent_byzantine_at_optimal_resilience(self):
+        # n = 4, t = 1: beyond the reach of the direct Byzantine algorithm
+        # (which needs n >= 6 for a single fault); the witness technique copes.
+        n, t = 4, 1
+        assert max_faults_async_byzantine(n) < t <= max_faults_witness(n)
+        inputs = [0.0, 0.3, 0.7, 1.0]
+        plan = ByzantineFaultPlan({3: SilentProcess()})
+        result = run_protocol(
+            "witness", inputs, t=t, epsilon=EPS, fault_plan=plan,
+            delay_model=UniformRandomDelay(0.2, 1.5, seed=3),
+        )
+        assert_execution_ok(result, "silent byzantine, n=4")
+
+    def test_protocol_compliant_byzantine_with_forged_input(self):
+        n, t = 7, 2
+        inputs = [0.4, 0.45, 0.5, 0.55, 0.6, 0.5, 0.45]
+        rounds = witness_bounds(n, t).rounds_for(0.2, EPS)
+        config = ProtocolConfig(n=n, t=t, epsilon=EPS, round_policy=FixedRounds(rounds))
+        plan = ByzantineFaultPlan(
+            {
+                5: HonestWithCorruptedInput(lambda: WitnessProcess(1e9, config)),
+                6: HonestWithCorruptedInput(lambda: WitnessProcess(-1e9, config)),
+            }
+        )
+        result = run_protocol(
+            "witness", inputs, t=t, epsilon=EPS, fault_plan=plan,
+            round_policy=FixedRounds(rounds),
+            delay_model=UniformRandomDelay(0.3, 2.0, seed=11),
+        )
+        assert_execution_ok(result, "forged inputs at t=2")
+        for output in result.report.outputs.values():
+            assert 0.4 - 1e-9 <= output <= 0.6 + 1e-9
+
+    def test_crash_faults_are_a_special_case(self):
+        n, t = 7, 2
+        inputs = linear_inputs(n, 0.0, 1.0)
+        plan = CrashFaultPlan({1: CrashPoint(after_sends=0), 4: CrashPoint(after_sends=3 * n)})
+        result = run_protocol(
+            "witness", inputs, t=t, epsilon=EPS, fault_plan=plan,
+            delay_model=UniformRandomDelay(0.2, 2.0, seed=5),
+        )
+        assert_execution_ok(result, "crashes under the witness protocol")
+
+    def test_partition_schedule(self):
+        n, t = 7, 2
+        inputs = two_cluster_inputs(n, 0.0, 1.0, jitter=0.0)
+        plan = ByzantineFaultPlan({6: SilentProcess()})
+        result = run_protocol(
+            "witness", inputs, t=t, epsilon=EPS, fault_plan=plan,
+            delay_model=PartitionDelay(set(range(4)), fast=1.0, slow=25.0),
+        )
+        assert_execution_ok(result, "witness under partition")
+
+
+class TestMessageComplexity:
+    def test_witness_costs_about_n_times_more_than_direct(self):
+        # Same (n, t, inputs, rounds): the witness protocol must send roughly a
+        # factor-n more messages per iteration (Θ(n³) vs Θ(n²)).
+        n, t = 11, 2
+        inputs = linear_inputs(n, 0.0, 1.0)
+        rounds = FixedRounds(3)
+        direct = run_protocol("async-byzantine", inputs, t=t, epsilon=0.2, round_policy=rounds)
+        witness = run_protocol("witness", inputs, t=t, epsilon=0.2, round_policy=rounds)
+        assert_execution_ok(direct)
+        assert_execution_ok(witness)
+        ratio = witness.stats.messages_sent / direct.stats.messages_sent
+        assert ratio > n / 4  # comfortably super-constant; exact factor ~ 2n
+
+
+class TestResilienceBoundary:
+    def test_strict_rejects_one_third(self):
+        config = ProtocolConfig(n=6, t=2, epsilon=EPS)
+        with pytest.raises(ResilienceError):
+            WitnessProcess(0.0, config)
+
+    def test_tolerates_strictly_more_faults_than_direct_protocol(self):
+        # At n = 7 the direct asynchronous Byzantine algorithm tolerates t = 1
+        # while the witness protocol tolerates t = 2.
+        assert max_faults_async_byzantine(7) == 1
+        assert max_faults_witness(7) == 2

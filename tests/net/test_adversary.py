@@ -1,0 +1,248 @@
+"""Unit tests for fault plans, Byzantine behaviours and adversarial delays."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.async_crash import make_async_crash_processes
+from repro.net.adversary import (
+    AntiConvergenceStrategy,
+    ByzantineFaultPlan,
+    ComposedFaultPlan,
+    CrashFaultPlan,
+    CrashPoint,
+    EquivocatingStrategy,
+    FixedValueStrategy,
+    HonestWithCorruptedInput,
+    LaggardDelay,
+    PartitionDelay,
+    RandomValueStrategy,
+    RoundEchoByzantine,
+    SilentProcess,
+    TargetedDelay,
+)
+from repro.net.message import Message
+from repro.net.network import SimulatedNetwork
+
+
+class TestCrashPoints:
+    def test_before_round_counts_whole_multicasts(self):
+        assert CrashPoint.before_round(1, n=5).after_sends == 0
+        assert CrashPoint.before_round(3, n=5).after_sends == 10
+
+    def test_mid_multicast_offsets_within_round(self):
+        assert CrashPoint.mid_multicast(2, n=4, deliveries=3).after_sends == 7
+
+    def test_mid_multicast_validation(self):
+        with pytest.raises(ValueError):
+            CrashPoint.mid_multicast(1, n=4, deliveries=5)
+
+
+class TestCrashFaultPlan:
+    def test_faulty_ids_sorted_and_bounded(self):
+        plan = CrashFaultPlan({3: CrashPoint(0), 1: CrashPoint(2), 9: CrashPoint(0)})
+        assert plan.faulty_ids(5) == (1, 3)
+
+    def test_crashes_before_send_threshold(self):
+        plan = CrashFaultPlan({0: CrashPoint(after_sends=2)})
+        assert not plan.crashes_before_send(0, 1, 0.0)
+        assert plan.crashes_before_send(0, 2, 0.0)
+        assert not plan.crashes_before_send(1, 100, 0.0)
+
+    def test_never_crash_point(self):
+        plan = CrashFaultPlan({0: CrashPoint(after_sends=None)})
+        assert not plan.crashes_before_send(0, 10_000, 0.0)
+
+    def test_describe_lists_points(self):
+        plan = CrashFaultPlan({0: CrashPoint(3)})
+        assert "P0@3" in plan.describe()
+
+
+class TestByzantineStrategies:
+    def test_fixed_value(self):
+        strategy = FixedValueStrategy(42.0)
+        assert strategy.value(1, 0, []) == 42.0
+        assert strategy.value(5, 3, [1.0, 2.0]) == 42.0
+
+    def test_equivocation_splits_recipients(self):
+        strategy = EquivocatingStrategy(0.0, 1.0)
+        values = {strategy.value(1, recipient, []) for recipient in range(6)}
+        assert values == {0.0, 1.0}
+
+    def test_random_strategy_is_seeded_and_bounded(self):
+        a = RandomValueStrategy(-1.0, 1.0, seed=3)
+        b = RandomValueStrategy(-1.0, 1.0, seed=3)
+        values_a = [a.value(1, r, []) for r in range(20)]
+        values_b = [b.value(1, r, []) for r in range(20)]
+        assert values_a == values_b
+        assert all(-1.0 <= v <= 1.0 for v in values_a)
+
+    def test_anti_convergence_tracks_observed_range(self):
+        strategy = AntiConvergenceStrategy(stretch=0.5)
+        observed = [2.0, 5.0]
+        assert strategy.value(1, 0, observed) == 1.5
+        assert strategy.value(1, 1, observed) == 5.5
+        assert strategy.value(1, 0, []) == 0.0
+
+    def test_describe_methods(self):
+        assert "42" in FixedValueStrategy(42).describe()
+        assert "Equivocating" in EquivocatingStrategy(0, 1).describe()
+        assert "AntiConvergence" in AntiConvergenceStrategy().describe()
+        assert "Random" in RandomValueStrategy(0, 1).describe()
+
+
+class TestByzantineBehaviours:
+    def test_silent_process_sends_nothing(self):
+        config_processes = make_async_crash_processes([0.0, 0.3, 0.7, 1.0], t=1, epsilon=0.1)
+        plan = ByzantineFaultPlan({3: SilentProcess()})
+        network = SimulatedNetwork(config_processes, fault_plan=plan)
+        network.start()
+        network.run()
+        assert network.stats.sends_by_process.get(3, 0) == 0
+
+    def test_round_echo_byzantine_sends_per_round_values(self):
+        processes = make_async_crash_processes([0.0, 0.3, 0.7, 1.0], t=1, epsilon=0.1)
+        behaviour = RoundEchoByzantine(EquivocatingStrategy(-5.0, 5.0))
+        plan = ByzantineFaultPlan({3: behaviour})
+        network = SimulatedNetwork(processes, fault_plan=plan)
+        network.start()
+        network.run()
+        assert network.stats.sends_by_process.get(3, 0) >= 4  # at least one attack round
+        assert network.all_honest_output()
+
+    def test_round_echo_respects_max_round(self):
+        behaviour = RoundEchoByzantine(FixedValueStrategy(1.0), max_round=0)
+
+        class FakeCtx:
+            process_id = 0
+            n = 4
+            time = 0.0
+            sent = []
+
+            def send(self, recipient, message):
+                self.sent.append((recipient, message))
+
+            def multicast(self, message):
+                pass
+
+            def output(self, value):
+                pass
+
+            def halt(self):
+                pass
+
+        ctx = FakeCtx()
+        behaviour.on_start(ctx)
+        assert ctx.sent == []
+
+    def test_honest_with_corrupted_input_follows_protocol(self):
+        from repro.core.async_crash import AsyncCrashProcess
+        from repro.core.protocol import ProtocolConfig
+        from repro.core.termination import FixedRounds
+
+        config = ProtocolConfig(n=4, t=1, epsilon=0.1, round_policy=FixedRounds(4))
+        processes = [AsyncCrashProcess(v, config) for v in (0.4, 0.5, 0.6, 0.5)]
+        corrupted = HonestWithCorruptedInput(lambda: AsyncCrashProcess(1000.0, config))
+        plan = ByzantineFaultPlan({3: corrupted})
+        network = SimulatedNetwork(processes, fault_plan=plan)
+        network.start()
+        network.run()
+        # The corrupted process participates (sends messages) and the honest
+        # processes still decide.
+        assert network.stats.sends_by_process.get(3, 0) > 0
+        assert network.all_honest_output()
+        assert "HonestWithCorruptedInput" in corrupted.describe()
+
+
+class TestComposedFaultPlan:
+    def test_union_of_crash_and_byzantine(self):
+        plan = ComposedFaultPlan(
+            [
+                CrashFaultPlan({1: CrashPoint(0)}),
+                ByzantineFaultPlan({2: SilentProcess()}),
+            ]
+        )
+        assert plan.faulty_ids(5) == (1, 2)
+        assert plan.crashes_before_send(1, 0, 0.0)
+        assert not plan.crashes_before_send(2, 0, 0.0)
+        assert isinstance(plan.replacement_process(2, SilentProcess()), SilentProcess)
+        assert plan.replacement_process(1, SilentProcess()) is None
+        assert "ComposedFaultPlan" in plan.describe()
+
+
+class TestAdversarialDelays:
+    def test_partition_delay_slows_cross_camp_traffic(self):
+        model = PartitionDelay(camp_a={0, 1}, fast=1.0, slow=20.0)
+        assert model.delay(0, 1, Message("X"), 0.0) == 1.0
+        assert model.delay(2, 3, Message("X"), 0.0) == 1.0
+        assert model.delay(0, 2, Message("X"), 0.0) == 20.0
+        assert model.delay(3, 1, Message("X"), 0.0) == 20.0
+
+    def test_laggard_delay_slows_only_listed_senders(self):
+        model = LaggardDelay(slow_senders={1}, fast=1.0, slow=9.0)
+        assert model.delay(1, 0, Message("X"), 0.0) == 9.0
+        assert model.delay(0, 1, Message("X"), 0.0) == 1.0
+
+    def test_targeted_delay(self):
+        model = TargetedDelay(slow_pairs=[(0, 1)], fast=1.0, slow=7.0)
+        assert model.delay(0, 1, Message("X"), 0.0) == 7.0
+        assert model.delay(1, 0, Message("X"), 0.0) == 1.0
+
+    def test_delay_validation(self):
+        with pytest.raises(ValueError):
+            PartitionDelay(camp_a={0}, fast=0.0)
+        with pytest.raises(ValueError):
+            LaggardDelay(slow_senders={0}, slow=-1.0)
+        with pytest.raises(ValueError):
+            TargetedDelay(slow_pairs=[], fast=-1.0)
+
+
+class TestStaggeredExclusionDelay:
+    def test_excluded_set_rotates_per_recipient_and_round(self):
+        from repro.net.adversary import StaggeredExclusionDelay
+
+        model = StaggeredExclusionDelay(n=5, exclude=2, fast=1.0, slow=10.0)
+        message_r1 = Message("VALUE", round=1, value=0.0)
+        message_r2 = Message("VALUE", round=2, value=0.0)
+        # Recipient 0, round 1: slow senders are 1 and 2.
+        assert model.delay(1, 0, message_r1, 0.0) == 10.0
+        assert model.delay(2, 0, message_r1, 0.0) == 10.0
+        assert model.delay(3, 0, message_r1, 0.0) == 1.0
+        # Recipient 1, round 1: slow senders shift to 2 and 3.
+        assert model.delay(2, 1, message_r1, 0.0) == 10.0
+        assert model.delay(4, 1, message_r1, 0.0) == 1.0
+        # Round 2 rotates again for recipient 0: slow senders are 2 and 3.
+        assert model.delay(2, 0, message_r2, 0.0) == 10.0
+        assert model.delay(1, 0, message_r2, 0.0) == 1.0
+
+    def test_exclude_zero_is_always_fast(self):
+        from repro.net.adversary import StaggeredExclusionDelay
+
+        model = StaggeredExclusionDelay(n=4, exclude=0)
+        assert all(
+            model.delay(s, r, Message("VALUE", round=3), 0.0) == 1.0
+            for s in range(4)
+            for r in range(4)
+        )
+
+    def test_validation(self):
+        from repro.net.adversary import StaggeredExclusionDelay
+
+        with pytest.raises(ValueError):
+            StaggeredExclusionDelay(n=4, exclude=4)
+        with pytest.raises(ValueError):
+            StaggeredExclusionDelay(n=4, exclude=1, fast=0.0)
+
+    def test_protocol_still_converges_under_rotating_exclusion(self):
+        from repro.net.adversary import StaggeredExclusionDelay
+        from repro.sim.runner import run_protocol
+
+        n, t = 7, 3
+        result = run_protocol(
+            "async-crash",
+            [0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0],
+            t=t,
+            epsilon=0.01,
+            delay_model=StaggeredExclusionDelay(n, exclude=t, slow=40.0),
+        )
+        assert result.ok, result.report.violations

@@ -1,0 +1,87 @@
+"""Unit tests for the asyncio runtime."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.async_crash import make_async_crash_processes
+from repro.core.termination import FixedRounds
+from repro.net.adversary import ByzantineFaultPlan, CrashFaultPlan, CrashPoint, SilentProcess
+from repro.net.asyncio_runtime import AsyncioRuntime
+from repro.net.interfaces import Process
+from repro.net.message import Message
+from repro.net.network import UniformRandomDelay
+
+
+class PingPong(Process):
+    """Simple request/response process used to exercise the runtime."""
+
+    def on_start(self, ctx):
+        ctx.multicast(Message("PING"))
+
+    def on_message(self, ctx, sender, message):
+        if message.kind == "PING":
+            ctx.send(sender, Message("PONG"))
+        elif message.kind == "PONG" and not self.has_output:
+            ctx.output(sender)
+
+
+class TestAsyncioRuntime:
+    def test_simple_protocol_completes(self):
+        runtime = AsyncioRuntime([PingPong() for _ in range(3)], time_scale=0.0001)
+        outputs = runtime.run(timeout=5.0)
+        assert len(outputs) == 3
+        assert runtime.all_honest_output()
+
+    def test_async_crash_protocol_runs_on_asyncio(self):
+        inputs = [0.0, 0.25, 0.75, 1.0]
+        processes = make_async_crash_processes(inputs, t=1, epsilon=0.05)
+        runtime = AsyncioRuntime(
+            processes, delay_model=UniformRandomDelay(0.2, 1.0, seed=11), time_scale=0.0005
+        )
+        outputs = runtime.run(timeout=10.0)
+        assert len(outputs) == 4
+        assert max(outputs) - min(outputs) <= 0.05 * (1 + 1e-9)
+        assert min(inputs) <= min(outputs) and max(outputs) <= max(inputs)
+
+    def test_crash_fault_plan_applies(self):
+        inputs = [0.0, 0.3, 0.7, 1.0]
+        processes = make_async_crash_processes(
+            inputs, t=1, epsilon=0.1, round_policy=FixedRounds(3)
+        )
+        plan = CrashFaultPlan({3: CrashPoint(after_sends=0)})
+        runtime = AsyncioRuntime(processes, fault_plan=plan, time_scale=0.0002)
+        outputs = runtime.run(timeout=10.0)
+        assert len(outputs) == 3
+        assert runtime.is_crashed(3)
+        assert runtime.stats.sends_by_process.get(3, 0) == 0
+
+    def test_byzantine_replacement_applies(self):
+        inputs = [0.0, 0.3, 0.7, 1.0]
+        processes = make_async_crash_processes(
+            inputs, t=1, epsilon=0.1, round_policy=FixedRounds(3)
+        )
+        plan = ByzantineFaultPlan({3: SilentProcess()})
+        runtime = AsyncioRuntime(processes, fault_plan=plan, time_scale=0.0002)
+        runtime.run(timeout=10.0)
+        assert isinstance(runtime.processes[3], SilentProcess)
+        assert runtime.honest == (0, 1, 2)
+
+    def test_timeout_returns_partial_outputs(self):
+        class NeverDecides(Process):
+            def on_start(self, ctx):
+                pass
+
+            def on_message(self, ctx, sender, message):
+                pass
+
+        runtime = AsyncioRuntime([NeverDecides() for _ in range(2)], time_scale=0.0001)
+        outputs = runtime.run(timeout=0.2)
+        assert outputs == []
+        assert not runtime.all_honest_output()
+
+    def test_stats_are_recorded(self):
+        runtime = AsyncioRuntime([PingPong() for _ in range(3)], time_scale=0.0001)
+        runtime.run(timeout=5.0)
+        assert runtime.stats.messages_sent >= 9
+        assert runtime.stats.bits_sent > 0

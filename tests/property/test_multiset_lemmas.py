@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for the multiset lemmas.
+
+The two lemmas proved in :mod:`repro.core.multiset` are the foundation of
+every correctness argument in the library, so they are exercised here over
+randomly generated multisets, including adversarially perturbed ones, rather
+than only on hand-picked examples.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multiset import (
+    approximate,
+    common_submultiset_size,
+    contraction_denominator,
+    convergence_bound_holds,
+    midpoint_of_reduced,
+    reduce_clips_to_good_range,
+    reduce_multiset,
+    select_multiset,
+    spread,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def multiset_with_perturbation(draw, min_size=3, max_size=25, max_changes=None):
+    """A base multiset plus two variants differing from it in at most D slots."""
+    base = draw(st.lists(finite_floats, min_size=min_size, max_size=max_size))
+    m = len(base)
+    limit = max_changes if max_changes is not None else max(1, m // 3)
+    d = draw(st.integers(min_value=0, max_value=min(limit, m - 1)))
+    replacement = draw(st.lists(finite_floats, min_size=2 * d, max_size=2 * d))
+    u = list(base)
+    v = list(base)
+    indices = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=m - 1), min_size=d, max_size=d, unique=True
+        )
+    )
+    for position, index in enumerate(indices):
+        u[index] = replacement[position]
+        v[index] = replacement[d + position]
+    return base, u, v, d
+
+
+class TestElementaryProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=30))
+    def test_spread_is_non_negative(self, values):
+        assert spread(values) >= 0.0
+
+    @given(st.lists(finite_floats, min_size=3, max_size=30), st.integers(0, 5))
+    def test_reduce_output_is_sorted_and_within_input(self, values, j):
+        if len(values) < 2 * j + 1:
+            return
+        reduced = reduce_multiset(values, j)
+        assert reduced == sorted(reduced)
+        assert len(reduced) == len(values) - 2 * j
+        assert min(values) <= reduced[0] and reduced[-1] <= max(values)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=30), st.integers(1, 7))
+    def test_select_size_formula(self, values, k):
+        selected = select_multiset(values, k)
+        assert len(selected) == (len(values) - 1) // k + 1
+        assert selected[0] == min(values)
+
+    @given(st.lists(finite_floats, min_size=3, max_size=30), st.integers(0, 3), st.integers(1, 5))
+    def test_approximate_stays_within_input_range(self, values, j, k):
+        if len(values) < 2 * j + 1:
+            return
+        result = approximate(values, j, k)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+    @given(st.lists(finite_floats, min_size=3, max_size=30), st.integers(1, 3))
+    def test_midpoint_of_reduced_within_range(self, values, j):
+        if len(values) < 2 * j + 1:
+            return
+        result = midpoint_of_reduced(values, j)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+class TestValidityLemmaProperty:
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=20),
+        st.lists(finite_floats, min_size=0, max_size=5),
+    )
+    def test_reduction_clips_arbitrary_bad_values(self, good, bad):
+        all_values = good + bad
+        j = len(bad)
+        if len(all_values) < 2 * j + 1:
+            return
+        assert reduce_clips_to_good_range(all_values, good, j)
+
+
+class TestConvergenceLemmaProperty:
+    @settings(max_examples=200)
+    @given(multiset_with_perturbation())
+    def test_convergence_bound_holds_for_k_at_least_d(self, data):
+        base, u, v, d = data
+        m = len(base)
+        k = max(1, d)
+        # The lemma also needs the reduction to leave something behind.
+        for j in (0, 1, 2):
+            if m - 2 * j < 1:
+                continue
+            assert convergence_bound_holds(u, v, j=j, k=k)
+
+    @settings(max_examples=100)
+    @given(multiset_with_perturbation())
+    def test_divergence_matches_construction(self, data):
+        base, u, v, d = data
+        # u and v each differ from the base in exactly the same d slots, so
+        # their largest common sub-multiset has size at least m - d.
+        assert common_submultiset_size(u, v) >= len(base) - d
+
+    @settings(max_examples=100)
+    @given(multiset_with_perturbation(max_changes=4))
+    def test_contraction_denominator_counts_selected_elements(self, data):
+        base, u, v, d = data
+        m = len(base)
+        k = max(1, d)
+        for j in (0, 1):
+            if m - 2 * j < 1:
+                continue
+            c = contraction_denominator(m, j, k)
+            assert c == len(select_multiset(reduce_multiset(u, j), k))

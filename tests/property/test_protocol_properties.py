@@ -1,0 +1,162 @@
+"""Property-based end-to-end tests: random systems, faults and schedules.
+
+Hypothesis generates whole executions — system size, fault threshold, inputs,
+crash points or Byzantine strategies, and the delay seed — and every generated
+execution must satisfy ε-agreement and validity.  These tests are the
+library's strongest evidence of correctness beyond the hand-written scenarios.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.rounds import max_faults_async_crash, max_faults_witness
+from repro.net.adversary import (
+    AntiConvergenceStrategy,
+    ByzantineFaultPlan,
+    CrashFaultPlan,
+    CrashPoint,
+    EquivocatingStrategy,
+    FixedValueStrategy,
+    RoundEchoByzantine,
+    SilentProcess,
+)
+from repro.net.network import UniformRandomDelay
+from repro.sim.runner import run_protocol
+
+EPS = 0.05
+
+slow_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+bounded_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def crash_scenario(draw):
+    n = draw(st.integers(min_value=3, max_value=9))
+    t = draw(st.integers(min_value=1, max_value=max_faults_async_crash(n)))
+    inputs = draw(st.lists(bounded_floats, min_size=n, max_size=n))
+    fault_count = draw(st.integers(min_value=0, max_value=t))
+    faulty = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=fault_count,
+            max_size=fault_count,
+            unique=True,
+        )
+    )
+    crash_points = {
+        pid: CrashPoint(after_sends=draw(st.integers(min_value=0, max_value=5 * n)))
+        for pid in faulty
+    }
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return n, t, inputs, crash_points, seed
+
+
+@st.composite
+def byzantine_scenario(draw):
+    t = draw(st.integers(min_value=1, max_value=2))
+    n = draw(st.integers(min_value=5 * t + 1, max_value=5 * t + 4))
+    inputs = draw(st.lists(bounded_floats, min_size=n, max_size=n))
+    strategies = [
+        SilentProcess(),
+        RoundEchoByzantine(FixedValueStrategy(draw(st.floats(min_value=-1e6, max_value=1e6)))),
+        RoundEchoByzantine(EquivocatingStrategy(-1e3, 1e3)),
+        RoundEchoByzantine(AntiConvergenceStrategy(stretch=draw(st.floats(0.0, 10.0)))),
+    ]
+    fault_count = draw(st.integers(min_value=0, max_value=t))
+    faulty = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=fault_count,
+            max_size=fault_count,
+            unique=True,
+        )
+    )
+    behaviours = {
+        pid: strategies[draw(st.integers(0, len(strategies) - 1))] for pid in faulty
+    }
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return n, t, inputs, behaviours, seed
+
+
+class TestAsyncCrashProperties:
+    @slow_settings
+    @given(crash_scenario())
+    def test_every_generated_crash_execution_is_correct(self, scenario):
+        n, t, inputs, crash_points, seed = scenario
+        result = run_protocol(
+            "async-crash",
+            inputs,
+            t=t,
+            epsilon=EPS,
+            fault_plan=CrashFaultPlan(crash_points) if crash_points else None,
+            delay_model=UniformRandomDelay(0.1, 3.0, seed=seed),
+        )
+        assert result.ok, result.report.violations
+
+
+class TestAsyncByzantineProperties:
+    @slow_settings
+    @given(byzantine_scenario())
+    def test_every_generated_byzantine_execution_is_correct(self, scenario):
+        n, t, inputs, behaviours, seed = scenario
+        result = run_protocol(
+            "async-byzantine",
+            inputs,
+            t=t,
+            epsilon=EPS,
+            fault_plan=ByzantineFaultPlan(behaviours) if behaviours else None,
+            delay_model=UniformRandomDelay(0.1, 3.0, seed=seed),
+        )
+        assert result.ok, result.report.violations
+
+
+class TestWitnessProperties:
+    @slow_settings
+    @given(
+        st.integers(min_value=4, max_value=7),
+        st.lists(bounded_floats, min_size=7, max_size=7),
+        st.integers(min_value=0, max_value=1_000),
+        st.booleans(),
+    )
+    def test_witness_executions_with_silent_or_no_faults(self, n, raw_inputs, seed, with_fault):
+        t = max_faults_witness(n)
+        inputs = raw_inputs[:n]
+        fault_plan = ByzantineFaultPlan({n - 1: SilentProcess()}) if with_fault else None
+        result = run_protocol(
+            "witness",
+            inputs,
+            t=t,
+            epsilon=EPS,
+            fault_plan=fault_plan,
+            delay_model=UniformRandomDelay(0.1, 2.0, seed=seed),
+        )
+        assert result.ok, result.report.violations
+
+
+class TestSyncProperties:
+    @slow_settings
+    @given(
+        st.integers(min_value=4, max_value=10),
+        st.lists(bounded_floats, min_size=10, max_size=10),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_sync_crash_executions_are_correct(self, n, raw_inputs, crashes):
+        t = max(1, (n - 1) // 3)
+        inputs = raw_inputs[:n]
+        crash_count = min(crashes, t)
+        plan = (
+            CrashFaultPlan(
+                {pid: CrashPoint(after_sends=pid * n) for pid in range(crash_count)}
+            )
+            if crash_count
+            else None
+        )
+        result = run_protocol("sync-crash", inputs, t=t, epsilon=EPS, fault_plan=plan)
+        assert result.ok, result.report.violations

@@ -1,0 +1,92 @@
+"""Property-based tests for the convergence-rate theory."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.rounds import (
+    async_byzantine_bounds,
+    async_crash_bounds,
+    max_faults_async_byzantine,
+    max_faults_async_crash,
+    rounds_to_epsilon,
+    sync_byzantine_bounds,
+    sync_crash_bounds,
+    witness_bounds,
+)
+
+
+class TestRoundsToEpsilon:
+    @given(
+        st.floats(min_value=1e-6, max_value=1e9),
+        st.floats(min_value=1e-9, max_value=1e3),
+        st.floats(min_value=0.05, max_value=0.9),
+    )
+    def test_returned_round_count_is_sufficient(self, spread, epsilon, contraction):
+        rounds = rounds_to_epsilon(spread, epsilon, contraction)
+        assert rounds >= 0
+        assert spread * contraction**rounds <= epsilon * (1 + 1e-9)
+
+    @given(
+        st.floats(min_value=1e-3, max_value=1e6),
+        st.floats(min_value=1e-6, max_value=1e2),
+        st.floats(min_value=0.05, max_value=0.9),
+    )
+    def test_returned_round_count_is_minimal(self, spread, epsilon, contraction):
+        rounds = rounds_to_epsilon(spread, epsilon, contraction)
+        if rounds > 0:
+            assert spread * contraction ** (rounds - 1) > epsilon * (1 - 1e-9)
+
+    @given(
+        st.floats(min_value=1e-3, max_value=1e6),
+        st.floats(min_value=1e-6, max_value=1e2),
+    )
+    def test_faster_contraction_never_needs_more_rounds(self, spread, epsilon):
+        slow = rounds_to_epsilon(spread, epsilon, 0.5)
+        fast = rounds_to_epsilon(spread, epsilon, 0.25)
+        assert fast <= slow
+
+
+class TestBoundsProperties:
+    @given(st.integers(min_value=3, max_value=200))
+    def test_crash_bounds_valid_up_to_threshold(self, n):
+        for t in range(1, max_faults_async_crash(n) + 1):
+            bounds = async_crash_bounds(n, t)
+            assert bounds.resilience_ok
+            assert 0 < bounds.contraction <= 0.5
+            assert bounds.sample_size == n - t
+
+    @given(st.integers(min_value=6, max_value=200))
+    def test_byzantine_bounds_valid_up_to_threshold(self, n):
+        for t in range(1, max_faults_async_byzantine(n) + 1):
+            bounds = async_byzantine_bounds(n, t)
+            assert bounds.resilience_ok
+            assert 0 < bounds.contraction <= 0.5
+            assert bounds.reduce_j == t
+            assert bounds.select_k == 2 * t
+
+    @given(st.integers(min_value=3, max_value=200), st.integers(min_value=1, max_value=10))
+    def test_contraction_monotone_in_n_for_fixed_t(self, n, t):
+        if t > max_faults_async_crash(n):
+            return
+        smaller = async_crash_bounds(n, t).contraction
+        larger = async_crash_bounds(n + 5, t).contraction
+        assert larger <= smaller
+
+    @given(st.integers(min_value=4, max_value=300))
+    def test_witness_contraction_is_constant(self, n):
+        t = (n - 1) // 3
+        assert witness_bounds(n, max(1, t)).contraction == 0.5
+
+    @given(st.integers(min_value=4, max_value=100))
+    def test_sync_always_at_least_as_fast_as_async(self, n):
+        t = max_faults_async_crash(n)
+        if t >= 1:
+            assert sync_crash_bounds(n, t).contraction <= async_crash_bounds(n, t).contraction
+        tb = max_faults_async_byzantine(n)
+        if tb >= 1:
+            assert (
+                sync_byzantine_bounds(n, tb).contraction
+                <= async_byzantine_bounds(n, tb).contraction
+            )

@@ -1,0 +1,70 @@
+"""Unit tests for experiment utilities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim.experiments import ExperimentRecord, aggregate, parameter_grid, summarize_results
+from repro.sim.runner import run_protocol
+
+
+class TestParameterGrid:
+    def test_cartesian_product(self):
+        grid = list(parameter_grid(n=[4, 7], t=[1, 2]))
+        assert len(grid) == 4
+        assert {"n": 4, "t": 1} in grid
+        assert {"n": 7, "t": 2} in grid
+
+    def test_single_axis(self):
+        assert list(parameter_grid(x=[1, 2, 3])) == [{"x": 1}, {"x": 2}, {"x": 3}]
+
+    def test_empty_axis_gives_no_combinations(self):
+        assert list(parameter_grid(x=[], y=[1])) == []
+
+
+class TestAggregate:
+    def test_mean_min_max(self):
+        summary = aggregate([1.0, 2.0, 3.0])
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+    def test_empty_gives_nan(self):
+        summary = aggregate([])
+        assert math.isnan(summary["mean"])
+
+
+class TestExperimentRecord:
+    def test_as_row_resolves_from_params_measured_expected(self):
+        record = ExperimentRecord(
+            experiment="E1",
+            params={"n": 4, "t": 1},
+            measured={"rounds": 5},
+            expected={"rounds": 6},
+            ok=True,
+        )
+        row = record.as_row(["n", "t", "rounds", "expected_rounds", "ok", "missing"])
+        assert row == [4, 1, 5, 6, "yes", ""]
+
+    def test_not_ok_rendering(self):
+        record = ExperimentRecord(experiment="E1", ok=False)
+        assert record.as_row(["ok"]) == ["NO"]
+
+
+class TestSummarizeResults:
+    def test_summary_of_real_executions(self):
+        results = [
+            run_protocol("async-crash", [0.0, 0.3, 0.7, 1.0], t=1, epsilon=0.05)
+            for _ in range(3)
+        ]
+        summary = summarize_results(results)
+        assert summary["runs"] == 3
+        assert summary["ok_fraction"] == 1.0
+        assert summary["rounds"]["mean"] >= 1
+        assert summary["messages"]["min"] > 0
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_results([])

@@ -1,0 +1,66 @@
+"""Unit tests for execution metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.metrics import (
+    CostSummary,
+    contraction_factors,
+    geometric_mean_contraction,
+    messages_per_round,
+    spread_trajectory,
+    worst_contraction,
+)
+
+
+class TestSpreadTrajectory:
+    def test_basic_trajectory(self):
+        histories = {0: [0.0, 0.4, 0.5], 1: [1.0, 0.6, 0.5]}
+        assert spread_trajectory(histories) == [1.0, pytest.approx(0.2), 0.0]
+
+    def test_uses_shortest_history(self):
+        histories = {0: [0.0, 0.4, 0.5, 0.5], 1: [1.0, 0.6]}
+        assert len(spread_trajectory(histories)) == 2
+
+    def test_empty(self):
+        assert spread_trajectory({}) == []
+
+    def test_single_process(self):
+        assert spread_trajectory({0: [3.0, 3.0]}) == [0.0, 0.0]
+
+
+class TestContractionFactors:
+    def test_halving_trajectory(self):
+        factors = contraction_factors([8.0, 4.0, 2.0, 1.0])
+        assert factors == [0.5, 0.5, 0.5]
+
+    def test_zero_spread_rounds_skipped(self):
+        factors = contraction_factors([4.0, 0.0, 0.0])
+        assert factors == [0.0]
+
+    def test_empty_and_single(self):
+        assert contraction_factors([]) == []
+        assert contraction_factors([1.0]) == []
+
+    def test_worst_contraction(self):
+        assert worst_contraction([9.0, 3.0, 2.0]) == pytest.approx(2.0 / 3.0)
+        assert worst_contraction([1.0]) is None
+
+    def test_geometric_mean(self):
+        assert geometric_mean_contraction([8.0, 4.0, 1.0]) == pytest.approx(
+            (0.5 * 0.25) ** 0.5
+        )
+        assert geometric_mean_contraction([1.0]) is None
+
+
+class TestCosts:
+    def test_messages_per_round(self):
+        assert messages_per_round(100, 4) == 25.0
+        assert messages_per_round(100, 0) == 100.0
+
+    def test_cost_summary_properties(self):
+        summary = CostSummary(rounds=5, messages=500, bits=4000)
+        assert summary.messages_per_round == 100.0
+        assert summary.bits_per_round == 800.0
+        assert summary.scaled_by_n_squared(10) == 1.0

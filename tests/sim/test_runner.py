@@ -1,0 +1,114 @@
+"""Unit tests for the execution runners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.termination import FixedRounds
+from repro.net.adversary import CrashFaultPlan, CrashPoint
+from repro.net.network import UniformRandomDelay
+from repro.sim.runner import (
+    PROTOCOL_FACTORIES,
+    SYNCHRONOUS_PROTOCOLS,
+    run_protocol,
+)
+
+
+class TestRunProtocol:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            run_protocol("no-such-protocol", [0.0, 1.0, 2.0], t=0, epsilon=0.1)
+
+    def test_unknown_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            run_protocol("async-crash", [0.0, 0.5, 1.0], t=1, epsilon=0.1, runtime="quantum")
+
+    def test_sync_protocol_rejects_async_runtimes(self):
+        with pytest.raises(ValueError):
+            run_protocol("sync-crash", [0.0, 0.5, 1.0], t=1, epsilon=0.1, runtime="des")
+
+    def test_every_registered_protocol_runs(self):
+        inputs = [0.0, 0.15, 0.35, 0.55, 0.7, 0.9, 1.0]
+        for protocol in PROTOCOL_FACTORIES:
+            result = run_protocol(protocol, inputs, t=1, epsilon=0.05)
+            assert result.ok, f"{protocol}: {result.report.violations}"
+            assert result.protocol == protocol
+            expected_runtime = "lockstep" if protocol in SYNCHRONOUS_PROTOCOLS else "des"
+            assert result.runtime == expected_runtime
+
+    def test_result_contains_metrics(self):
+        result = run_protocol("async-crash", [0.0, 0.4, 0.8, 1.0], t=1, epsilon=0.05)
+        assert result.rounds_used >= 1
+        assert result.stats.messages_sent > 0
+        assert result.costs.messages == result.stats.messages_sent
+        assert len(result.trajectory) == result.rounds_used + 1
+        assert result.wall_time_seconds >= 0.0
+        assert "async-crash" in result.summary()
+
+    def test_trajectory_is_monotone_for_crash_protocol(self):
+        result = run_protocol(
+            "async-crash",
+            [0.0, 0.2, 0.5, 0.8, 1.0],
+            t=1,
+            epsilon=0.01,
+            delay_model=UniformRandomDelay(0.1, 2.0, seed=8),
+        )
+        trajectory = result.trajectory
+        for previous, current in zip(trajectory, trajectory[1:]):
+            assert current <= previous + 1e-12
+
+    def test_fault_plan_is_reflected_in_problem(self):
+        plan = CrashFaultPlan({2: CrashPoint(after_sends=0)})
+        result = run_protocol(
+            "async-crash", [0.0, 0.4, 0.8, 1.0], t=1, epsilon=0.05, fault_plan=plan
+        )
+        assert result.problem.faulty == (2,)
+        assert 2 not in result.outputs
+        assert result.ok
+
+    def test_round_policy_override(self):
+        from repro.net.adversary import PartitionDelay
+
+        # One round under a partition schedule: the two camps collect visibly
+        # different samples, so a single round cannot reach 1e-6 agreement.
+        # Everyone decides but agreement fails; the report must say so.
+        result = run_protocol(
+            "async-crash",
+            [0.0, 0.0, 1.0, 1.0],
+            t=1,
+            epsilon=1e-6,
+            round_policy=FixedRounds(1),
+            delay_model=PartitionDelay({0, 1}, fast=1.0, slow=40.0),
+        )
+        assert result.report.all_decided
+        assert not result.report.epsilon_agreement
+        assert not result.ok
+
+    def test_asyncio_runtime_selected_explicitly(self):
+        result = run_protocol(
+            "async-crash", [0.0, 0.4, 0.8, 1.0], t=1, epsilon=0.05, runtime="asyncio"
+        )
+        assert result.runtime == "asyncio"
+        assert result.ok
+
+    def test_start_jitter_does_not_break_protocol(self):
+        result = run_protocol(
+            "async-crash",
+            [0.0, 0.3, 0.6, 1.0],
+            t=1,
+            epsilon=0.05,
+            start_jitter=10.0,
+        )
+        assert result.ok
+
+    def test_strict_false_allows_over_threshold_runs(self):
+        result = run_protocol(
+            "async-crash",
+            [0.0, 0.5, 0.7, 1.0],
+            t=2,
+            epsilon=0.05,
+            strict=False,
+            round_policy=FixedRounds(5),
+        )
+        # The run completes (no exception); correctness is not guaranteed.
+        assert result.report is not None

@@ -1,0 +1,98 @@
+"""Unit tests for workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.workloads import (
+    clock_offsets,
+    extremes_inputs,
+    linear_inputs,
+    sensor_readings,
+    two_cluster_inputs,
+    uniform_inputs,
+)
+
+
+class TestUniformInputs:
+    def test_length_and_bounds(self):
+        inputs = uniform_inputs(20, low=2.0, high=5.0, seed=1)
+        assert len(inputs) == 20
+        assert all(2.0 <= v <= 5.0 for v in inputs)
+
+    def test_seed_determinism(self):
+        assert uniform_inputs(10, seed=3) == uniform_inputs(10, seed=3)
+        assert uniform_inputs(10, seed=3) != uniform_inputs(10, seed=4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_inputs(0)
+        with pytest.raises(ValueError):
+            uniform_inputs(3, low=1.0, high=0.0)
+
+
+class TestTwoClusterInputs:
+    def test_clusters_are_near_their_centers(self):
+        inputs = two_cluster_inputs(10, low_center=0.0, high_center=10.0, jitter=0.1, seed=2)
+        assert len(inputs) == 10
+        assert all(abs(v) <= 0.1 or abs(v - 10.0) <= 0.1 for v in inputs)
+
+    def test_split_is_roughly_half(self):
+        inputs = two_cluster_inputs(9, low_center=0.0, high_center=1.0, jitter=0.0)
+        low = sum(1 for v in inputs if v == 0.0)
+        assert low == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            two_cluster_inputs(0)
+
+
+class TestDeterministicWorkloads:
+    def test_extremes_alternate(self):
+        assert extremes_inputs(4, 0.0, 1.0) == [0.0, 1.0, 0.0, 1.0]
+
+    def test_linear_is_evenly_spaced(self):
+        inputs = linear_inputs(5, 0.0, 1.0)
+        assert inputs == [0.0, 0.25, 0.5, 0.75, 1.0]
+
+    def test_linear_single_process(self):
+        assert linear_inputs(1, 3.0, 9.0) == [3.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            extremes_inputs(0)
+        with pytest.raises(ValueError):
+            linear_inputs(0)
+
+
+class TestSensorReadings:
+    def test_readings_near_true_value(self):
+        readings = sensor_readings(50, true_value=20.0, noise=0.5, seed=7)
+        assert len(readings) == 50
+        assert all(abs(r - 20.0) < 5.0 for r in readings)
+
+    def test_outliers_are_offset(self):
+        readings = sensor_readings(10, true_value=0.0, noise=0.01, outliers=2,
+                                   outlier_magnitude=100.0, seed=1)
+        assert sum(1 for r in readings if r > 50.0) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sensor_readings(5, outliers=6)
+        with pytest.raises(ValueError):
+            sensor_readings(0)
+
+
+class TestClockOffsets:
+    def test_bounded_by_skew_plus_drift(self):
+        offsets = clock_offsets(8, max_skew=0.01, drift_per_process=0.001, seed=3)
+        assert len(offsets) == 8
+        for pid, offset in enumerate(offsets):
+            assert abs(offset - pid * 0.001) <= 0.01 + 1e-12
+
+    def test_determinism(self):
+        assert clock_offsets(5, seed=9) == clock_offsets(5, seed=9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clock_offsets(0)
