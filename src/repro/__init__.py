@@ -76,10 +76,15 @@ from repro.net import (
 )
 from repro.sim import (
     ExecutionResult,
+    SweepCell,
+    SweepSpec,
     VectorExecutionResult,
+    run_batch_protocol,
     run_protocol,
+    run_sweep,
     run_vector_protocol,
     sensor_readings,
+    summarize_sweep,
     two_cluster_inputs,
     uniform_inputs,
 )
@@ -114,6 +119,8 @@ __all__ = [
     "RoundPolicy",
     "SimulatedNetwork",
     "SpreadEstimateRounds",
+    "SweepCell",
+    "SweepSpec",
     "SyncByzantineProcess",
     "SyncCrashProcess",
     "UniformRandomDelay",
@@ -133,9 +140,12 @@ __all__ = [
     "make_witness_processes",
     "render_table",
     "rounds_to_epsilon",
+    "run_batch_protocol",
     "run_protocol",
+    "run_sweep",
     "run_vector_protocol",
     "sensor_readings",
+    "summarize_sweep",
     "spread",
     "sync_byzantine_bounds",
     "sync_crash_bounds",

@@ -28,7 +28,7 @@ from typing import List, Sequence
 
 from repro.core.protocol import AsyncRoundProcess, ProtocolConfig
 from repro.core.rounds import AlgorithmBounds, async_byzantine_bounds
-from repro.core.termination import FixedRounds, RoundPolicy
+from repro.core.termination import RoundPolicy, default_round_policy
 
 __all__ = ["AsyncByzantineProcess", "make_async_byzantine_processes"]
 
@@ -55,8 +55,6 @@ def make_async_byzantine_processes(
     """
     n = len(inputs)
     if round_policy is None:
-        from repro.core.async_crash import _default_round_policy
-
-        round_policy = _default_round_policy(async_byzantine_bounds(n, t), inputs, epsilon)
+        round_policy = default_round_policy(async_byzantine_bounds(n, t), inputs, epsilon)
     config = ProtocolConfig(n=n, t=t, epsilon=epsilon, round_policy=round_policy, strict=strict)
     return [AsyncByzantineProcess(value, config) for value in inputs]

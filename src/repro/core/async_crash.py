@@ -36,7 +36,7 @@ from typing import List, Sequence
 
 from repro.core.protocol import AsyncRoundProcess, ProtocolConfig
 from repro.core.rounds import AlgorithmBounds, async_crash_bounds
-from repro.core.termination import FixedRounds, RoundPolicy
+from repro.core.termination import RoundPolicy, default_round_policy
 
 __all__ = ["AsyncCrashProcess", "make_async_crash_processes"]
 
@@ -74,19 +74,6 @@ def make_async_crash_processes(
     """
     n = len(inputs)
     if round_policy is None:
-        round_policy = _default_round_policy(async_crash_bounds(n, t), inputs, epsilon)
+        round_policy = default_round_policy(async_crash_bounds(n, t), inputs, epsilon)
     config = ProtocolConfig(n=n, t=t, epsilon=epsilon, round_policy=round_policy, strict=strict)
     return [AsyncCrashProcess(value, config) for value in inputs]
-
-
-def _default_round_policy(bounds, inputs, epsilon) -> RoundPolicy:
-    """Fixed round count covering the actual spread of ``inputs``.
-
-    Falls back to a small constant when ``(n, t)`` is outside the resilience
-    bound (the contraction factor is then 1 and no finite count converges);
-    strict constructors reject such configurations anyway.
-    """
-    if not bounds.resilience_ok:
-        return FixedRounds(10)
-    spread = max(inputs) - min(inputs) if inputs else 0.0
-    return FixedRounds(bounds.rounds_for(spread, epsilon))

@@ -67,6 +67,21 @@ __all__ = [
 # ----------------------------------------------------------------------
 
 
+def _require_finite(values: Sequence[float]) -> None:
+    """Reject multisets containing NaN or ±inf.
+
+    Sorting is silently wrong in the presence of NaN (comparisons are false),
+    which would corrupt ``reduce`` and ``select`` without any error, so the
+    multiset machinery rejects non-finite inputs outright.  Protocol layers
+    drop non-finite payloads at the message boundary instead (a faulty sender
+    must not be able to crash an honest process).
+    """
+    if all(map(math.isfinite, values)):
+        return
+    offender = next(value for value in values if not math.isfinite(value))
+    raise ValueError(f"multiset operations require finite values, got {offender!r}")
+
+
 def spread(values: Iterable[float]) -> float:
     """Diameter of a multiset: ``max − min`` (0 for empty or singleton sets).
 
@@ -113,6 +128,7 @@ def reduce_multiset(values: Sequence[float], j: int) -> List[float]:
     """
     if j < 0:
         raise ValueError("j must be non-negative")
+    _require_finite(values)
     ordered = sorted(values)
     if len(ordered) < 2 * j + 1:
         raise ValueError(
@@ -134,6 +150,7 @@ def select_multiset(values: Sequence[float], k: int) -> List[float]:
     """
     if k < 1:
         raise ValueError("k must be at least 1")
+    _require_finite(values)
     ordered = sorted(values)
     if not ordered:
         raise ValueError("cannot select from an empty multiset")
@@ -144,9 +161,26 @@ def approximate(values: Sequence[float], j: int, k: int) -> float:
     """The approximation function ``mean(select_k(reduce^j(values)))``.
 
     This is the new value a process adopts at the end of a round, computed
-    from the multiset of round-``r`` values it collected.
+    from the multiset of round-``r`` values it collected.  Semantically
+    identical to ``mean(select_multiset(reduce_multiset(values, j), k))``
+    but sorts and validates the multiset only once — this is the innermost
+    function of the batch engine's sweep loop.
+
+    >>> approximate([5, 1, 9, 3, 7], j=1, k=2)
+    5.0
     """
-    return mean(select_multiset(reduce_multiset(values, j), k))
+    if j < 0:
+        raise ValueError("j must be non-negative")
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    _require_finite(values)
+    ordered = sorted(values)
+    if len(ordered) < 2 * j + 1:
+        raise ValueError(
+            f"cannot remove {j} extremes from each side of a multiset of size {len(ordered)}"
+        )
+    selected = ordered[j : len(ordered) - j : k] if j > 0 else ordered[::k]
+    return math.fsum(selected) / len(selected)
 
 
 def midpoint_of_reduced(values: Sequence[float], j: int) -> float:

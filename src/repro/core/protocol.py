@@ -29,11 +29,11 @@ process in every later round.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.multiset import approximate
-from repro.core.rounds import AlgorithmBounds
+from repro.core.rounds import AlgorithmBounds, approximation_step
 from repro.core.termination import FixedRounds, RoundPolicy
 from repro.net.interfaces import Process, ProcessContext
 from repro.net.message import Message
@@ -114,11 +114,13 @@ class _RoundProtocolBase(Process):
         raise NotImplementedError
 
     def update_value(self, sample: List[float]) -> float:
-        """Approximation function applied to the collected ``sample``."""
-        bounds = self.algorithm_bounds()
-        if bounds.select_k is None:
-            raise NotImplementedError("algorithms without a selection stride must override")
-        return approximate(sample, bounds.reduce_j, bounds.select_k)
+        """Approximation function applied to the collected ``sample``.
+
+        Delegates to the pure :func:`repro.core.rounds.approximation_step`
+        that the round-level batch engine shares, so both engines apply the
+        same update rule by construction.
+        """
+        return approximation_step(sample, self.algorithm_bounds())
 
     # ------------------------------------------------------------------
     # Shared helpers
@@ -141,6 +143,11 @@ class _RoundProtocolBase(Process):
     def _store_value(self, sender: int, message: Message) -> None:
         if message.round is None or not isinstance(message.value, (int, float)):
             return
+        # NaN/inf payloads can only come from a faulty sender (the honest
+        # update rule preserves finiteness); treat them as omissions so they
+        # can never poison the multiset machinery.
+        if not math.isfinite(message.value):
+            return
         bucket = self._received.setdefault(message.round, {})
         # Only the first value from each sender counts; authenticated channels
         # attribute every message to its true sender, so a Byzantine process
@@ -148,7 +155,7 @@ class _RoundProtocolBase(Process):
         bucket.setdefault(sender, float(message.value))
 
     def _store_halt(self, sender: int, message: Message) -> None:
-        if isinstance(message.value, (int, float)):
+        if isinstance(message.value, (int, float)) and math.isfinite(message.value):
             self._halted_peers.setdefault(sender, float(message.value))
 
     def _finish_round(self, ctx: ProcessContext, sample: List[float]) -> None:

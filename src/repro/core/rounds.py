@@ -58,12 +58,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro.core.multiset import contraction_denominator
+from repro.core.multiset import approximate, contraction_denominator, midpoint_of_reduced
 
 __all__ = [
     "AlgorithmBounds",
+    "approximation_step",
     "sync_crash_bounds",
     "sync_byzantine_bounds",
     "async_crash_bounds",
@@ -112,6 +113,22 @@ class AlgorithmBounds:
     def rounds_for(self, initial_spread: float, epsilon: float) -> int:
         """Rounds needed to shrink ``initial_spread`` below ``epsilon``."""
         return rounds_to_epsilon(initial_spread, epsilon, self.contraction)
+
+
+def approximation_step(sample: Sequence[float], bounds: AlgorithmBounds) -> float:
+    """The per-round value update of the algorithm described by ``bounds``.
+
+    This is the single pure function both execution engines share: the
+    message-driven protocol skeletons (:mod:`repro.core.protocol`) call it on
+    the multiset a process collected through the network, and the round-level
+    batch engine (:mod:`repro.sim.batch`) calls it directly on synthesised
+    views.  Algorithms with a selection stride apply
+    ``mean ∘ select_k ∘ reduce^j``; algorithms without one (the witness
+    protocol) apply the midpoint rule ``midpoint ∘ reduce^j``.
+    """
+    if bounds.select_k is None:
+        return midpoint_of_reduced(sample, bounds.reduce_j)
+    return approximate(sample, bounds.reduce_j, bounds.select_k)
 
 
 def _check_nt(n: int, t: int) -> None:

@@ -28,7 +28,7 @@ from typing import List, Sequence
 
 from repro.core.protocol import ProtocolConfig, SyncRoundProcess
 from repro.core.rounds import AlgorithmBounds, sync_byzantine_bounds, sync_crash_bounds
-from repro.core.termination import FixedRounds, RoundPolicy
+from repro.core.termination import RoundPolicy, default_round_policy
 
 __all__ = [
     "SyncCrashProcess",
@@ -52,12 +52,6 @@ class SyncByzantineProcess(SyncRoundProcess):
         return sync_byzantine_bounds(self.config.n, self.config.t)
 
 
-def _default_policy(bounds: AlgorithmBounds, inputs: Sequence[float], epsilon: float) -> RoundPolicy:
-    from repro.core.async_crash import _default_round_policy
-
-    return _default_round_policy(bounds, inputs, epsilon)
-
-
 def make_sync_crash_processes(
     inputs: Sequence[float],
     t: int,
@@ -68,7 +62,7 @@ def make_sync_crash_processes(
     """Build one :class:`SyncCrashProcess` per input value."""
     n = len(inputs)
     if round_policy is None:
-        round_policy = _default_policy(sync_crash_bounds(n, t), inputs, epsilon)
+        round_policy = default_round_policy(sync_crash_bounds(n, t), inputs, epsilon)
     config = ProtocolConfig(n=n, t=t, epsilon=epsilon, round_policy=round_policy, strict=strict)
     return [SyncCrashProcess(value, config) for value in inputs]
 
@@ -83,6 +77,6 @@ def make_sync_byzantine_processes(
     """Build one :class:`SyncByzantineProcess` per input value."""
     n = len(inputs)
     if round_policy is None:
-        round_policy = _default_policy(sync_byzantine_bounds(n, t), inputs, epsilon)
+        round_policy = default_round_policy(sync_byzantine_bounds(n, t), inputs, epsilon)
     config = ProtocolConfig(n=n, t=t, epsilon=epsilon, round_policy=round_policy, strict=strict)
     return [SyncByzantineProcess(value, config) for value in inputs]

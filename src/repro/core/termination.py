@@ -40,9 +40,15 @@ import abc
 from typing import Optional, Sequence
 
 from repro.core.multiset import spread
-from repro.core.rounds import rounds_to_epsilon
+from repro.core.rounds import AlgorithmBounds, rounds_to_epsilon
 
-__all__ = ["RoundPolicy", "FixedRounds", "KnownRangeRounds", "SpreadEstimateRounds"]
+__all__ = [
+    "RoundPolicy",
+    "FixedRounds",
+    "KnownRangeRounds",
+    "SpreadEstimateRounds",
+    "default_round_policy",
+]
 
 
 class RoundPolicy(abc.ABC):
@@ -166,3 +172,22 @@ class SpreadEstimateRounds(RoundPolicy):
 
     def describe(self) -> str:
         return f"SpreadEstimateRounds(x{self.slack_factor}, +{self.extra_rounds})"
+
+
+def default_round_policy(
+    bounds: AlgorithmBounds, inputs: Sequence[float], epsilon: float
+) -> RoundPolicy:
+    """Fixed round count covering the actual spread of ``inputs``.
+
+    This is the default every protocol factory (and the batch engine) uses
+    when the caller supplies no policy: convenient for examples and tests
+    where the inputs are known to the caller anyway, and deterministic given
+    the inputs, which is what lets the differential tests compare round
+    counts across engines.  Falls back to a small constant when ``(n, t)`` is
+    outside the resilience bound (the contraction factor is then 1 and no
+    finite count converges); strict constructors reject such configurations
+    anyway.
+    """
+    if not bounds.resilience_ok:
+        return FixedRounds(10)
+    return FixedRounds(bounds.rounds_for(spread(inputs), epsilon))

@@ -53,7 +53,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence
 from repro.core.multiset import midpoint_of_reduced
 from repro.core.protocol import ProtocolConfig, ResilienceError
 from repro.core.rounds import AlgorithmBounds, witness_bounds
-from repro.core.termination import FixedRounds, RoundPolicy
+from repro.core.termination import RoundPolicy, default_round_policy
 from repro.net.interfaces import Process, ProcessContext
 from repro.net.message import Message
 from repro.net.rbc import RbcMultiplexer
@@ -226,8 +226,6 @@ def make_witness_processes(
     """
     n = len(inputs)
     if round_policy is None:
-        from repro.core.async_crash import _default_round_policy
-
-        round_policy = _default_round_policy(witness_bounds(n, t), inputs, epsilon)
+        round_policy = default_round_policy(witness_bounds(n, t), inputs, epsilon)
     config = ProtocolConfig(n=n, t=t, epsilon=epsilon, round_policy=round_policy, strict=strict)
     return [WitnessProcess(value, config) for value in inputs]

@@ -27,12 +27,12 @@ from __future__ import annotations
 
 import abc
 import random
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.net.interfaces import Process, ProcessContext
 from repro.net.message import Message
-from repro.net.network import DelayModel, FaultPlan
+from repro.net.network import DelayModel, FaultPlan, NoFaults
 
 __all__ = [
     "CrashPoint",
@@ -51,6 +51,11 @@ __all__ = [
     "LaggardDelay",
     "StaggeredExclusionDelay",
     "TargetedDelay",
+    "OmissionPolicy",
+    "SeededOmission",
+    "DelayRankOmission",
+    "RoundFaultModel",
+    "round_fault_model",
 ]
 
 
@@ -101,6 +106,11 @@ class CrashFaultPlan(FaultPlan):
 
     def __init__(self, crash_points: Dict[int, CrashPoint]) -> None:
         self._crash_points = dict(crash_points)
+
+    @property
+    def crash_points(self) -> Dict[int, CrashPoint]:
+        """The configured crash points (used by the round-level adapter)."""
+        return dict(self._crash_points)
 
     def faulty_ids(self, n: int) -> Sequence[int]:
         return tuple(sorted(pid for pid in self._crash_points if pid < n))
@@ -294,6 +304,11 @@ class HonestWithCorruptedInput(Process):
     def __init__(self, process_factory: Callable[[], Process]) -> None:
         self._inner = process_factory()
 
+    @property
+    def inner(self) -> Process:
+        """The wrapped honest process (used by the round-level adapter)."""
+        return self._inner
+
     def bind(self, process_id: int) -> Process:
         super().bind(process_id)
         self._inner.bind(process_id)
@@ -318,6 +333,11 @@ class ByzantineFaultPlan(FaultPlan):
     def __init__(self, behaviours: Dict[int, Process]) -> None:
         self._behaviours = dict(behaviours)
 
+    @property
+    def behaviours(self) -> Dict[int, Process]:
+        """The configured replacements (used by the round-level adapter)."""
+        return dict(self._behaviours)
+
     def faulty_ids(self, n: int) -> Sequence[int]:
         return tuple(sorted(pid for pid in self._behaviours if pid < n))
 
@@ -339,6 +359,11 @@ class ComposedFaultPlan(FaultPlan):
 
     def __init__(self, plans: Sequence[FaultPlan]) -> None:
         self._plans = list(plans)
+
+    @property
+    def plans(self) -> Sequence[FaultPlan]:
+        """The composed plans (used by the round-level adapter)."""
+        return tuple(self._plans)
 
     def faulty_ids(self, n: int) -> Sequence[int]:
         ids: Set[int] = set()
@@ -471,3 +496,225 @@ class TargetedDelay(DelayModel):
 
     def delay(self, sender: int, recipient: int, message: Message, now: float) -> float:
         return self.slow if (sender, recipient) in self.slow_pairs else self.fast
+
+
+# ----------------------------------------------------------------------
+# Round-level adversary adapters (batch engine)
+# ----------------------------------------------------------------------
+#
+# The round-level batch engine (:mod:`repro.sim.batch`) never schedules
+# individual messages, so the three adversary powers must be re-expressed at
+# round granularity:
+#
+# * message scheduling becomes an :class:`OmissionPolicy` — for every
+#   (round, recipient) it decides *which* senders' values fill the quorum;
+# * fault selection and Byzantine behaviour become a :class:`RoundFaultModel`
+#   — per-process crash rounds (with mid-multicast prefixes), equivocating
+#   value strategies, silent processes and corrupted inputs.
+#
+# :func:`round_fault_model` and :class:`DelayRankOmission` translate the
+# *message-level* specs above (fault plans, delay models) into these
+# round-level forms, so one adversary description drives both engines.
+
+
+class OmissionPolicy(abc.ABC):
+    """Round-level message-scheduling adversary.
+
+    For every (round, recipient) pair the policy chooses which ``m`` of the
+    candidate senders fill the recipient's quorum; the remaining candidates
+    are "late" — their messages exist but arrive after the quorum is full,
+    which is all the asynchronous model lets an adversary do to an honest
+    message.  Any answer is a legal asynchronous schedule, so the protocol
+    guarantees must hold for every policy.
+    """
+
+    @abc.abstractmethod
+    def quorum(
+        self, round_number: int, recipient: int, candidates: Sequence[int], m: int
+    ) -> Sequence[int]:
+        """Choose ``m`` distinct senders from ``candidates`` (sorted by id)."""
+
+    def reset(self) -> None:
+        """Reset internal state before a fresh execution (optional)."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class SeededOmission(OmissionPolicy):
+    """Uniformly random quorum composition from an explicit seed.
+
+    One seeded RNG drives the whole execution; the engine queries quorums in
+    a fixed order (rounds ascending, recipients ascending), so identical
+    seeds reproduce identical quorum sequences — the property the sweep
+    pool's determinism guarantee rests on.  ``reset`` rewinds the RNG, so the
+    same policy object can drive repeated executions reproducibly.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
+
+    def quorum(
+        self, round_number: int, recipient: int, candidates: Sequence[int], m: int
+    ) -> Sequence[int]:
+        return self._rng.sample(candidates, m)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def describe(self) -> str:
+        return f"SeededOmission(seed={self.seed})"
+
+
+class DelayRankOmission(OmissionPolicy):
+    """Quorums filled by the ``m`` candidates with the smallest modelled delays.
+
+    This is the round-level shadow of running the event simulator under
+    ``delay_model``: when every sender multicasts its round-``r`` value at
+    (approximately) the same instant, the first ``m`` arrivals at a recipient
+    are exactly the ``m`` senders with the smallest delays.  Ties break by
+    sender identifier, matching the deterministic tie-breaking of the event
+    scheduler under constant delays.  Adversarial delay models such as
+    :class:`PartitionDelay`, :class:`LaggardDelay` and
+    :class:`StaggeredExclusionDelay` therefore shape batch-engine quorums the
+    same way they shape event-simulator quorums.
+    """
+
+    def __init__(self, delay_model: DelayModel) -> None:
+        self.delay_model = delay_model
+
+    def quorum(
+        self, round_number: int, recipient: int, candidates: Sequence[int], m: int
+    ) -> Sequence[int]:
+        probe = Message(kind="VALUE", round=round_number, value=0.0)
+        now = float(round_number)
+        ranked = sorted(
+            candidates,
+            key=lambda sender: (self.delay_model.delay(sender, recipient, probe, now), sender),
+        )
+        return ranked[:m]
+
+    def reset(self) -> None:
+        self.delay_model.reset()
+
+    def describe(self) -> str:
+        return f"DelayRankOmission({type(self.delay_model).__name__})"
+
+
+@dataclass(frozen=True)
+class RoundFaultModel:
+    """Round-level description of an execution's faults.
+
+    Attributes
+    ----------
+    crash_schedule:
+        Maps a crash-faulty process id to ``(crash_round, deliveries)``: the
+        process behaves honestly in rounds before ``crash_round``, its
+        round-``crash_round`` multicast reaches only recipients with
+        identifiers below ``deliveries`` (multicasts send in increasing
+        recipient order), and it is silent afterwards.
+    strategies:
+        Maps a Byzantine process id to the :class:`ByzantineValueStrategy`
+        deciding the (possibly equivocated) value it reports per
+        (round, recipient).
+    silent:
+        Byzantine processes that never send anything.
+    corrupted_inputs:
+        Byzantine processes that follow the honest protocol but start from a
+        forged input value.
+    """
+
+    crash_schedule: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    strategies: Dict[int, ByzantineValueStrategy] = field(default_factory=dict)
+    silent: frozenset = frozenset()
+    corrupted_inputs: Dict[int, float] = field(default_factory=dict)
+
+    def faulty_ids(self, n: int) -> Tuple[int, ...]:
+        ids = set(self.crash_schedule) | set(self.strategies) | set(self.silent)
+        ids |= set(self.corrupted_inputs)
+        return tuple(sorted(pid for pid in ids if pid < n))
+
+    def byzantine_ids(self, n: int) -> Tuple[int, ...]:
+        ids = set(self.strategies) | set(self.silent) | set(self.corrupted_inputs)
+        return tuple(sorted(pid for pid in ids if pid < n))
+
+    def describe(self) -> str:
+        parts = []
+        for pid, (round_number, deliveries) in sorted(self.crash_schedule.items()):
+            parts.append(f"P{pid}:crash@r{round_number}+{deliveries}")
+        for pid, strategy in sorted(self.strategies.items()):
+            parts.append(f"P{pid}:{strategy.describe()}")
+        for pid in sorted(self.silent):
+            parts.append(f"P{pid}:silent")
+        for pid, forged in sorted(self.corrupted_inputs.items()):
+            parts.append(f"P{pid}:input={forged}")
+        return "RoundFaultModel(" + ", ".join(parts) + ")"
+
+
+def round_fault_model(fault_plan: Optional[FaultPlan], n: int) -> RoundFaultModel:
+    """Translate a message-level :class:`FaultPlan` into a :class:`RoundFaultModel`.
+
+    Supports every fault plan shipped with the library — crash plans
+    (including mid-multicast crash points), Byzantine plans built from
+    :class:`RoundEchoByzantine`, :class:`SilentProcess` or
+    :class:`HonestWithCorruptedInput`, and compositions thereof.  A plan the
+    adapter cannot interpret raises :class:`ValueError`; callers with custom
+    behaviours can construct a :class:`RoundFaultModel` directly instead.
+    """
+    if fault_plan is None:
+        return RoundFaultModel()
+
+    crash_schedule: Dict[int, Tuple[int, int]] = {}
+    strategies: Dict[int, ByzantineValueStrategy] = {}
+    silent: Set[int] = set()
+    corrupted_inputs: Dict[int, float] = {}
+
+    def absorb(plan: FaultPlan) -> None:
+        if isinstance(plan, NoFaults):
+            return
+        if isinstance(plan, ComposedFaultPlan):
+            for sub_plan in plan.plans:
+                absorb(sub_plan)
+            return
+        if isinstance(plan, CrashFaultPlan):
+            for pid, point in plan.crash_points.items():
+                if pid >= n or point.after_sends is None:
+                    continue
+                crash_round, deliveries = divmod(point.after_sends, n)
+                crash_schedule[pid] = (crash_round + 1, deliveries)
+            return
+        if isinstance(plan, ByzantineFaultPlan):
+            for pid, behaviour in plan.behaviours.items():
+                if pid >= n:
+                    continue
+                if isinstance(behaviour, RoundEchoByzantine):
+                    strategies[pid] = behaviour.strategy
+                elif isinstance(behaviour, SilentProcess):
+                    silent.add(pid)
+                elif isinstance(behaviour, HonestWithCorruptedInput):
+                    forged = getattr(behaviour.inner, "input_value", None)
+                    if forged is None:
+                        raise ValueError(
+                            "cannot adapt HonestWithCorruptedInput: the wrapped process "
+                            "exposes no input_value"
+                        )
+                    corrupted_inputs[pid] = float(forged)
+                else:
+                    raise ValueError(
+                        f"cannot adapt Byzantine behaviour {behaviour.describe()!r} to the "
+                        "round level; build a RoundFaultModel directly"
+                    )
+            return
+        raise ValueError(
+            f"cannot adapt fault plan {plan.describe()!r} to the round level; "
+            "build a RoundFaultModel directly"
+        )
+
+    absorb(fault_plan)
+    return RoundFaultModel(
+        crash_schedule=crash_schedule,
+        strategies=strategies,
+        silent=frozenset(silent),
+        corrupted_inputs=corrupted_inputs,
+    )

@@ -1,5 +1,6 @@
-"""Simulation harness: runners, metrics, workloads, experiment utilities."""
+"""Simulation harness: runners, metrics, workloads, sweeps, experiment utilities."""
 
+from repro.sim.batch import BATCH_PROTOCOLS, run_batch_protocol
 from repro.sim.experiments import ExperimentRecord, aggregate, parameter_grid, summarize_results
 from repro.sim.metrics import (
     CostSummary,
@@ -19,6 +20,18 @@ from repro.sim.runner import (
     run_lockstep,
     run_protocol,
 )
+from repro.sim.sweep import (
+    ADVERSARY_SPECS,
+    WORKLOAD_SPECS,
+    CellOutcome,
+    SweepCell,
+    SweepSpec,
+    adversary_fits_protocol,
+    records_from_sweep,
+    run_cell,
+    run_sweep,
+    summarize_sweep,
+)
 from repro.sim.workloads import (
     clock_offsets,
     extremes_inputs,
@@ -29,12 +42,19 @@ from repro.sim.workloads import (
 )
 
 __all__ = [
+    "ADVERSARY_SPECS",
+    "BATCH_PROTOCOLS",
+    "CellOutcome",
     "CostSummary",
     "ExecutionResult",
     "ExperimentRecord",
     "PROTOCOL_FACTORIES",
     "SYNCHRONOUS_PROTOCOLS",
+    "SweepCell",
+    "SweepSpec",
     "VectorExecutionResult",
+    "WORKLOAD_SPECS",
+    "adversary_fits_protocol",
     "aggregate",
     "clock_offsets",
     "contraction_factors",
@@ -43,14 +63,19 @@ __all__ = [
     "linear_inputs",
     "messages_per_round",
     "parameter_grid",
+    "records_from_sweep",
     "run_async_network",
     "run_asyncio_runtime",
+    "run_batch_protocol",
+    "run_cell",
     "run_lockstep",
     "run_protocol",
+    "run_sweep",
     "run_vector_protocol",
     "sensor_readings",
     "spread_trajectory",
     "summarize_results",
+    "summarize_sweep",
     "two_cluster_inputs",
     "uniform_inputs",
     "worst_contraction",

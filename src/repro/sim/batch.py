@@ -1,0 +1,499 @@
+"""Round-level Monte-Carlo batch engine.
+
+The discrete-event simulator (:mod:`repro.net.network`) schedules every
+individual message, which is the right granularity for validating protocol
+*mechanics* (quorum buffering, halt echoes, mid-multicast crashes observed by
+some recipients and not others) but caps parameter sweeps at a few dozen
+executions.  The round-based structure of the algorithms admits a much faster
+execution model: in every asynchronous round each process ends up applying the
+pure approximation step (:func:`repro.core.rounds.approximation_step`) to
+*some* legal multiset of round-``r`` values, and everything the adversary can
+do — delay, omit, crash mid-multicast, equivocate — only changes *which*
+multiset that is.
+
+This engine therefore advances all ``n`` processes one round at a time:
+
+1. determine, per (sender, recipient), whether the sender's round-``r`` value
+   can reach the recipient (crash schedule, silent processes);
+2. let the :class:`~repro.net.adversary.OmissionPolicy` pick which ``m``
+   candidates fill each recipient's quorum (asynchronous protocols) or
+   substitute the recipient's own value for missing senders (synchronous
+   protocols);
+3. let each Byzantine :class:`~repro.net.adversary.ByzantineValueStrategy`
+   inject its per-(round, recipient) value into the quorums that include it;
+4. apply the shared approximation step to every collected view.
+
+Because every quorum the engine synthesises is one the event simulator could
+have produced under some schedule, the correctness guarantees (validity,
+ε-agreement after the theoretically sufficient number of rounds) transfer
+directly; ``tests/sim/test_batch_equivalence.py`` checks this differentially
+against the event simulator on a seeded scenario grid.
+
+The engine supports the four direct protocols (``async-crash``,
+``async-byzantine``, ``sync-crash``, ``sync-byzantine``).  The witness
+protocol is intentionally unsupported: its reliable-broadcast and witness
+sub-protocols are message-level by nature and have no faithful round-level
+form.
+
+Results are full :class:`~repro.sim.runner.ExecutionResult` objects (runtime
+tag ``"batch"``), so the metrics, convergence-analysis and table pipelines
+apply unchanged.  Message counts are exact (each live multicast is ``n``
+point-to-point sends, mid-multicast crashes send a prefix); bit counts charge
+every value message the wire size of one ``VALUE`` message of that round.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.problem import ProblemInstance, validate_outputs
+from repro.core.protocol import ResilienceError
+from repro.core.rounds import (
+    AlgorithmBounds,
+    approximation_step,
+    async_byzantine_bounds,
+    async_crash_bounds,
+    sync_byzantine_bounds,
+    sync_crash_bounds,
+)
+from repro.core.termination import RoundPolicy, default_round_policy
+from repro.net.adversary import (
+    DelayRankOmission,
+    OmissionPolicy,
+    RoundFaultModel,
+    SeededOmission,
+    round_fault_model,
+)
+from repro.net.message import Message, message_bits
+from repro.net.network import DelayModel, FaultPlan, NetworkStats
+from repro.sim.metrics import spread_trajectory
+from repro.sim.runner import ExecutionResult
+
+__all__ = [
+    "BATCH_PROTOCOL_BOUNDS",
+    "BATCH_PROTOCOLS",
+    "run_batch_protocol",
+]
+
+
+#: Protocol name → closed-form bounds factory, for every protocol the batch
+#: engine can execute at round granularity.
+BATCH_PROTOCOL_BOUNDS: Dict[str, Callable[[int, int], AlgorithmBounds]] = {
+    "async-crash": async_crash_bounds,
+    "async-byzantine": async_byzantine_bounds,
+    "sync-crash": sync_crash_bounds,
+    "sync-byzantine": sync_byzantine_bounds,
+}
+
+#: Names of the protocols the batch engine supports.
+BATCH_PROTOCOLS = tuple(sorted(BATCH_PROTOCOL_BOUNDS))
+
+_SYNCHRONOUS = frozenset({"sync-crash", "sync-byzantine"})
+
+
+def _upfront_rounds(policy: RoundPolicy, bounds: AlgorithmBounds, epsilon: float) -> int:
+    """Round count of ``policy``, which must be computable before round 1."""
+    try:
+        return policy.required_rounds(bounds.contraction, epsilon, None)
+    except TypeError:
+        raise ValueError(
+            f"the batch engine requires a round policy whose count is known upfront "
+            f"(e.g. FixedRounds or KnownRangeRounds), not {policy.describe()}"
+        ) from None
+
+
+class _RoundState:
+    """Mutable per-execution state of one batch run."""
+
+    def __init__(
+        self,
+        n: int,
+        inputs: Sequence[float],
+        faults: RoundFaultModel,
+    ) -> None:
+        self.n = n
+        self.faults = faults
+        self.crash_schedule = dict(faults.crash_schedule)
+        self.strategy_ids = set(faults.strategies)
+        self.silent_ids = set(faults.silent)
+        # Value holders run the honest update rule: honest processes,
+        # crash-faulty processes until they crash, and corrupted-input
+        # Byzantine processes (honest behaviour, forged input).
+        self.holders = [
+            pid
+            for pid in range(n)
+            if pid not in self.strategy_ids and pid not in self.silent_ids
+        ]
+        self.values: Dict[int, float] = {pid: float(inputs[pid]) for pid in self.holders}
+        for pid, forged in faults.corrupted_inputs.items():
+            if pid in self.values:
+                self.values[pid] = float(forged)
+        faulty = set(faults.faulty_ids(n))
+        self.honest = [pid for pid in range(n) if pid not in faulty]
+        self.histories: Dict[int, List[float]] = {
+            pid: [self.values[pid]] for pid in self.holders
+        }
+
+    def crash_round(self, pid: int) -> Optional[int]:
+        point = self.crash_schedule.get(pid)
+        return point[0] if point is not None else None
+
+    def sends_in_round(self, pid: int, round_number: int) -> int:
+        """Point-to-point sends of holder ``pid``'s round-``round_number`` multicast."""
+        crash = self.crash_schedule.get(pid)
+        if crash is None:
+            return self.n
+        crash_round, deliveries = crash
+        if round_number < crash_round:
+            return self.n
+        if round_number == crash_round:
+            return deliveries
+        return 0
+
+    def reaches(self, sender: int, recipient: int, round_number: int) -> bool:
+        """Whether ``sender``'s round value can reach ``recipient`` this round."""
+        if sender in self.silent_ids:
+            return False
+        if sender in self.strategy_ids:
+            return True
+        # Multicasts send in increasing recipient order, so a mid-multicast
+        # crash reaches exactly the recipients below the delivery prefix.
+        return recipient < self.sends_in_round(sender, round_number)
+
+    def round_candidates(self, round_number: int) -> Tuple[List[int], List[Tuple[int, int]]]:
+        """Candidate senders this round: (reach everyone, partial prefixes).
+
+        The first list holds the senders whose round value reaches every
+        recipient; the second holds ``(sender, deliveries)`` pairs for
+        senders crashing mid-multicast this round, which reach only
+        recipients below ``deliveries``.  Computing this once per round keeps
+        the per-recipient work at ``O(m)`` instead of ``O(n)`` probing.
+        """
+        full: List[int] = []
+        partial: List[Tuple[int, int]] = []
+        for sender in range(self.n):
+            if sender in self.silent_ids:
+                continue
+            if sender in self.strategy_ids:
+                full.append(sender)
+                continue
+            sends = self.sends_in_round(sender, round_number)
+            if sends == self.n:
+                full.append(sender)
+            elif sends > 0:
+                partial.append((sender, sends))
+        return full, partial
+
+    def updates_in_round(self, pid: int, round_number: int) -> bool:
+        """Whether holder ``pid`` completes (and applies) round ``round_number``."""
+        crash = self.crash_round(pid)
+        return crash is None or round_number < crash
+
+
+def run_batch_protocol(
+    protocol: str,
+    inputs: Sequence[float],
+    t: int,
+    epsilon: float,
+    round_policy: Optional[RoundPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    fault_model: Optional[RoundFaultModel] = None,
+    omission_policy: Optional[OmissionPolicy] = None,
+    delay_model: Optional[DelayModel] = None,
+    seed: int = 0,
+    strict: bool = True,
+) -> ExecutionResult:
+    """Run one execution on the round-level batch engine.
+
+    Parameters mirror :func:`repro.sim.runner.run_protocol` where they
+    overlap, so callers can switch engines by switching the function:
+
+    protocol:
+        One of :data:`BATCH_PROTOCOLS`.
+    inputs, t, epsilon:
+        Problem instance (``n = len(inputs)``).
+    round_policy:
+        Optional policy; must be computable upfront (the default —
+        :func:`repro.core.termination.default_round_policy` — is, and matches
+        the protocol factories, which is what makes round counts comparable
+        across engines).
+    fault_plan / fault_model:
+        Faults, either as a message-level :class:`~repro.net.network.FaultPlan`
+        (adapted via :func:`~repro.net.adversary.round_fault_model`) or
+        directly as a :class:`~repro.net.adversary.RoundFaultModel`.  At most
+        one may be given.
+    omission_policy / delay_model:
+        Quorum-composition adversary, either directly or as a message-level
+        delay model (adapted via
+        :class:`~repro.net.adversary.DelayRankOmission`).  Defaults to
+        :class:`~repro.net.adversary.SeededOmission` with ``seed``.
+    seed:
+        Seed of the default omission policy; ignored when an explicit
+        ``omission_policy`` or ``delay_model`` is supplied.
+    strict:
+        Whether to reject ``(n, t)`` outside the protocol's resilience bound.
+    """
+    if protocol not in BATCH_PROTOCOL_BOUNDS:
+        raise ValueError(
+            f"batch engine does not support protocol {protocol!r}; "
+            f"supported: {list(BATCH_PROTOCOLS)}"
+        )
+    if fault_plan is not None and fault_model is not None:
+        raise ValueError("pass either fault_plan or fault_model, not both")
+    if omission_policy is not None and delay_model is not None:
+        raise ValueError("pass either omission_policy or delay_model, not both")
+
+    started = time.perf_counter()
+    n = len(inputs)
+    bounds = BATCH_PROTOCOL_BOUNDS[protocol](n, t)
+    if strict and not bounds.resilience_ok:
+        raise ResilienceError(
+            f"{bounds.name} does not tolerate t={t} faults with n={n}"
+        )
+
+    if fault_model is None:
+        fault_model = round_fault_model(fault_plan, n)
+    if omission_policy is None:
+        omission_policy = (
+            DelayRankOmission(delay_model) if delay_model is not None else SeededOmission(seed)
+        )
+    omission_policy.reset()
+
+    problem = ProblemInstance(
+        n=n,
+        t=t,
+        epsilon=epsilon,
+        inputs=list(inputs),
+        faulty=fault_model.faulty_ids(n),
+        byzantine=fault_model.byzantine_ids(n),
+    )
+    policy = round_policy or default_round_policy(bounds, inputs, epsilon)
+    total_rounds = _upfront_rounds(policy, bounds, epsilon)
+
+    state = _RoundState(n, inputs, fault_model)
+    stats = NetworkStats()
+    synchronous = protocol in _SYNCHRONOUS
+    quorum_size = bounds.sample_size
+    strategies = fault_model.strategies
+    # The shipped policies honour the quorum contract by construction, so
+    # their answers skip the per-call validation in the hot loop; custom
+    # policies stay fully checked.
+    trusted_policy = type(omission_policy) in (SeededOmission, DelayRankOmission)
+    live = True
+    rounds_completed = 0
+
+    for round_number in range(1, total_rounds + 1):
+        _account_round_messages(stats, state, strategies, round_number)
+        # Full-information adversary: Byzantine strategies see every honest
+        # (and crash-faulty) current value before choosing what to report.
+        # (Skipped when no strategy will ever read it — this sits in the
+        # sweep hot loop.)
+        observed: Sequence[float] = sorted(state.values.values()) if strategies else ()
+
+        updaters = [
+            pid for pid in state.holders if state.updates_in_round(pid, round_number)
+        ]
+        full_candidates, partial_candidates = state.round_candidates(round_number)
+        full_candidate_set = frozenset(full_candidates)
+        new_values: Dict[int, float] = {}
+        for recipient in updaters:
+            if partial_candidates:
+                candidates = sorted(
+                    full_candidates
+                    + [s for s, prefix in partial_candidates if recipient < prefix]
+                )
+                candidate_set = frozenset(candidates)
+            else:
+                candidates = full_candidates
+                candidate_set = full_candidate_set
+            if synchronous:
+                sample = _sync_sample(
+                    state, strategies, candidates, recipient, round_number, observed
+                )
+            else:
+                sample = _async_sample(
+                    state,
+                    strategies,
+                    omission_policy,
+                    candidates,
+                    candidate_set,
+                    recipient,
+                    round_number,
+                    quorum_size,
+                    observed,
+                    trusted_policy,
+                )
+                if sample is None:
+                    live = False
+                    break
+            stats.messages_delivered += len(sample)
+            new_values[recipient] = approximation_step(sample, bounds)
+        if not live:
+            break
+        rounds_completed = round_number
+        state.values.update(new_values)
+        for pid, value in new_values.items():
+            state.histories[pid].append(value)
+
+    decided = live
+    outputs: Dict[int, Optional[float]] = {
+        pid: (state.values[pid] if decided else None) for pid in state.honest
+    }
+    report = validate_outputs(problem, outputs)
+    value_histories = {pid: list(state.histories[pid]) for pid in state.honest}
+    wall = time.perf_counter() - started
+    return ExecutionResult(
+        protocol=protocol,
+        runtime="batch",
+        problem=problem,
+        report=report,
+        outputs=outputs,
+        stats=stats,
+        rounds_used=rounds_completed,
+        trajectory=spread_trajectory(value_histories),
+        value_histories=value_histories,
+        events_executed=0,
+        wall_time_seconds=wall,
+    )
+
+
+def _account_round_messages(
+    stats: NetworkStats,
+    state: _RoundState,
+    strategies: Dict[int, object],
+    round_number: int,
+) -> None:
+    """Charge this round's value traffic to the statistics.
+
+    Counts are exact at message granularity (every live holder multicasts
+    ``n`` point-to-point messages, a crashing holder sends its delivery
+    prefix, every strategy-driven Byzantine process sends to all ``n``); the
+    per-message bit size is the wire size of one round-``r`` ``VALUE``
+    message.
+    """
+    per_message_bits = message_bits(Message(kind="VALUE", round=round_number, value=0.0))
+    sends = 0
+    for pid in state.holders:
+        count = state.sends_in_round(pid, round_number)
+        if count:
+            stats.sends_by_process[pid] = stats.sends_by_process.get(pid, 0) + count
+        sends += count
+    for pid in strategies:
+        stats.sends_by_process[pid] = stats.sends_by_process.get(pid, 0) + state.n
+        sends += state.n
+    stats.messages_sent += sends
+    stats.bits_sent += sends * per_message_bits
+    stats.messages_by_kind["VALUE"] = stats.messages_by_kind.get("VALUE", 0) + sends
+
+
+def _injected_value(
+    strategies: Dict[int, object],
+    sender: int,
+    round_number: int,
+    recipient: int,
+    observed: Sequence[float],
+) -> Optional[float]:
+    """Value a Byzantine strategy reports, or ``None`` when it is unusable.
+
+    Mirrors the message boundary of the protocol skeletons: a NaN/inf payload
+    is dropped rather than delivered, so here it degrades to an omission.
+    """
+    value = strategies[sender].value(round_number, recipient, observed)
+    if not isinstance(value, (int, float)) or not math.isfinite(value):
+        return None
+    return float(value)
+
+
+def _async_sample(
+    state: _RoundState,
+    strategies: Dict[int, object],
+    omission_policy: OmissionPolicy,
+    candidates: List[int],
+    candidate_set: frozenset,
+    recipient: int,
+    round_number: int,
+    quorum_size: int,
+    observed: Sequence[float],
+    trusted_policy: bool = False,
+) -> Optional[List[float]]:
+    """The quorum multiset an asynchronous process collects, or ``None``.
+
+    ``None`` signals a liveness failure: fewer than ``quorum_size`` senders
+    can ever reach the recipient, which is exactly the situation in which the
+    event simulator would stall with the process waiting forever.
+    """
+    if len(candidates) < quorum_size:
+        return None
+    chosen = list(omission_policy.quorum(round_number, recipient, candidates, quorum_size))
+    if not trusted_policy:
+        chosen_set = set(chosen)
+        if len(chosen) != quorum_size or len(chosen_set) != quorum_size:
+            raise ValueError(
+                f"omission policy {omission_policy.describe()} returned {len(chosen)} "
+                f"senders, expected {quorum_size} distinct"
+            )
+        if not chosen_set <= candidate_set:
+            raise ValueError(
+                f"omission policy {omission_policy.describe()} chose senders outside the "
+                "candidate set"
+            )
+    if not strategies:
+        # Fast path: every candidate is a value holder, values are finite by
+        # invariant, no injection can occur.
+        return [state.values[sender] for sender in chosen]
+    sample: List[float] = []
+    for sender in chosen:
+        value = _sender_value(state, strategies, sender, round_number, recipient, observed)
+        if value is not None:
+            sample.append(value)
+    # A dropped (non-finite) Byzantine payload behaves like an omission: the
+    # quorum refills from the remaining (late) candidates, as the event
+    # simulator's arrival order would.
+    if len(sample) < quorum_size:
+        chosen_lookup = frozenset(chosen)
+        for sender in candidates:
+            if len(sample) >= quorum_size:
+                break
+            if sender in chosen_lookup:
+                continue
+            value = _sender_value(state, strategies, sender, round_number, recipient, observed)
+            if value is not None:
+                sample.append(value)
+    if len(sample) < quorum_size:
+        return None
+    return sample
+
+
+def _sync_sample(
+    state: _RoundState,
+    strategies: Dict[int, object],
+    candidates: List[int],
+    recipient: int,
+    round_number: int,
+    observed: Sequence[float],
+) -> List[float]:
+    """The size-``n`` synchronous sample with own-value substitution."""
+    candidate_set = set(candidates)
+    own = state.values[recipient]
+    sample: List[float] = []
+    for sender in range(state.n):
+        value = None
+        if sender in candidate_set:
+            value = _sender_value(state, strategies, sender, round_number, recipient, observed)
+        sample.append(own if value is None else value)
+    return sample
+
+
+def _sender_value(
+    state: _RoundState,
+    strategies: Dict[int, object],
+    sender: int,
+    round_number: int,
+    recipient: int,
+    observed: Sequence[float],
+) -> Optional[float]:
+    if sender in strategies:
+        return _injected_value(strategies, sender, round_number, recipient, observed)
+    return state.values[sender]

@@ -1,0 +1,481 @@
+"""Seeded scenario-grid sweeps over both execution engines.
+
+A *sweep* is the cartesian product of named axes — protocol, system size,
+adversary, input workload, seed — evaluated cell by cell on either the
+round-level batch engine (:mod:`repro.sim.batch`, the default: fast enough
+for thousand-execution grids) or the per-message event simulator
+(:mod:`repro.sim.runner`, for differential validation and message-level
+effects).  Both engines consume the *same* adversary specification: each
+named adversary builds a message-level ``(fault_plan, delay_model)`` bundle,
+which the batch engine adapts through
+:func:`repro.net.adversary.round_fault_model` and
+:class:`repro.net.adversary.DelayRankOmission`.
+
+Everything in a sweep is deterministic given the cell: workloads and
+randomised adversary components derive from the cell's seed, so re-running a
+sweep — serially or on a ``multiprocessing`` worker pool — reproduces the
+same outcomes bit for bit (guarded by ``tests/sim/test_determinism.py``).
+
+Per-cell results are compact, picklable :class:`CellOutcome` records carrying
+the same measurements as :class:`~repro.sim.runner.ExecutionResult` /
+:class:`~repro.sim.metrics.CostSummary`, and they flow into the existing
+analysis pipeline: :func:`records_from_sweep` and :func:`summarize_sweep`
+produce :class:`~repro.sim.experiments.ExperimentRecord` rows that
+:func:`repro.analysis.tables.render_records` renders directly, with the
+theory-versus-measurement columns of :mod:`repro.analysis.convergence`.
+
+Typical use::
+
+    spec = SweepSpec(
+        protocols=("async-crash",),
+        system_sizes=((7, 2), (10, 3)),
+        adversaries=("none", "crash-initial", "staggered"),
+        workloads=("uniform", "two-cluster"),
+        seeds=tuple(range(50)),
+    )
+    outcomes = run_sweep(spec, workers=4)
+    print(render_records(summarize_sweep(outcomes), SUMMARY_COLUMNS))
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.analysis.convergence import compare_to_bound
+from repro.core.rounds import (
+    AlgorithmBounds,
+    async_byzantine_bounds,
+    async_crash_bounds,
+    sync_byzantine_bounds,
+    sync_crash_bounds,
+    witness_bounds,
+)
+from repro.net.adversary import (
+    AntiConvergenceStrategy,
+    ByzantineFaultPlan,
+    CrashFaultPlan,
+    CrashPoint,
+    EquivocatingStrategy,
+    FixedValueStrategy,
+    LaggardDelay,
+    PartitionDelay,
+    RoundEchoByzantine,
+    StaggeredExclusionDelay,
+)
+from repro.net.network import DelayModel, FaultPlan, UniformRandomDelay
+from repro.sim.batch import BATCH_PROTOCOLS, run_batch_protocol
+from repro.sim.experiments import ExperimentRecord, aggregate
+from repro.sim.metrics import CostSummary
+from repro.sim.runner import PROTOCOL_FACTORIES, ExecutionResult, run_protocol
+from repro.sim.workloads import (
+    clock_offsets,
+    extremes_inputs,
+    linear_inputs,
+    sensor_readings,
+    two_cluster_inputs,
+    uniform_inputs,
+)
+
+__all__ = [
+    "ADVERSARY_SPECS",
+    "WORKLOAD_SPECS",
+    "PROTOCOL_BOUNDS",
+    "SUMMARY_COLUMNS",
+    "CELL_COLUMNS",
+    "AdversaryBundle",
+    "SweepCell",
+    "SweepSpec",
+    "CellOutcome",
+    "adversary_fits_protocol",
+    "run_cell",
+    "run_sweep",
+    "records_from_sweep",
+    "summarize_sweep",
+]
+
+
+#: Protocol name → closed-form bounds factory (every protocol, both engines).
+PROTOCOL_BOUNDS: Dict[str, Callable[[int, int], AlgorithmBounds]] = {
+    "async-crash": async_crash_bounds,
+    "async-byzantine": async_byzantine_bounds,
+    "witness": witness_bounds,
+    "sync-crash": sync_crash_bounds,
+    "sync-byzantine": sync_byzantine_bounds,
+}
+
+
+class AdversaryBundle(NamedTuple):
+    """Message-level adversary specification shared by both engines."""
+
+    fault_plan: Optional[FaultPlan]
+    delay_model: Optional[DelayModel]
+    #: Whether the faults are Byzantine (used for protocol compatibility).
+    byzantine: bool = False
+
+
+def _no_adversary(protocol: str, n: int, t: int, seed: int) -> AdversaryBundle:
+    return AdversaryBundle(None, None)
+
+
+def _crash_initial(protocol: str, n: int, t: int, seed: int) -> AdversaryBundle:
+    """The ``t`` highest-id processes are initially dead (never send)."""
+    plan = CrashFaultPlan({n - 1 - i: CrashPoint(after_sends=0) for i in range(t)})
+    return AdversaryBundle(plan if t else None, None)
+
+
+def _crash_staggered(protocol: str, n: int, t: int, seed: int) -> AdversaryBundle:
+    """One crash per round, each mid-multicast at a seed-derived prefix."""
+    plan = CrashFaultPlan(
+        {
+            n - 1 - i: CrashPoint.mid_multicast(i + 1, n, (seed + 3 * i) % (n + 1))
+            for i in range(t)
+        }
+    )
+    return AdversaryBundle(plan if t else None, None)
+
+
+def _byzantine(strategy_factory: Callable[[int], object]) -> Callable[..., AdversaryBundle]:
+    def build(protocol: str, n: int, t: int, seed: int) -> AdversaryBundle:
+        behaviours = {
+            n - 1 - i: RoundEchoByzantine(strategy_factory(seed + i)) for i in range(t)
+        }
+        return AdversaryBundle(ByzantineFaultPlan(behaviours) if t else None, None, True)
+
+    return build
+
+
+def _partition(protocol: str, n: int, t: int, seed: int) -> AdversaryBundle:
+    return AdversaryBundle(None, PartitionDelay(camp_a=range((n + 1) // 2)))
+
+
+def _laggard(protocol: str, n: int, t: int, seed: int) -> AdversaryBundle:
+    return AdversaryBundle(None, LaggardDelay(slow_senders=range(n - t, n)))
+
+
+def _staggered(protocol: str, n: int, t: int, seed: int) -> AdversaryBundle:
+    return AdversaryBundle(None, StaggeredExclusionDelay(n, exclude=t))
+
+
+def _random_delays(protocol: str, n: int, t: int, seed: int) -> AdversaryBundle:
+    return AdversaryBundle(None, UniformRandomDelay(low=0.1, high=2.0, seed=seed))
+
+
+#: Adversary name → builder(protocol, n, t, seed) → :class:`AdversaryBundle`.
+ADVERSARY_SPECS: Dict[str, Callable[[str, int, int, int], AdversaryBundle]] = {
+    "none": _no_adversary,
+    "crash-initial": _crash_initial,
+    "crash-staggered": _crash_staggered,
+    "byz-fixed": _byzantine(lambda seed: FixedValueStrategy(1e3)),
+    "byz-equivocate": _byzantine(lambda seed: EquivocatingStrategy(-1.0, 2.0)),
+    "byz-anti": _byzantine(lambda seed: AntiConvergenceStrategy()),
+    "partition": _partition,
+    "laggard": _laggard,
+    "staggered": _staggered,
+    "random-delays": _random_delays,
+}
+
+#: Adversaries that replace processes with Byzantine behaviours.
+_BYZANTINE_ADVERSARIES = frozenset({"byz-fixed", "byz-equivocate", "byz-anti"})
+
+#: Protocols whose fault model covers Byzantine behaviour.
+_BYZANTINE_PROTOCOLS = frozenset({"async-byzantine", "sync-byzantine", "witness"})
+
+
+def adversary_fits_protocol(adversary: str, protocol: str) -> bool:
+    """Whether the adversary stays inside the protocol's fault model.
+
+    Byzantine value-injection against a crash-tolerant protocol is outside
+    its fault model — the sweep will run such cells (they are interesting
+    precisely because the guarantees may break), but grids that assert
+    every cell is correct should filter with this predicate.
+    """
+    if adversary in _BYZANTINE_ADVERSARIES:
+        return protocol in _BYZANTINE_PROTOCOLS
+    return True
+
+
+#: Workload name → builder(n, seed) → input vector.
+WORKLOAD_SPECS: Dict[str, Callable[[int, int], List[float]]] = {
+    "uniform": lambda n, seed: uniform_inputs(n, seed=seed),
+    "two-cluster": lambda n, seed: two_cluster_inputs(n, seed=seed),
+    "extremes": lambda n, seed: extremes_inputs(n),
+    "linear": lambda n, seed: linear_inputs(n),
+    "sensors": lambda n, seed: sensor_readings(n, seed=seed),
+    "clocks": lambda n, seed: clock_offsets(n, seed=seed),
+}
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One fully specified execution of the grid (hashable, picklable)."""
+
+    protocol: str
+    n: int
+    t: int
+    epsilon: float
+    adversary: str
+    workload: str
+    seed: int
+    engine: str  # "batch" or "event"
+
+    def validate(self) -> None:
+        if self.protocol not in PROTOCOL_FACTORIES:
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.adversary not in ADVERSARY_SPECS:
+            raise ValueError(f"unknown adversary {self.adversary!r}")
+        if self.workload not in WORKLOAD_SPECS:
+            raise ValueError(f"unknown workload {self.workload!r}")
+        if self.engine not in ("batch", "event"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.engine == "batch" and self.protocol not in BATCH_PROTOCOLS:
+            raise ValueError(
+                f"protocol {self.protocol!r} is not supported by the batch engine; "
+                f"use engine='event'"
+            )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A scenario grid: the cartesian product of its axes."""
+
+    protocols: Tuple[str, ...]
+    system_sizes: Tuple[Tuple[int, int], ...]  # (n, t) pairs
+    adversaries: Tuple[str, ...] = ("none",)
+    workloads: Tuple[str, ...] = ("uniform",)
+    seeds: Tuple[int, ...] = (0,)
+    epsilon: float = 1e-3
+    engine: str = "batch"
+
+    def cells(self) -> Iterator[SweepCell]:
+        """Yield every cell of the grid, in a fixed deterministic order."""
+        for protocol, (n, t), adversary, workload, seed in itertools.product(
+            self.protocols, self.system_sizes, self.adversaries, self.workloads, self.seeds
+        ):
+            cell = SweepCell(
+                protocol=protocol,
+                n=n,
+                t=t,
+                epsilon=self.epsilon,
+                adversary=adversary,
+                workload=workload,
+                seed=seed,
+                engine=self.engine,
+            )
+            cell.validate()
+            yield cell
+
+    @property
+    def cell_count(self) -> int:
+        return (
+            len(self.protocols)
+            * len(self.system_sizes)
+            * len(self.adversaries)
+            * len(self.workloads)
+            * len(self.seeds)
+        )
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """Compact, picklable measurement record of one sweep cell.
+
+    Carries the cell plus the same quantities an
+    :class:`~repro.sim.runner.ExecutionResult` exposes — correctness verdict,
+    round/message/bit costs (as a :class:`~repro.sim.metrics.CostSummary` via
+    :attr:`costs`), output spread, and the theory-versus-measurement
+    contraction comparison of :mod:`repro.analysis.convergence`.
+    """
+
+    cell: SweepCell
+    ok: bool
+    all_decided: bool
+    rounds: int
+    messages: int
+    bits: int
+    output_spread: float
+    theoretical_contraction: float
+    worst_contraction: Optional[float]
+    mean_contraction: Optional[float]
+    bound_respected: bool
+    #: Wall time is observational, not part of the deterministic outcome, so
+    #: it is excluded from equality — pool and serial sweeps compare equal.
+    wall_time_seconds: float = field(compare=False, default=0.0)
+    violations: Tuple[str, ...] = ()
+
+    @property
+    def costs(self) -> CostSummary:
+        return CostSummary(rounds=self.rounds, messages=self.messages, bits=self.bits)
+
+    def as_record(self) -> ExperimentRecord:
+        cell = self.cell
+        return ExperimentRecord(
+            experiment="sweep",
+            params={
+                "protocol": cell.protocol,
+                "n": cell.n,
+                "t": cell.t,
+                "adversary": cell.adversary,
+                "workload": cell.workload,
+                "seed": cell.seed,
+                "engine": cell.engine,
+            },
+            measured={
+                "rounds": self.rounds,
+                "messages": self.messages,
+                "bits": self.bits,
+                "output_spread": self.output_spread,
+                "worst_contraction": self.worst_contraction,
+                "mean_contraction": self.mean_contraction,
+            },
+            expected={"contraction": self.theoretical_contraction},
+            ok=self.ok and self.bound_respected,
+            notes="; ".join(self.violations),
+        )
+
+
+#: Column sets for rendering per-cell and per-group tables.
+CELL_COLUMNS = [
+    "protocol", "n", "t", "adversary", "workload", "seed", "engine",
+    "rounds", "messages", "worst_contraction", "expected_contraction",
+    "output_spread", "ok",
+]
+SUMMARY_COLUMNS = [
+    "protocol", "n", "t", "adversary", "workload", "engine", "runs",
+    "ok_fraction", "rounds_mean", "messages_mean", "worst_contraction",
+    "expected_contraction", "ok",
+]
+
+
+def _execute_cell(cell: SweepCell) -> ExecutionResult:
+    cell.validate()
+    inputs = WORKLOAD_SPECS[cell.workload](cell.n, cell.seed)
+    bundle = ADVERSARY_SPECS[cell.adversary](cell.protocol, cell.n, cell.t, cell.seed)
+    if cell.engine == "batch":
+        return run_batch_protocol(
+            cell.protocol,
+            inputs,
+            t=cell.t,
+            epsilon=cell.epsilon,
+            fault_plan=bundle.fault_plan,
+            delay_model=bundle.delay_model,
+            seed=cell.seed,
+        )
+    return run_protocol(
+        cell.protocol,
+        inputs,
+        t=cell.t,
+        epsilon=cell.epsilon,
+        fault_plan=bundle.fault_plan,
+        delay_model=bundle.delay_model,
+    )
+
+
+def run_cell(cell: SweepCell) -> CellOutcome:
+    """Execute one cell and compress the result into a :class:`CellOutcome`."""
+    result = _execute_cell(cell)
+    bounds = PROTOCOL_BOUNDS[cell.protocol](cell.n, cell.t)
+    comparison = compare_to_bound(bounds, result.trajectory)
+    return CellOutcome(
+        cell=cell,
+        ok=result.ok,
+        all_decided=result.report.all_decided,
+        rounds=result.rounds_used,
+        messages=result.stats.messages_sent,
+        bits=result.stats.bits_sent,
+        output_spread=result.report.output_spread,
+        theoretical_contraction=bounds.contraction,
+        worst_contraction=comparison.measured_worst_contraction,
+        mean_contraction=comparison.measured_mean_contraction,
+        bound_respected=comparison.bound_respected,
+        wall_time_seconds=result.wall_time_seconds,
+        violations=tuple(result.report.violations),
+    )
+
+
+def _resolve_workers(workers: Optional[int], cell_count: int) -> int:
+    if workers is not None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        return workers
+    return max(1, min(os.cpu_count() or 1, cell_count))
+
+
+def run_sweep(spec: SweepSpec, workers: Optional[int] = None) -> List[CellOutcome]:
+    """Run every cell of ``spec`` and return outcomes in grid order.
+
+    ``workers`` controls the ``multiprocessing`` pool size; ``None`` uses one
+    worker per CPU (capped by the cell count) and ``1`` runs serially in
+    process.  Outcomes are deterministic and identically ordered either way:
+    each cell is self-contained and seeded, so the pool only changes the
+    wall-clock, never the results.  If the platform cannot spawn a pool the
+    sweep silently degrades to the serial path.
+    """
+    cells = list(spec.cells())
+    worker_count = _resolve_workers(workers, len(cells))
+    if worker_count <= 1 or len(cells) <= 1:
+        return [run_cell(cell) for cell in cells]
+    try:
+        pool = multiprocessing.Pool(worker_count)
+    except OSError:
+        # Restricted environments (no /dev/shm, sandboxed fork) fall back to
+        # the serial path; results are identical by construction.  Only pool
+        # *creation* is guarded — an error raised by a cell itself must
+        # propagate, not silently re-run the whole grid serially.
+        return [run_cell(cell) for cell in cells]
+    with pool:
+        chunk = max(1, len(cells) // (worker_count * 4))
+        return pool.map(run_cell, cells, chunksize=chunk)
+
+
+def records_from_sweep(outcomes: Sequence[CellOutcome]) -> List[ExperimentRecord]:
+    """One :class:`~repro.sim.experiments.ExperimentRecord` per cell."""
+    return [outcome.as_record() for outcome in outcomes]
+
+
+def summarize_sweep(outcomes: Sequence[CellOutcome]) -> List[ExperimentRecord]:
+    """Aggregate outcomes across seeds into per-configuration records.
+
+    Groups by (protocol, n, t, adversary, workload, engine) and reports the
+    fraction of correct runs, mean rounds/messages, and the worst observed
+    contraction against the theoretical bound — the columns of
+    :data:`SUMMARY_COLUMNS`, renderable with
+    :func:`repro.analysis.tables.render_records`.
+    """
+    grouped: Dict[Tuple, List[CellOutcome]] = {}
+    for outcome in outcomes:
+        cell = outcome.cell
+        key = (cell.protocol, cell.n, cell.t, cell.adversary, cell.workload, cell.engine)
+        grouped.setdefault(key, []).append(outcome)
+
+    records: List[ExperimentRecord] = []
+    for key in sorted(grouped):
+        protocol, n, t, adversary, workload, engine = key
+        group = grouped[key]
+        worsts = [o.worst_contraction for o in group if o.worst_contraction is not None]
+        records.append(
+            ExperimentRecord(
+                experiment="sweep-summary",
+                params={
+                    "protocol": protocol,
+                    "n": n,
+                    "t": t,
+                    "adversary": adversary,
+                    "workload": workload,
+                    "engine": engine,
+                },
+                measured={
+                    "runs": len(group),
+                    "ok_fraction": sum(1 for o in group if o.ok) / len(group),
+                    "rounds_mean": aggregate(o.rounds for o in group)["mean"],
+                    "messages_mean": aggregate(o.messages for o in group)["mean"],
+                    "worst_contraction": max(worsts) if worsts else None,
+                },
+                expected={"contraction": group[0].theoretical_contraction},
+                ok=all(o.ok and o.bound_respected for o in group),
+            )
+        )
+    return records

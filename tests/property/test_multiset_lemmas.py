@@ -8,6 +8,9 @@ than only on hand-picked examples.
 
 from __future__ import annotations
 
+import math
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -21,6 +24,7 @@ from repro.core.multiset import (
     reduce_multiset,
     select_multiset,
     spread,
+    symmetric_difference_size,
 )
 
 finite_floats = st.floats(
@@ -129,3 +133,142 @@ class TestConvergenceLemmaProperty:
                 continue
             c = contraction_denominator(m, j, k)
             assert c == len(select_multiset(reduce_multiset(u, j), k))
+
+
+class TestReductionEmptiesMultiset:
+    """``reduce^j`` must refuse to consume its whole sample.
+
+    The resilience conditions of the algorithms guarantee ``m ≥ 2j + 1``; if
+    a caller violates that, silently returning an empty multiset would turn
+    into an undefined ``mean`` downstream, so the contract is a loud error.
+    """
+
+    @given(st.lists(finite_floats, min_size=0, max_size=12), st.integers(0, 10))
+    def test_overlarge_j_raises_instead_of_emptying(self, values, j):
+        if len(values) >= 2 * j + 1:
+            assert len(reduce_multiset(values, j)) == len(values) - 2 * j
+        else:
+            with pytest.raises(ValueError):
+                reduce_multiset(values, j)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=12))
+    def test_exact_boundary_leaves_singleton(self, values):
+        if len(values) % 2 == 0:
+            values = values[:-1]
+        j = (len(values) - 1) // 2
+        reduced = reduce_multiset(values, j)
+        assert len(reduced) == 1
+        # The survivor is the median slot of the sorted multiset.
+        assert reduced[0] == sorted(values)[j]
+
+    def test_contraction_denominator_rejects_consumed_multiset(self):
+        with pytest.raises(ValueError):
+            contraction_denominator(m=4, j=2, k=1)
+
+
+class TestOversizedStride:
+    """``k > m − 2j``: the stride exceeds the reduced size.
+
+    Selection always keeps the smallest surviving element, so an oversized
+    stride degrades gracefully to a single selected element and the
+    approximation collapses to ``min(reduce^j(V))`` — still inside the valid
+    range.  This is the regime of the batch engine's most lopsided quorums.
+    """
+
+    @given(st.lists(finite_floats, min_size=1, max_size=10), st.integers(1, 50))
+    def test_selection_with_oversized_stride_keeps_minimum(self, values, k):
+        if k < len(values):
+            return
+        assert select_multiset(values, k) == [min(values)]
+
+    @given(st.lists(finite_floats, min_size=3, max_size=10), st.integers(0, 2), st.integers(1, 50))
+    def test_approximate_with_oversized_stride_is_reduced_minimum(self, values, j, k):
+        if len(values) < 2 * j + 1 or k < len(values) - 2 * j:
+            return
+        reduced = reduce_multiset(values, j)
+        assert approximate(values, j, k) == reduced[0]
+        assert min(values) <= approximate(values, j, k) <= max(values)
+
+    def test_denominator_is_one_for_oversized_stride(self):
+        assert contraction_denominator(m=5, j=1, k=10) == 1
+
+
+class TestDuplicateHeavyMultisets:
+    """Multisets dominated by repeated values (bag semantics everywhere)."""
+
+    few_distinct = st.lists(st.sampled_from([0.0, 0.5, 1.0]), min_size=3, max_size=25)
+
+    @given(few_distinct, st.integers(0, 2), st.integers(1, 5))
+    def test_approximate_handles_duplicates(self, values, j, k):
+        if len(values) < 2 * j + 1:
+            return
+        result = approximate(values, j, k)
+        assert min(values) <= result <= max(values)
+
+    @given(few_distinct, few_distinct)
+    def test_bag_intersection_counts_multiplicities(self, u, v):
+        common = common_submultiset_size(u, v)
+        # Explicit multiplicity computation as the oracle.
+        expected = sum(
+            min(u.count(x), v.count(x)) for x in {0.0, 0.5, 1.0}
+        )
+        assert common == expected
+        assert symmetric_difference_size(u, v) == len(u) + len(v) - 2 * expected
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), st.integers(3, 15))
+    def test_constant_multiset_is_a_fixed_point(self, value, m):
+        values = [value] * m
+        # mean(sum of c copies)/c round-trips through floating point, so the
+        # fixed point is exact only up to one rounding step.
+        assert math.isclose(approximate(values, 1, 2), value, rel_tol=1e-15, abs_tol=1e-300)
+        assert midpoint_of_reduced(values, 1) == value
+        assert spread(values) == 0.0
+
+    @settings(max_examples=150)
+    @given(few_distinct)
+    def test_convergence_lemma_with_duplicates(self, base):
+        # Perturb d slots by duplicating an existing element: divergence via
+        # multiplicities only.
+        d = min(2, len(base) - 1)
+        u = list(base)
+        v = list(base)
+        for i in range(d):
+            u[i] = base[-1]
+            v[i] = base[0]
+        k = max(1, d)
+        assert convergence_bound_holds(u, v, j=0, k=k)
+
+
+class TestNonFiniteRejection:
+    """NaN/inf never enter the multiset machinery.
+
+    NaN comparisons are silently false, so a single NaN would corrupt
+    ``sorted`` (and hence reduce/select) without raising; the operations
+    reject non-finite values outright.  The protocol layers instead drop
+    such payloads at the message boundary (tested in the protocol suites).
+    """
+
+    non_finite = st.sampled_from([float("nan"), float("inf"), float("-inf")])
+
+    @given(st.lists(finite_floats, min_size=2, max_size=10), non_finite,
+           st.integers(0, 2))
+    def test_reduce_rejects_non_finite(self, values, poison, position_seed):
+        poisoned = list(values)
+        poisoned.insert(position_seed % (len(values) + 1), poison)
+        with pytest.raises(ValueError, match="finite"):
+            reduce_multiset(poisoned, 0)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=10), non_finite)
+    def test_select_rejects_non_finite(self, values, poison):
+        with pytest.raises(ValueError, match="finite"):
+            select_multiset(values + [poison], 1)
+
+    @given(st.lists(finite_floats, min_size=3, max_size=10), non_finite)
+    def test_approximate_rejects_non_finite(self, values, poison):
+        with pytest.raises(ValueError, match="finite"):
+            approximate(values + [poison], 1, 1)
+
+    def test_finite_inputs_still_accepted_at_extremes(self):
+        huge = [1e308, -1e308, 0.0]
+        assert reduce_multiset(huge, 1) == [0.0]
+        assert math.isfinite(approximate(huge, 0, 1))

@@ -1,0 +1,237 @@
+"""Unit tests for the round-level batch engine (:mod:`repro.sim.batch`)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.protocol import ResilienceError
+from repro.core.rounds import async_crash_bounds
+from repro.core.termination import FixedRounds, SpreadEstimateRounds
+from repro.net.adversary import (
+    ByzantineFaultPlan,
+    CrashFaultPlan,
+    CrashPoint,
+    DelayRankOmission,
+    EquivocatingStrategy,
+    FixedValueStrategy,
+    OmissionPolicy,
+    RoundEchoByzantine,
+    RoundFaultModel,
+    SeededOmission,
+    SilentProcess,
+    round_fault_model,
+)
+from repro.net.network import ConstantDelay
+from repro.sim.batch import BATCH_PROTOCOLS, run_batch_protocol
+
+from tests.conftest import assert_execution_ok
+
+
+class TestBasicExecutions:
+    @pytest.mark.parametrize("protocol,n,t", [
+        ("async-crash", 7, 2),
+        ("async-byzantine", 11, 2),
+        ("sync-crash", 7, 2),
+        ("sync-byzantine", 7, 2),
+    ])
+    def test_fault_free_execution_is_correct(self, protocol, n, t):
+        inputs = [i / (n - 1) for i in range(n)]
+        result = run_batch_protocol(protocol, inputs, t=t, epsilon=1e-3)
+        assert_execution_ok(result, f"{protocol} n={n}")
+        assert result.runtime == "batch"
+        assert result.rounds_used > 0
+        # Trajectory starts at the input spread and ends within epsilon.
+        assert result.trajectory[0] == pytest.approx(1.0)
+        assert result.trajectory[-1] <= 1e-3 * (1 + 1e-9)
+
+    def test_zero_rounds_when_inputs_already_agree(self):
+        result = run_batch_protocol("async-crash", [0.5, 0.5001, 0.5], t=1, epsilon=0.01)
+        assert result.ok
+        assert result.rounds_used == 0
+        assert result.stats.messages_sent == 0
+
+    def test_resilience_enforced_when_strict(self):
+        with pytest.raises(ResilienceError):
+            run_batch_protocol("async-byzantine", [0.0] * 7, t=2, epsilon=0.1)
+        result = run_batch_protocol(
+            "async-byzantine", [0.0] * 7 + [1.0] * 0, t=2, epsilon=0.1, strict=False
+        )
+        assert result.report.all_decided
+
+    def test_witness_protocol_rejected(self):
+        assert "witness" not in BATCH_PROTOCOLS
+        with pytest.raises(ValueError, match="not support"):
+            run_batch_protocol("witness", [0.0, 1.0, 2.0, 3.0], t=1, epsilon=0.1)
+
+    def test_adaptive_round_policy_rejected(self):
+        with pytest.raises(ValueError, match="upfront"):
+            run_batch_protocol(
+                "async-crash",
+                [0.0, 0.5, 1.0, 0.2],
+                t=1,
+                epsilon=0.1,
+                round_policy=SpreadEstimateRounds(),
+            )
+
+    def test_conflicting_adversary_arguments_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            run_batch_protocol(
+                "async-crash",
+                [0.0, 1.0, 0.5, 0.2],
+                t=1,
+                epsilon=0.1,
+                fault_plan=CrashFaultPlan({}),
+                fault_model=RoundFaultModel(),
+            )
+        with pytest.raises(ValueError, match="not both"):
+            run_batch_protocol(
+                "async-crash",
+                [0.0, 1.0, 0.5, 0.2],
+                t=1,
+                epsilon=0.1,
+                omission_policy=SeededOmission(0),
+                delay_model=ConstantDelay(1.0),
+            )
+
+
+class TestFaultHandling:
+    def test_initially_dead_crash_faults(self):
+        n, t = 7, 3
+        plan = CrashFaultPlan({n - 1 - i: CrashPoint(after_sends=0) for i in range(t)})
+        inputs = [i / (n - 1) for i in range(n)]
+        result = run_batch_protocol("async-crash", inputs, t=t, epsilon=1e-3, fault_plan=plan)
+        assert_execution_ok(result, "initially dead")
+        # Dead processes never send: only n - t senders contribute messages.
+        assert result.stats.messages_sent == result.rounds_used * (n - t) * n
+
+    def test_mid_multicast_crash_reaches_prefix_only(self):
+        n = 5
+        # Process 4 crashes in round 1 after reaching recipients 0 and 1.
+        model = RoundFaultModel(crash_schedule={4: (1, 2)})
+        inputs = [0.0, 0.0, 1.0, 1.0, 100.0]
+        result = run_batch_protocol(
+            "async-crash", inputs, t=2, epsilon=1e-3, fault_model=model,
+            round_policy=FixedRounds(1),
+        )
+        # The crashed sender's (valid, crash model) value may only influence
+        # the prefix recipients; validity covers all inputs in the crash model.
+        assert result.report.validity
+        assert result.stats.sends_by_process[4] == 2
+
+    def test_silent_byzantine_is_tolerated(self):
+        n, t = 11, 2
+        plan = ByzantineFaultPlan({9: SilentProcess(), 10: SilentProcess()})
+        inputs = [i / (n - 1) for i in range(n)]
+        result = run_batch_protocol("async-byzantine", inputs, t=t, epsilon=1e-3, fault_plan=plan)
+        assert_execution_ok(result, "silent byzantine")
+        assert result.stats.sends_by_process.get(10, 0) == 0
+
+    def test_equivocating_byzantine_cannot_break_validity(self):
+        n, t = 11, 2
+        plan = ByzantineFaultPlan(
+            {n - 1 - i: RoundEchoByzantine(EquivocatingStrategy(-50.0, 50.0)) for i in range(t)}
+        )
+        inputs = [i / (n - 1) for i in range(n)]
+        result = run_batch_protocol("async-byzantine", inputs, t=t, epsilon=1e-3, fault_plan=plan)
+        assert_execution_ok(result, "equivocation")
+        honest_outputs = list(result.report.outputs.values())
+        assert min(honest_outputs) >= 0.0 - 1e-9
+        assert max(honest_outputs) <= 1.0 + 1e-9
+
+    def test_non_finite_injection_degrades_to_omission(self):
+        n, t = 11, 2
+        model = RoundFaultModel(
+            strategies={n - 1: FixedValueStrategy(float("nan")), n - 2: FixedValueStrategy(float("inf"))}
+        )
+        inputs = [i / (n - 1) for i in range(n)]
+        result = run_batch_protocol(
+            "async-byzantine", inputs, t=t, epsilon=1e-3, fault_model=model
+        )
+        assert_execution_ok(result, "nan injection")
+        for value in result.report.outputs.values():
+            assert math.isfinite(value)
+
+    def test_fault_model_larger_than_t_rejected(self):
+        # More faults than t would make liveness unprovable; the problem
+        # instance rejects it before the engine runs (and with at most t
+        # faults the n − t quorum is always satisfiable, so the engine's
+        # liveness-failure path can only trigger for out-of-model inputs).
+        model = RoundFaultModel(crash_schedule={2: (1, 0), 3: (1, 0), 4: (1, 0)})
+        with pytest.raises(ValueError, match="faulty"):
+            run_batch_protocol(
+                "async-crash", [0.0, 1.0, 2.0, 3.0, 4.0], t=2, epsilon=1e-3,
+                fault_model=model, strict=False,
+            )
+
+
+class TestOmissionPolicies:
+    def test_seeded_omission_is_deterministic(self):
+        policy = SeededOmission(seed=5)
+        first = policy.quorum(3, 1, list(range(10)), 6)
+        second = SeededOmission(seed=5).quorum(3, 1, list(range(10)), 6)
+        assert first == second
+        assert len(set(first)) == 6
+
+    def test_delay_rank_tracks_constant_delay_tie_break(self):
+        policy = DelayRankOmission(ConstantDelay(1.0))
+        assert list(policy.quorum(1, 0, [4, 2, 7, 1], 2)) == [1, 2]
+
+    def test_malformed_policy_is_rejected(self):
+        class Broken(OmissionPolicy):
+            def quorum(self, round_number, recipient, candidates, m):
+                return [candidates[0]] * m  # duplicates
+
+        with pytest.raises(ValueError, match="distinct"):
+            run_batch_protocol(
+                "async-crash", [0.0, 1.0, 0.5, 0.2], t=1, epsilon=0.1,
+                omission_policy=Broken(),
+            )
+
+
+class TestFaultModelAdapter:
+    def test_crash_plan_round_translation(self):
+        n = 6
+        plan = CrashFaultPlan({
+            0: CrashPoint(after_sends=0),
+            1: CrashPoint.before_round(3, n),
+            2: CrashPoint.mid_multicast(2, n, 4),
+            3: CrashPoint(after_sends=None),
+        })
+        model = round_fault_model(plan, n)
+        assert model.crash_schedule[0] == (1, 0)
+        assert model.crash_schedule[1] == (3, 0)
+        assert model.crash_schedule[2] == (2, 4)
+        assert 3 not in model.crash_schedule
+        assert model.faulty_ids(n) == (0, 1, 2)
+        assert model.byzantine_ids(n) == ()
+
+    def test_byzantine_plan_translation(self):
+        plan = ByzantineFaultPlan({
+            4: RoundEchoByzantine(FixedValueStrategy(9.0)),
+            5: SilentProcess(),
+        })
+        model = round_fault_model(plan, 6)
+        assert isinstance(model.strategies[4], FixedValueStrategy)
+        assert 5 in model.silent
+        assert model.byzantine_ids(6) == (4, 5)
+
+    def test_unknown_behaviour_rejected(self):
+        class Weird(SilentProcess):
+            pass
+
+        # Subclasses of known behaviours are fine; a genuinely unknown
+        # process type is not.
+        from repro.net.interfaces import Process
+
+        class Custom(Process):
+            def on_start(self, ctx):
+                pass
+
+            def on_message(self, ctx, sender, message):
+                pass
+
+        assert 5 in round_fault_model(ByzantineFaultPlan({5: Weird()}), 6).silent
+        with pytest.raises(ValueError, match="cannot adapt"):
+            round_fault_model(ByzantineFaultPlan({5: Custom()}), 6)

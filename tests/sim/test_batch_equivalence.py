@@ -1,0 +1,145 @@
+"""Differential validation: batch engine versus the event-driven simulator.
+
+Both engines execute the *same* scenario — protocol, ``(n, t)``, input
+workload, adversary specification — and must agree on everything the theory
+pins down:
+
+* both terminate with every honest process decided;
+* both satisfy validity and ε-agreement;
+* both run exactly the same number of rounds (the default round policy is a
+  deterministic function of the inputs shared by both engines), and that
+  number is within the theoretical sufficiency bound;
+* both report identical message and bit counts (value traffic is
+  schedule-independent: every live process multicasts once per round).
+
+What the engines legitimately may *not* agree on is the exact output values:
+the asynchronous adversary controls quorum composition, and the two engines
+realise different legal schedules.  The differential grid therefore checks
+the full correctness envelope rather than bitwise output equality — except
+for the synchronous crash protocol, where the round-level model is exact and
+the outputs must match bit for bit.
+
+The full grid (every protocol × adversary × workload combination, ≥ 24
+cells) is marked ``slow``; a representative smoke subset always runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.convergence import predicted_rounds
+from repro.core.multiset import spread
+from repro.sim.runner import run_protocol
+from repro.sim.batch import run_batch_protocol
+from repro.sim.sweep import (
+    ADVERSARY_SPECS,
+    PROTOCOL_BOUNDS,
+    WORKLOAD_SPECS,
+    adversary_fits_protocol,
+)
+
+EPSILON = 1e-3
+
+#: (protocol, n, t) triples sized at each protocol's interesting threshold.
+SYSTEMS = {
+    "async-crash": (7, 2),
+    "async-byzantine": (11, 2),
+    "sync-crash": (7, 2),
+    "sync-byzantine": (7, 2),
+}
+
+#: Adversaries exercised per protocol family (must stay inside the fault
+#: model so that both engines are *guaranteed* to satisfy the properties).
+ADVERSARIES = [
+    "none",
+    "crash-initial",
+    "crash-staggered",
+    "byz-fixed",
+    "byz-equivocate",
+    "byz-anti",
+    "partition",
+    "staggered",
+]
+
+WORKLOADS = ["uniform", "two-cluster", "extremes"]
+
+
+def grid_cells():
+    """Every in-model (protocol, adversary, workload) combination."""
+    cells = []
+    for protocol, (n, t) in SYSTEMS.items():
+        for adversary in ADVERSARIES:
+            if not adversary_fits_protocol(adversary, protocol):
+                continue
+            for workload in WORKLOADS:
+                cells.append((protocol, n, t, adversary, workload))
+    return cells
+
+
+GRID = grid_cells()
+# The acceptance bar for the differential grid: at least 24 scenario cells.
+assert len(GRID) >= 24, f"differential grid has only {len(GRID)} cells"
+
+SMOKE = [
+    ("async-crash", 7, 2, "crash-staggered", "uniform"),
+    ("async-byzantine", 11, 2, "byz-equivocate", "two-cluster"),
+    ("sync-crash", 7, 2, "crash-initial", "extremes"),
+    ("sync-byzantine", 7, 2, "byz-anti", "uniform"),
+]
+
+
+def run_both(protocol, n, t, adversary, workload, seed):
+    inputs = WORKLOAD_SPECS[workload](n, seed)
+    bundle = ADVERSARY_SPECS[adversary](protocol, n, t, seed)
+    batch = run_batch_protocol(
+        protocol, inputs, t=t, epsilon=EPSILON,
+        fault_plan=bundle.fault_plan, delay_model=bundle.delay_model, seed=seed,
+    )
+    event = run_protocol(
+        protocol, inputs, t=t, epsilon=EPSILON,
+        fault_plan=bundle.fault_plan, delay_model=bundle.delay_model,
+    )
+    return inputs, batch, event
+
+
+def assert_equivalent(protocol, n, t, adversary, workload, seed):
+    inputs, batch, event = run_both(protocol, n, t, adversary, workload, seed)
+    context = f"{protocol} n={n} t={t} {adversary}/{workload} seed={seed}"
+
+    # Both engines terminate correctly.
+    assert batch.ok, f"batch failed: {context}: {batch.report.violations}"
+    assert event.ok, f"event failed: {context}: {event.report.violations}"
+
+    # Same number of rounds, and within the theoretical sufficiency bound.
+    assert batch.rounds_used == event.rounds_used, context
+    bounds = PROTOCOL_BOUNDS[protocol](n, t)
+    sufficient = predicted_rounds(bounds, spread(inputs), EPSILON)
+    assert batch.rounds_used <= sufficient, context
+
+    # Value traffic is schedule-independent, so the cost metrics must agree
+    # exactly across engines.
+    assert batch.stats.messages_sent == event.stats.messages_sent, context
+    assert batch.stats.bits_sent == event.stats.bits_sent, context
+
+    # The synchronous crash model leaves the adversary no scheduling freedom,
+    # so there the engines must agree bit for bit.
+    if protocol == "sync-crash":
+        assert batch.outputs == event.outputs, context
+
+
+class TestDifferentialSmoke:
+    """Always-on representative subset of the differential grid."""
+
+    @pytest.mark.parametrize("protocol,n,t,adversary,workload", SMOKE)
+    def test_engines_agree(self, protocol, n, t, adversary, workload):
+        assert_equivalent(protocol, n, t, adversary, workload, seed=0)
+
+
+@pytest.mark.slow
+class TestDifferentialGrid:
+    """The full seeded scenario grid (≥ 24 cells, two seeds each)."""
+
+    @pytest.mark.parametrize("protocol,n,t,adversary,workload", GRID)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_engines_agree(self, protocol, n, t, adversary, workload, seed):
+        assert_equivalent(protocol, n, t, adversary, workload, seed)

@@ -1,0 +1,94 @@
+"""Determinism regression: identical seeds ⇒ identical execution metrics.
+
+Reproducibility is a foundational property of the evaluation harness: every
+randomised component (workloads, delay models, omission policies, Byzantine
+strategies) takes an explicit seed, so repeating a run must reproduce every
+metric bit for bit.  This guards all three execution paths — the event
+simulator, the round-level batch engine, and the sweep worker pool.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.network import UniformRandomDelay
+from repro.sim.batch import BATCH_PROTOCOLS, run_batch_protocol
+from repro.sim.runner import PROTOCOL_FACTORIES, SYNCHRONOUS_PROTOCOLS, run_protocol
+from repro.sim.sweep import SweepSpec, run_sweep
+from repro.sim.workloads import uniform_inputs
+
+SEED = 1234
+
+
+def metrics_of(result):
+    """Every deterministic measurement of one execution."""
+    return (
+        result.outputs,
+        result.rounds_used,
+        result.trajectory,
+        result.value_histories,
+        result.stats.messages_sent,
+        result.stats.bits_sent,
+        result.stats.messages_by_kind,
+        result.report.ok,
+        result.report.output_spread,
+    )
+
+
+class TestEventEngineDeterminism:
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOL_FACTORIES))
+    def test_repeated_runs_are_identical(self, protocol):
+        n, t = (11, 2) if protocol == "async-byzantine" else (7, 2)
+        inputs = uniform_inputs(n, seed=SEED)
+
+        def execute():
+            delays = None
+            if protocol not in SYNCHRONOUS_PROTOCOLS:
+                delays = UniformRandomDelay(low=0.2, high=1.8, seed=SEED)
+            return run_protocol(
+                protocol, inputs, t=t, epsilon=1e-3,
+                delay_model=delays, start_jitter=0.5,
+            )
+
+        assert metrics_of(execute()) == metrics_of(execute())
+
+
+class TestBatchEngineDeterminism:
+    @pytest.mark.parametrize("protocol", BATCH_PROTOCOLS)
+    def test_repeated_runs_are_identical(self, protocol):
+        n, t = (11, 2) if protocol == "async-byzantine" else (7, 2)
+        inputs = uniform_inputs(n, seed=SEED)
+
+        def execute():
+            return run_batch_protocol(protocol, inputs, t=t, epsilon=1e-3, seed=SEED)
+
+        assert metrics_of(execute()) == metrics_of(execute())
+
+
+class TestSweepDeterminism:
+    SPEC = SweepSpec(
+        protocols=("async-crash", "sync-byzantine"),
+        system_sizes=((7, 2),),
+        adversaries=("none", "crash-staggered", "staggered"),
+        workloads=("uniform", "two-cluster"),
+        seeds=(0, 1, 2),
+    )
+
+    def test_repeated_sweeps_are_identical(self):
+        assert run_sweep(self.SPEC, workers=1) == run_sweep(self.SPEC, workers=1)
+
+    def test_pool_matches_serial(self):
+        # CellOutcome equality excludes wall time, so the worker pool must
+        # reproduce the serial results exactly, in the same grid order.
+        assert run_sweep(self.SPEC, workers=2) == run_sweep(self.SPEC, workers=1)
+
+    def test_event_engine_sweep_is_deterministic(self):
+        spec = SweepSpec(
+            protocols=("async-crash", "witness"),
+            system_sizes=((7, 2),),
+            adversaries=("random-delays",),
+            workloads=("uniform",),
+            seeds=(0, 1),
+            engine="event",
+        )
+        assert run_sweep(spec, workers=1) == run_sweep(spec, workers=1)
