@@ -5,16 +5,30 @@ it runs the experiment sweep once, prints the result table (visible with
 ``pytest benchmarks/ --benchmark-only -s``), asserts the qualitative shape the
 theory predicts, and times a representative configuration with
 pytest-benchmark so regressions in the simulator itself are visible too.
+
+Benchmarks additionally emit machine-readable results: call
+:func:`write_bench_json` (or use the ``bench_json`` fixture) with a dict of
+measurements and a ``BENCH_<name>.json`` file appears at the repository root.
+CI uploads every ``BENCH_*.json`` as a build artifact, so the performance
+trajectory (wall times, executions/second, speedups) is tracked across PRs;
+headline files (e.g. ``BENCH_batch_sweep.json``) are also committed.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Sequence
 
 import pytest
 
 from repro.analysis.tables import render_records
 from repro.sim.experiments import ExperimentRecord
+
+#: Repository root — BENCH_*.json files land here so CI can glob them.
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def emit_table(title: str, records: Sequence[ExperimentRecord], columns: Sequence[str]) -> None:
@@ -26,3 +40,28 @@ def emit_table(title: str, records: Sequence[ExperimentRecord], columns: Sequenc
 @pytest.fixture
 def table_printer():
     return emit_table
+
+
+def write_bench_json(name: str, payload: Dict) -> Path:
+    """Write ``BENCH_<name>.json`` at the repository root and return its path.
+
+    ``payload`` holds the benchmark's measurements (wall times, executions
+    per second, speedups…); a small provenance envelope (benchmark name,
+    timestamp, python/platform) is added around it so results from different
+    machines and PRs are comparable.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    document = {
+        "benchmark": name,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": payload,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@pytest.fixture
+def bench_json():
+    return write_bench_json

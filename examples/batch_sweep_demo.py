@@ -6,14 +6,16 @@ what the per-message event simulator cannot: sweeping a large seeded grid of
 (protocol, system size, adversary, workload, seed) scenarios fast enough to
 treat simulation as a query.  It runs three stages:
 
-1. a single execution on both engines, showing that the round/message/bit
-   costs agree exactly while the batch engine skips per-message scheduling;
-2. a 1 200-execution crash-and-scheduling sweep on the batch engine, with
-   the per-configuration summary (correctness rate, rounds, worst observed
-   contraction versus the theoretical bound) rendered through the standard
-   analysis tables;
-3. a small differential slice re-run on the event engine, cross-checking
-   that both engines agree every cell is correct.
+1. a single execution on all three engines (event, batch, ndbatch), showing
+   that the round/message/bit costs agree exactly while the round-level
+   engines skip per-message scheduling;
+2. a 1 200-execution crash-and-scheduling sweep on the vectorised ndbatch
+   engine (whole blocks of shape-compatible executions advance as one numpy
+   value matrix), with the per-configuration summary (correctness rate,
+   rounds, worst observed contraction versus the theoretical bound) rendered
+   through the standard analysis tables;
+3. a small differential slice re-run on the batch and event engines,
+   cross-checking that every engine agrees every cell is correct.
 
 Run with::
 
@@ -25,7 +27,7 @@ from __future__ import annotations
 import dataclasses
 import time
 
-from repro import run_batch_protocol, run_protocol
+from repro import run_batch_protocol, run_ndbatch_protocol, run_protocol
 from repro.analysis.tables import render_records, render_table
 from repro.sim.sweep import (
     SUMMARY_COLUMNS,
@@ -37,10 +39,14 @@ from repro.sim.workloads import two_cluster_inputs
 
 
 def single_execution_comparison() -> None:
-    print("=== One execution, two engines ===")
+    print("=== One execution, three engines ===")
     inputs = two_cluster_inputs(10, seed=7)
     rows = []
-    for name, runner in (("batch", run_batch_protocol), ("event", run_protocol)):
+    for name, runner in (
+        ("ndbatch", run_ndbatch_protocol),
+        ("batch", run_batch_protocol),
+        ("event", run_protocol),
+    ):
         result = runner("async-crash", inputs, t=3, epsilon=1e-4)
         rows.append([
             name, result.rounds_used, result.stats.messages_sent,
@@ -57,11 +63,12 @@ BIG_SPEC = SweepSpec(
     adversaries=("none", "crash-initial", "crash-staggered", "staggered", "laggard"),
     workloads=("uniform", "two-cluster", "extremes"),
     seeds=tuple(range(20)),
+    engine="ndbatch",
 )
 
 
-def big_batch_sweep() -> None:
-    print(f"=== {BIG_SPEC.cell_count}-execution batch sweep ===")
+def big_ndbatch_sweep() -> None:
+    print(f"=== {BIG_SPEC.cell_count}-execution ndbatch sweep ===")
     started = time.perf_counter()
     outcomes = run_sweep(BIG_SPEC)
     elapsed = time.perf_counter() - started
@@ -77,23 +84,30 @@ def big_batch_sweep() -> None:
 
 
 def differential_slice() -> None:
-    print("=== Differential slice on the event engine ===")
+    print("=== Differential slice across all three engines ===")
     slice_spec = dataclasses.replace(BIG_SPEC, seeds=(0,), workloads=("uniform",))
-    batch = run_sweep(slice_spec)
+    ndbatch = run_sweep(slice_spec)
+    batch = run_sweep(dataclasses.replace(slice_spec, engine="batch"))
     event = run_sweep(dataclasses.replace(slice_spec, engine="event"))
+    exact = sum(
+        1 for v, b in zip(ndbatch, batch)
+        if v.ok == b.ok and v.rounds == b.rounds and v.messages == b.messages
+        and v.bits == b.bits
+    )
     agree = sum(
         1 for b, e in zip(batch, event)
         if b.ok == e.ok and b.rounds == e.rounds and b.messages == e.messages
     )
     print(
+        f"{exact}/{len(ndbatch)} cells match exactly between ndbatch and batch; "
         f"{agree}/{len(batch)} cells agree on correctness, rounds and "
-        f"message counts across engines"
+        f"message counts between batch and event"
     )
 
 
 def main() -> None:
     single_execution_comparison()
-    big_batch_sweep()
+    big_ndbatch_sweep()
     differential_slice()
 
 

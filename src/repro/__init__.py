@@ -79,7 +79,9 @@ from repro.sim import (
     SweepCell,
     SweepSpec,
     VectorExecutionResult,
+    read_sweep_jsonl,
     run_batch_protocol,
+    run_ndbatch_protocol,
     run_protocol,
     run_sweep,
     run_vector_protocol,
@@ -138,9 +140,11 @@ __all__ = [
     "make_sync_byzantine_processes",
     "make_sync_crash_processes",
     "make_witness_processes",
+    "read_sweep_jsonl",
     "render_table",
     "rounds_to_epsilon",
     "run_batch_protocol",
+    "run_ndbatch_protocol",
     "run_protocol",
     "run_sweep",
     "run_vector_protocol",

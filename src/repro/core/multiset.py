@@ -71,10 +71,13 @@ def _require_finite(values: Sequence[float]) -> None:
     """Reject multisets containing NaN or ±inf.
 
     Sorting is silently wrong in the presence of NaN (comparisons are false),
-    which would corrupt ``reduce`` and ``select`` without any error, so the
-    multiset machinery rejects non-finite inputs outright.  Protocol layers
-    drop non-finite payloads at the message boundary instead (a faulty sender
-    must not be able to crash an honest process).
+    which would corrupt ``reduce`` and ``select`` without any error — and
+    ``max``/``min``/``fsum`` silently propagate NaN into diameters, midpoints
+    and means — so *every* multiset entry point (``spread``, ``midpoint``,
+    ``mean``, ``reduce_multiset``, ``select_multiset``) rejects non-finite
+    inputs outright.  Protocol layers drop non-finite payloads at the message
+    boundary instead (a faulty sender must not be able to crash an honest
+    process).
     """
     if all(map(math.isfinite, values)):
         return
@@ -91,6 +94,7 @@ def spread(values: Iterable[float]) -> float:
     0.0
     """
     values = list(values)
+    _require_finite(values)
     if len(values) < 2:
         return 0.0
     return max(values) - min(values)
@@ -105,6 +109,7 @@ def midpoint(values: Iterable[float]) -> float:
     values = list(values)
     if not values:
         raise ValueError("midpoint of an empty multiset is undefined")
+    _require_finite(values)
     return (min(values) + max(values)) / 2.0
 
 
@@ -113,6 +118,7 @@ def mean(values: Iterable[float]) -> float:
     values = list(values)
     if not values:
         raise ValueError("mean of an empty multiset is undefined")
+    _require_finite(values)
     return math.fsum(values) / len(values)
 
 

@@ -65,6 +65,7 @@ from repro.core.multiset import approximate, contraction_denominator, midpoint_o
 __all__ = [
     "AlgorithmBounds",
     "approximation_step",
+    "approximation_step_block",
     "sync_crash_bounds",
     "sync_byzantine_bounds",
     "async_crash_bounds",
@@ -129,6 +130,47 @@ def approximation_step(sample: Sequence[float], bounds: AlgorithmBounds) -> floa
     if bounds.select_k is None:
         return midpoint_of_reduced(sample, bounds.reduce_j)
     return approximate(sample, bounds.reduce_j, bounds.select_k)
+
+
+def approximation_step_block(samples, bounds: AlgorithmBounds, validate: bool = True):
+    """Array form of :func:`approximation_step` over a block of samples.
+
+    ``samples`` is an array of shape ``(..., m)`` — any number of leading axes
+    (executions, recipients) with the per-process multiset on the last axis —
+    and the result has shape ``(...)``: one new value per multiset.  This is
+    the whole-matrix round update of the vectorised batch engine
+    (:mod:`repro.sim.ndbatch`): one ``sort`` along the last axis, one strided
+    slice (``reduce^j`` + ``select_k``), one ``mean``.
+
+    Semantically identical to mapping :func:`approximation_step` over the
+    leading axes (guarded by ``tests/core/test_rounds.py``) up to
+    floating-point summation order: the scalar path accumulates with
+    ``math.fsum``, numpy with pairwise summation, so results may differ by a
+    few ulp.  Inputs must be finite; like the scalar path's multiset
+    machinery, the kernel rejects NaN/inf outright because sorting them is
+    silently wrong.  Callers that can *prove* finiteness by construction
+    (the vectorised engine's crash-only blocks, where every gathered value
+    is an honest holder's) may pass ``validate=False`` to skip the scan.
+
+    Requires numpy (imported lazily so :mod:`repro.core` keeps working on
+    interpreters without it).
+    """
+    import numpy as np
+
+    values = np.asarray(samples, dtype=np.float64)
+    m = values.shape[-1]
+    j = bounds.reduce_j
+    if m < 2 * j + 1:
+        raise ValueError(
+            f"cannot remove {j} extremes from each side of a multiset of size {m}"
+        )
+    if validate and not np.isfinite(values).all():
+        raise ValueError("multiset operations require finite values")
+    ordered = np.sort(values, axis=-1)
+    reduced = ordered[..., j : m - j] if j > 0 else ordered
+    if bounds.select_k is None:
+        return (reduced[..., 0] + reduced[..., -1]) / 2.0
+    return reduced[..., :: bounds.select_k].mean(axis=-1)
 
 
 def _check_nt(n: int, t: int) -> None:

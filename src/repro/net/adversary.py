@@ -56,6 +56,16 @@ __all__ = [
     "DelayRankOmission",
     "RoundFaultModel",
     "round_fault_model",
+    "mix64",
+    "seeded_rank_key",
+    "SENDER_BITS",
+    "SENDER_MASK",
+    "MASK64",
+    "MIX64_MULT1",
+    "MIX64_MULT2",
+    "KEY_ROUND",
+    "KEY_RECIPIENT",
+    "KEY_SENDER",
 ]
 
 
@@ -152,6 +162,13 @@ class ByzantineValueStrategy(abc.ABC):
     the Byzantine algorithms.
     """
 
+    #: Whether :meth:`value` is a pure function of its arguments (no internal
+    #: state evolving between calls).  Stateless strategies may be queried in
+    #: any order — and eagerly, for every (sender, recipient) pair at once —
+    #: which is what the vectorised batch engine (:mod:`repro.sim.ndbatch`)
+    #: requires.  Defaults to ``False``; concrete pure strategies opt in.
+    stateless: bool = False
+
     @abc.abstractmethod
     def value(self, round_number: int, recipient: int, observed: Sequence[float]) -> float:
         """Value to report to ``recipient`` in ``round_number``.
@@ -166,6 +183,8 @@ class ByzantineValueStrategy(abc.ABC):
 
 class FixedValueStrategy(ByzantineValueStrategy):
     """Always report the same constant value (e.g. an enormous outlier)."""
+
+    stateless = True
 
     def __init__(self, reported_value: float) -> None:
         self.reported_value = float(reported_value)
@@ -185,6 +204,8 @@ class EquivocatingStrategy(ByzantineValueStrategy):
     reason the asynchronous Byzantine algorithm needs ``n > 5t`` without the
     witness technique.
     """
+
+    stateless = True
 
     def __init__(self, low: float, high: float) -> None:
         self.low = float(low)
@@ -224,6 +245,8 @@ class AntiConvergenceStrategy(ByzantineValueStrategy):
     strategy among the ones shipped with the library (exercised by the
     adversary-ablation benchmark).
     """
+
+    stateless = True
 
     def __init__(self, stretch: float = 0.0) -> None:
         self.stretch = float(stretch)
@@ -410,6 +433,8 @@ class PartitionDelay(DelayModel):
     worst-case convergence experiments.
     """
 
+    stateless = True
+
     def __init__(self, camp_a: Iterable[int], fast: float = 1.0, slow: float = 25.0) -> None:
         if fast <= 0 or slow <= 0:
             raise ValueError("delays must be positive")
@@ -429,6 +454,8 @@ class LaggardDelay(DelayModel):
     is how the adversary "uses up" its ``t`` omissions against asynchronous
     algorithms without corrupting anyone.
     """
+
+    stateless = True
 
     def __init__(self, slow_senders: Iterable[int], fast: float = 1.0, slow: float = 50.0) -> None:
         if fast <= 0 or slow <= 0:
@@ -456,6 +483,8 @@ class StaggeredExclusionDelay(DelayModel):
     contraction bound.
     """
 
+    stateless = True
+
     def __init__(self, n: int, exclude: int, fast: float = 1.0, slow: float = 50.0) -> None:
         if fast <= 0 or slow <= 0:
             raise ValueError("delays must be positive")
@@ -481,6 +510,8 @@ class TargetedDelay(DelayModel):
     Lets tests construct hand-crafted schedules, e.g. ensuring that process 0
     never hears from process 1 before filling its quorum in any round.
     """
+
+    stateless = True
 
     def __init__(
         self,
@@ -534,6 +565,27 @@ class OmissionPolicy(abc.ABC):
     ) -> Sequence[int]:
         """Choose ``m`` distinct senders from ``candidates`` (sorted by id)."""
 
+    def rank_block(self, round_number: int, n: int) -> Optional[List[List[float]]]:
+        """Vector-friendly form of :meth:`quorum` for one whole round.
+
+        Returns an ``n × n`` matrix ``rank[recipient][sender]`` such that the
+        quorum of every recipient is the ``m`` candidates with the smallest
+        ``(rank, sender)`` pairs — i.e. one bulk query answers every quorum of
+        the round, which is what lets the numpy batch engine
+        (:mod:`repro.sim.ndbatch`) select whole blocks of quorums with one
+        sort.  Policies whose choices cannot be expressed as a per-round
+        ranking (or that are stateful in query order) return ``None``; the
+        engine then falls back to per-recipient :meth:`quorum` calls.
+
+        The contract ties the two forms together: for every recipient ``q``
+        and candidate set ``C``, ``quorum(r, q, C, m)`` must equal the ``m``
+        elements of ``C`` minimising ``(rank[q][s], s)``.  The vector engine
+        compares ranks as ``float64``, so ranks should be exactly
+        representable as doubles (:class:`SeededOmission` bypasses this
+        method with a native uint64 path).
+        """
+        return None
+
     def reset(self) -> None:
         """Reset internal state before a fresh execution (optional)."""
 
@@ -541,27 +593,181 @@ class OmissionPolicy(abc.ABC):
         return type(self).__name__
 
 
-class SeededOmission(OmissionPolicy):
-    """Uniformly random quorum composition from an explicit seed.
+#: 64-bit mask and the multiplicative constants of the MurmurHash3 finalizer.
+#: These are shared, by name, with the numpy reimplementation in
+#: :mod:`repro.sim.ndbatch`; the two implementations must agree bit for bit
+#: (guarded by ``tests/sim/test_ndbatch.py``).
+MASK64 = (1 << 64) - 1
+MIX64_MULT1 = 0xFF51AFD7ED558CCD
+MIX64_MULT2 = 0xC4CEB9FE1A85EC53
+#: Odd constants decorrelating the (seed, round, recipient, sender) axes of
+#: the quorum rank keys before mixing.
+KEY_ROUND = 0x9E3779B97F4A7C15
+KEY_RECIPIENT = 0xC2B2AE3D27D4EB4F
+KEY_SENDER = 0x165667B19E3779F9
 
-    One seeded RNG drives the whole execution; the engine queries quorums in
-    a fixed order (rounds ascending, recipients ascending), so identical
-    seeds reproduce identical quorum sequences — the property the sweep
-    pool's determinism guarantee rests on.  ``reset`` rewinds the RNG, so the
-    same policy object can drive repeated executions reproducibly.
+
+def mix64(x: int) -> int:
+    """The 64-bit MurmurHash3 finalizer (a strong, invertible bit mixer)."""
+    x &= MASK64
+    x = ((x ^ (x >> 33)) * MIX64_MULT1) & MASK64
+    x = ((x ^ (x >> 33)) * MIX64_MULT2) & MASK64
+    return x ^ (x >> 33)
+
+
+#: The low bits of every rank key hold the sender id (see below).
+SENDER_BITS = 16
+SENDER_MASK = (1 << SENDER_BITS) - 1
+
+
+def seeded_rank_key(seed_mix: int, round_number: int, recipient: int, sender: int) -> int:
+    """Rank key of ``sender`` for ``(round, recipient)`` under :class:`SeededOmission`.
+
+    ``seed_mix`` is ``mix64(seed)``, precomputed once per execution.  The key
+    schedule is a two-stage counter-based PRF: one mix combines the round and
+    recipient, a second mixes in the sender.  The low :data:`SENDER_BITS`
+    bits of the mixed value are then *replaced by the sender id*, which makes
+    every key in a ``(round, recipient)`` row unique by construction: sorting
+    by key alone is a total order with the by-sender tie-break built in, so
+    selection needs no stable sort and no tuple keys — on either engine.
+
+    Being a pure function of its arguments (no RNG stream), the same formula
+    is evaluated per scalar here and over whole
+    ``(executions, recipients, senders)`` tensors in
+    :mod:`repro.sim.ndbatch`, which is what lets the numpy engine reproduce
+    the Python engine's quorums exactly.
+    """
+    slot = mix64(seed_mix ^ (round_number * KEY_ROUND) ^ (recipient * KEY_RECIPIENT))
+    return (mix64(slot ^ (sender * KEY_SENDER)) & ~SENDER_MASK) | sender
+
+
+def seeded_rank_key_block(seed_mix, round_number: int, n: int):
+    """Vectorised :func:`seeded_rank_key` over whole key matrices (numpy).
+
+    ``seed_mix`` is a pre-mixed seed — a scalar or an array of any shape —
+    and the result has shape ``seed_mix.shape + (n, n)`` with
+    ``keys[..., recipient, sender]`` equal to the scalar function bit for
+    bit (guarded by ``tests/sim/test_ndbatch.py``).  This is the single
+    vectorised implementation of the PRF: :class:`SeededOmission`'s
+    per-round key cache evaluates it for one seed, the ndbatch engine for a
+    whole block of seeds — keeping the two engines' quorums identical by
+    construction rather than by parallel maintenance.
+
+    Requires numpy (imported lazily; scalar callers fall back to
+    :func:`seeded_rank_key`).
+    """
+    import numpy as np
+
+    if n > SENDER_MASK:
+        raise ValueError(
+            f"quorum rank keys embed the sender id in {SENDER_BITS} bits; "
+            f"n={n} processes exceed that"
+        )
+    shift = np.uint64(33)
+
+    def mix(x):
+        x = (x ^ (x >> shift)) * np.uint64(MIX64_MULT1)
+        x = (x ^ (x >> shift)) * np.uint64(MIX64_MULT2)
+        return x ^ (x >> shift)
+
+    seed = np.asarray(seed_mix, dtype=np.uint64)
+    round_part = np.uint64((round_number * KEY_ROUND) & MASK64)
+    recipients = np.arange(n, dtype=np.uint64) * np.uint64(KEY_RECIPIENT)
+    senders = np.arange(n, dtype=np.uint64) * np.uint64(KEY_SENDER)
+    slot = mix(seed[..., None] ^ round_part ^ recipients)
+    mixed = mix(slot[..., :, None] ^ senders)
+    return (mixed & np.uint64(MASK64 ^ SENDER_MASK)) | np.arange(n, dtype=np.uint64)
+
+
+class SeededOmission(OmissionPolicy):
+    """Pseudo-random quorum composition from an explicit seed.
+
+    Every ``(round, recipient, sender)`` triple is assigned a 64-bit rank key
+    by a counter-based PRF (:func:`seeded_rank_key`); the quorum is the ``m``
+    candidates with the smallest keys.  Because the keys are a pure function
+    of ``(seed, round, recipient, sender)``, identical seeds reproduce
+    identical quorum sequences regardless of query order — a strictly
+    stronger form of the determinism guarantee the sweep pool rests on — and
+    the numpy batch engine can evaluate the same keys for whole execution
+    blocks at once.  ``reset`` is a no-op (the policy's answers are a pure
+    function; the only internal state is a per-round key cache).
+
+    The engines query all ``n`` recipients of a round back to back, so the
+    policy computes the round's whole key matrix once and answers each quorum
+    with a C-level keyed sort — this path has to stay cheap because it *is*
+    the hot loop of :mod:`repro.sim.batch`.
+
+    ``use_numpy`` selects how the key matrix is computed: ``None`` (default)
+    uses numpy when importable and falls back to scalar Python otherwise;
+    ``False`` forces the scalar path (the truly numpy-free configuration —
+    what :mod:`repro.sim.batch` amounts to on machines without numpy, and
+    the baseline the engine benchmarks quote); ``True`` requires numpy.  The
+    computed keys are bit-identical either way.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, use_numpy: Optional[bool] = None) -> None:
         self.seed = int(seed)
-        self._rng = random.Random(self.seed)
+        self.use_numpy = use_numpy
+        self._seed_mix = mix64(self.seed)
+        self._cached_round: Optional[int] = None
+        self._cached_size = 0
+        self._cached_keys: List[List[int]] = []
+
+    def _round_keys(self, round_number: int, size: int) -> List[List[int]]:
+        """Key matrix ``keys[recipient][sender]`` for one round.
+
+        Keys do not depend on the matrix size, so a larger cached matrix
+        serves smaller queries; the cache is refreshed when the round changes
+        or a bigger process id appears.
+        """
+        if self._cached_round != round_number or self._cached_size < size:
+            self._cached_keys = self._compute_keys(round_number, size)
+            self._cached_round = round_number
+            self._cached_size = size
+        return self._cached_keys
+
+    def _compute_keys(self, round_number: int, size: int) -> List[List[int]]:
+        if size > SENDER_MASK:
+            raise ValueError(
+                f"SeededOmission rank keys embed the sender id in {SENDER_BITS} "
+                f"bits; n={size} processes exceed that"
+            )
+        if self.use_numpy is False:
+            np = None
+        else:
+            try:
+                import numpy as np
+            except ImportError:
+                np = None
+                if self.use_numpy:
+                    raise ValueError("use_numpy=True but numpy is not importable")
+        if np is None:
+            seed_mix = self._seed_mix
+            return [
+                [
+                    seeded_rank_key(seed_mix, round_number, recipient, sender)
+                    for sender in range(size)
+                ]
+                for recipient in range(size)
+            ]
+        return seeded_rank_key_block(self._seed_mix, round_number, size).tolist()
 
     def quorum(
         self, round_number: int, recipient: int, candidates: Sequence[int], m: int
     ) -> Sequence[int]:
-        return self._rng.sample(candidates, m)
+        size = max(recipient, max(candidates)) + 1 if candidates else recipient + 1
+        keys = self._round_keys(round_number, size)[recipient]
+        # Keys embed the sender id in their low bits (seeded_rank_key), so
+        # they are unique within the row and sorting by key alone is already
+        # the full (PRF value, sender) order — no tuples, no stability needed.
+        return sorted(candidates, key=keys.__getitem__)[:m]
+
+    def rank_block(self, round_number: int, n: int) -> List[List[int]]:
+        """All rank keys of one round (exact integers; see :func:`seeded_rank_key`)."""
+        return [row[:n] for row in self._round_keys(round_number, n)[:n]]
 
     def reset(self) -> None:
-        self._rng = random.Random(self.seed)
+        return None
 
     def describe(self) -> str:
         return f"SeededOmission(seed={self.seed})"
@@ -594,6 +800,25 @@ class DelayRankOmission(OmissionPolicy):
             key=lambda sender: (self.delay_model.delay(sender, recipient, probe, now), sender),
         )
         return ranked[:m]
+
+    def rank_block(self, round_number: int, n: int) -> Optional[List[List[float]]]:
+        """The round's full delay matrix, for stateless delay models.
+
+        A stateless model (``delay_model.stateless``) answers every
+        ``(sender, recipient)`` probe of the round independently of query
+        order, so one bulk evaluation is exactly equivalent to the
+        per-recipient ranking of :meth:`quorum`.  Stateful models (e.g.
+        :class:`~repro.net.network.UniformRandomDelay`, which draws from an
+        RNG stream per call) return ``None`` and keep the per-recipient path.
+        """
+        if not getattr(self.delay_model, "stateless", False):
+            return None
+        probe = Message(kind="VALUE", round=round_number, value=0.0)
+        now = float(round_number)
+        return [
+            [self.delay_model.delay(sender, recipient, probe, now) for sender in range(n)]
+            for recipient in range(n)
+        ]
 
     def reset(self) -> None:
         self.delay_model.reset()

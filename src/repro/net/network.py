@@ -73,6 +73,13 @@ class DelayModel(abc.ABC):
     message-scheduling adversary.
     """
 
+    #: Whether :meth:`delay` is a pure function of its arguments.  Stateless
+    #: models may be probed in any order (and in bulk), which lets the
+    #: round-level adapters (:class:`~repro.net.adversary.DelayRankOmission`)
+    #: answer whole-round quorum queries for the vectorised batch engine.
+    #: Defaults to ``False``; concrete pure models opt in.
+    stateless: bool = False
+
     @abc.abstractmethod
     def delay(self, sender: int, recipient: int, message: Message, now: float) -> float:
         """Return the delivery delay for this message (must be > 0)."""
@@ -83,6 +90,8 @@ class DelayModel(abc.ABC):
 
 class ConstantDelay(DelayModel):
     """Every message takes exactly ``delay`` time units to arrive."""
+
+    stateless = True
 
     def __init__(self, delay: float = 1.0) -> None:
         if delay <= 0:

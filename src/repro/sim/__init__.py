@@ -1,6 +1,27 @@
 """Simulation harness: runners, metrics, workloads, sweeps, experiment utilities."""
 
 from repro.sim.batch import BATCH_PROTOCOLS, run_batch_protocol
+
+try:
+    from repro.sim.ndbatch import (
+        NDBATCH_PROTOCOLS,
+        run_ndbatch_block,
+        run_ndbatch_protocol,
+    )
+except ImportError:  # numpy unavailable — the vectorised engine is optional
+    NDBATCH_PROTOCOLS = ()
+
+    def run_ndbatch_block(*args, **kwargs):
+        raise ImportError(
+            "the ndbatch engine requires numpy; install numpy or use the "
+            "pure-Python batch engine (repro.sim.batch.run_batch_protocol)"
+        )
+
+    def run_ndbatch_protocol(*args, **kwargs):
+        raise ImportError(
+            "the ndbatch engine requires numpy; install numpy or use the "
+            "pure-Python batch engine (repro.sim.batch.run_batch_protocol)"
+        )
 from repro.sim.experiments import ExperimentRecord, aggregate, parameter_grid, summarize_results
 from repro.sim.metrics import (
     CostSummary,
@@ -27,6 +48,8 @@ from repro.sim.sweep import (
     SweepCell,
     SweepSpec,
     adversary_fits_protocol,
+    iter_sweep_jsonl,
+    read_sweep_jsonl,
     records_from_sweep,
     run_cell,
     run_sweep,
@@ -48,6 +71,7 @@ __all__ = [
     "CostSummary",
     "ExecutionResult",
     "ExperimentRecord",
+    "NDBATCH_PROTOCOLS",
     "PROTOCOL_FACTORIES",
     "SYNCHRONOUS_PROTOCOLS",
     "SweepCell",
@@ -60,15 +84,19 @@ __all__ = [
     "contraction_factors",
     "extremes_inputs",
     "geometric_mean_contraction",
+    "iter_sweep_jsonl",
     "linear_inputs",
     "messages_per_round",
     "parameter_grid",
+    "read_sweep_jsonl",
     "records_from_sweep",
     "run_async_network",
     "run_asyncio_runtime",
     "run_batch_protocol",
     "run_cell",
     "run_lockstep",
+    "run_ndbatch_block",
+    "run_ndbatch_protocol",
     "run_protocol",
     "run_sweep",
     "run_vector_protocol",

@@ -30,10 +30,12 @@ directly; ``tests/sim/test_batch_equivalence.py`` checks this differentially
 against the event simulator on a seeded scenario grid.
 
 The engine supports the four direct protocols (``async-crash``,
-``async-byzantine``, ``sync-crash``, ``sync-byzantine``).  The witness
-protocol is intentionally unsupported: its reliable-broadcast and witness
-sub-protocols are message-level by nature and have no faithful round-level
-form.
+``async-byzantine``, ``sync-crash``, ``sync-byzantine``) under both upfront
+round policies (uniform fast loop) and adaptive ones
+(:class:`~repro.core.termination.SpreadEstimateRounds`, via per-process round
+counts with halt-echo substitution).  The witness protocol is intentionally
+unsupported: its reliable-broadcast and witness sub-protocols are
+message-level by nature and have no faithful round-level form.
 
 Results are full :class:`~repro.sim.runner.ExecutionResult` objects (runtime
 tag ``"batch"``), so the metrics, convergence-analysis and table pipelines
@@ -93,15 +95,25 @@ BATCH_PROTOCOLS = tuple(sorted(BATCH_PROTOCOL_BOUNDS))
 _SYNCHRONOUS = frozenset({"sync-crash", "sync-byzantine"})
 
 
-def _upfront_rounds(policy: RoundPolicy, bounds: AlgorithmBounds, epsilon: float) -> int:
-    """Round count of ``policy``, which must be computable before round 1."""
+#: Safety valve for adaptive policies: maximum rounds per batch execution.
+MAX_ADAPTIVE_ROUNDS = 10_000
+
+
+def _upfront_rounds(
+    policy: RoundPolicy, bounds: AlgorithmBounds, epsilon: float
+) -> Optional[int]:
+    """Round count of ``policy`` if computable before round 1, else ``None``.
+
+    ``None`` signals an adaptive policy (e.g.
+    :class:`~repro.core.termination.SpreadEstimateRounds`): each process
+    derives its own round count from the first multiset it collects, and the
+    engine switches to the per-process round-count loop with halt-echo
+    substitution (:func:`_run_adaptive`).
+    """
     try:
         return policy.required_rounds(bounds.contraction, epsilon, None)
     except TypeError:
-        raise ValueError(
-            f"the batch engine requires a round policy whose count is known upfront "
-            f"(e.g. FixedRounds or KnownRangeRounds), not {policy.describe()}"
-        ) from None
+        return None
 
 
 class _RoundState:
@@ -215,10 +227,12 @@ def run_batch_protocol(
     inputs, t, epsilon:
         Problem instance (``n = len(inputs)``).
     round_policy:
-        Optional policy; must be computable upfront (the default —
-        :func:`repro.core.termination.default_round_policy` — is, and matches
-        the protocol factories, which is what makes round counts comparable
-        across engines).
+        Optional policy.  Upfront policies (the default —
+        :func:`repro.core.termination.default_round_policy` — and
+        ``FixedRounds``/``KnownRangeRounds``) run the uniform fast loop whose
+        round counts are comparable across engines; adaptive policies
+        (``SpreadEstimateRounds``) run the per-process round-count loop with
+        halt-echo substitution (see :func:`_run_adaptive`).
     fault_plan / fault_model:
         Faults, either as a message-level :class:`~repro.net.network.FaultPlan`
         (adapted via :func:`~repro.net.adversary.round_fault_model`) or
@@ -281,6 +295,24 @@ def run_batch_protocol(
     # their answers skip the per-call validation in the hot loop; custom
     # policies stay fully checked.
     trusted_policy = type(omission_policy) in (SeededOmission, DelayRankOmission)
+
+    if total_rounds is None:
+        return _run_adaptive(
+            protocol,
+            problem,
+            bounds,
+            policy,
+            state,
+            stats,
+            omission_policy,
+            synchronous,
+            quorum_size,
+            strategies,
+            trusted_policy,
+            epsilon,
+            started,
+        )
+
     live = True
     rounds_completed = 0
 
@@ -357,6 +389,221 @@ def run_batch_protocol(
         events_executed=0,
         wall_time_seconds=wall,
     )
+
+
+def _run_adaptive(
+    protocol: str,
+    problem: ProblemInstance,
+    bounds: AlgorithmBounds,
+    policy: RoundPolicy,
+    state: _RoundState,
+    stats: NetworkStats,
+    omission_policy: OmissionPolicy,
+    synchronous: bool,
+    quorum_size: int,
+    strategies: Dict[int, object],
+    trusted_policy: bool,
+    epsilon: float,
+    started: float,
+) -> ExecutionResult:
+    """Adaptive-policy loop: per-process round counts with halt-echo substitution.
+
+    Mirrors the event engine's handling of adaptive policies
+    (:class:`~repro.core.termination.SpreadEstimateRounds`): each process
+    derives its own round count from the multiset it collects in round 1, so
+    different processes may halt at different rounds.  A process that halts
+    multicasts one ``HALT`` message carrying its final value (when the policy
+    sets ``echo_on_halt``), and that value substitutes for the halted sender
+    in every later quorum — at round level the halted sender simply stays a
+    full candidate whose reported value is frozen, which is the schedule where
+    the adversary delivers the halt echo whenever it suits it.
+
+    Two engine-level caveats (documented divergences from the event
+    simulator, which realises *one* arrival order):
+
+    * per-process round counts derive from the *policy-chosen* round-1 quorum,
+      so an execution's round counts may differ between engines even at equal
+      seeds (both are legal schedules);
+    * a crash-faulty process's crash point is measured in ``VALUE`` sends;
+      once it halts, its halt echo is delivered in full.
+    """
+    n = state.n
+    echo = policy.echo_on_halt
+    totals: Dict[int, Optional[int]] = {pid: None for pid in state.holders}
+    stopped: Dict[int, float] = {}
+    completed: Dict[int, int] = {pid: 0 for pid in state.holders}
+    live = True
+
+    round_number = 0
+    while live and round_number < MAX_ADAPTIVE_ROUNDS:
+        round_number += 1
+        updaters = [
+            pid
+            for pid in state.holders
+            if pid not in stopped
+            and state.updates_in_round(pid, round_number)
+            and (totals[pid] is None or round_number <= totals[pid])
+        ]
+        if not updaters:
+            break
+        _account_adaptive_messages(stats, state, strategies, stopped, totals, round_number)
+        observed: Sequence[float] = sorted(state.values.values()) if strategies else ()
+        full_candidates, partial_candidates = _adaptive_candidates(
+            state, stopped, echo, totals, round_number
+        )
+        full_candidate_set = frozenset(full_candidates)
+        new_values: Dict[int, float] = {}
+        samples: Dict[int, List[float]] = {}
+        for recipient in updaters:
+            if partial_candidates:
+                candidates = sorted(
+                    full_candidates
+                    + [s for s, prefix in partial_candidates if recipient < prefix]
+                )
+                candidate_set = frozenset(candidates)
+            else:
+                candidates = full_candidates
+                candidate_set = full_candidate_set
+            if synchronous:
+                sample = _sync_sample(
+                    state, strategies, candidates, recipient, round_number, observed
+                )
+            else:
+                sample = _async_sample(
+                    state,
+                    strategies,
+                    omission_policy,
+                    candidates,
+                    candidate_set,
+                    recipient,
+                    round_number,
+                    quorum_size,
+                    observed,
+                    trusted_policy,
+                )
+                if sample is None:
+                    live = False
+                    break
+            stats.messages_delivered += len(sample)
+            samples[recipient] = sample
+            new_values[recipient] = approximation_step(sample, bounds)
+        if not live:
+            break
+        state.values.update(new_values)
+        for pid, value in new_values.items():
+            state.histories[pid].append(value)
+            completed[pid] = round_number
+        if round_number == 1:
+            # Each process computes its own round count from its own round-1
+            # multiset; it has already run one round, so the effective count
+            # is at least 1 (matching the event engine, where the policy is
+            # consulted at the end of the first completed round).
+            for pid in updaters:
+                totals[pid] = max(
+                    1, policy.required_rounds(bounds.contraction, epsilon, samples[pid])
+                )
+        for pid in updaters:
+            if totals[pid] == round_number:
+                stopped[pid] = state.values[pid]
+                if echo:
+                    _account_halt_echo(stats, state, pid, state.values[pid])
+
+    outputs: Dict[int, Optional[float]] = {
+        pid: stopped.get(pid) for pid in state.honest
+    }
+    report = validate_outputs(problem, outputs)
+    value_histories = {pid: list(state.histories[pid]) for pid in state.honest}
+    rounds_used = max((completed[pid] for pid in state.honest), default=0)
+    wall = time.perf_counter() - started
+    return ExecutionResult(
+        protocol=protocol,
+        runtime="batch",
+        problem=problem,
+        report=report,
+        outputs=outputs,
+        stats=stats,
+        rounds_used=rounds_used,
+        trajectory=spread_trajectory(value_histories),
+        value_histories=value_histories,
+        events_executed=0,
+        wall_time_seconds=wall,
+    )
+
+
+def _adaptive_candidates(
+    state: _RoundState,
+    stopped: Dict[int, float],
+    echo: bool,
+    totals: Dict[int, Optional[int]],
+    round_number: int,
+) -> Tuple[List[int], List[Tuple[int, int]]]:
+    """Candidate senders of one adaptive round: (full, mid-multicast prefixes).
+
+    Like :meth:`_RoundState.round_candidates` but aware of halting: a stopped
+    sender is a full candidate when the policy echoes final values on halt
+    (the halt echo substitutes for its round value) and absent otherwise.
+    """
+    full: List[int] = []
+    partial: List[Tuple[int, int]] = []
+    for sender in range(state.n):
+        if sender in state.silent_ids:
+            continue
+        if sender in state.strategy_ids:
+            full.append(sender)
+            continue
+        if sender in stopped:
+            if echo:
+                full.append(sender)
+            continue
+        sender_total = totals.get(sender)
+        if sender_total is not None and round_number > sender_total:
+            continue
+        sends = state.sends_in_round(sender, round_number)
+        if sends == state.n:
+            full.append(sender)
+        elif sends > 0:
+            partial.append((sender, sends))
+    return full, partial
+
+
+def _account_adaptive_messages(
+    stats: NetworkStats,
+    state: _RoundState,
+    strategies: Dict[int, object],
+    stopped: Dict[int, float],
+    totals: Dict[int, Optional[int]],
+    round_number: int,
+) -> None:
+    """Charge one adaptive round's ``VALUE`` traffic (halted processes are silent)."""
+    per_message_bits = message_bits(Message(kind="VALUE", round=round_number, value=0.0))
+    sends = 0
+    for pid in state.holders:
+        if pid in stopped:
+            continue
+        pid_total = totals.get(pid)
+        if pid_total is not None and round_number > pid_total:
+            continue
+        count = state.sends_in_round(pid, round_number)
+        if count:
+            stats.sends_by_process[pid] = stats.sends_by_process.get(pid, 0) + count
+        sends += count
+    for pid in strategies:
+        stats.sends_by_process[pid] = stats.sends_by_process.get(pid, 0) + state.n
+        sends += state.n
+    stats.messages_sent += sends
+    stats.bits_sent += sends * per_message_bits
+    stats.messages_by_kind["VALUE"] = stats.messages_by_kind.get("VALUE", 0) + sends
+
+
+def _account_halt_echo(
+    stats: NetworkStats, state: _RoundState, pid: int, value: float
+) -> None:
+    """Charge one ``HALT`` multicast (``n`` point-to-point sends)."""
+    bits = message_bits(Message(kind="HALT", value=value))
+    stats.messages_sent += state.n
+    stats.bits_sent += state.n * bits
+    stats.messages_by_kind["HALT"] = stats.messages_by_kind.get("HALT", 0) + state.n
+    stats.sends_by_process[pid] = stats.sends_by_process.get(pid, 0) + state.n
 
 
 def _account_round_messages(

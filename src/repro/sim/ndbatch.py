@@ -1,0 +1,834 @@
+"""Vectorised multi-execution batch engine (numpy matrix rounds).
+
+The round-level batch engine (:mod:`repro.sim.batch`) made thousand-execution
+sweeps routine, but its hot loop is still pure Python: one ``sorted()`` +
+``fsum`` per process per round per execution.  The algorithms' round structure
+— ``mean ∘ select_k ∘ reduce^j`` over a sorted multiset — is exactly a sort +
+strided slice + mean over the rows of a matrix, so this engine advances an
+entire *block* of executions at once:
+
+* all executions sharing a scenario shape (protocol, ``n``, ``t``, round
+  count) are stacked into an ``(executions, n)`` value matrix;
+* each round, candidate masks and quorum index tensors are built from the
+  per-execution :class:`~repro.net.adversary.RoundFaultModel` and
+  :class:`~repro.net.adversary.OmissionPolicy`;
+* per-recipient views are gathered into an ``(executions, n, m)`` tensor and
+  the approximation step is applied as one ``np.sort(axis=-1)`` + strided
+  slice + mean (:func:`repro.core.rounds.approximation_step_block`) — no
+  per-process Python loop.
+
+Exact agreement with :mod:`repro.sim.batch`
+-------------------------------------------
+
+The engine is differentially pinned against the pure-Python batch engine
+(``tests/sim/test_ndbatch_equivalence.py``): identical rounds, message and
+bit counts, and outputs/trajectories within ``1e-9`` (the engines may differ
+in floating-point summation order — ``math.fsum`` versus numpy's pairwise
+summation — but in nothing else).  Three quorum-selection paths keep the
+adversary *bit-identical* across engines:
+
+* :class:`~repro.net.adversary.SeededOmission` — its counter-based PRF
+  (:func:`~repro.net.adversary.seeded_rank_key`) is re-evaluated here over
+  whole ``(executions, recipients, senders)`` uint64 tensors, reproducing the
+  scalar keys exactly;
+* policies with a vector-friendly per-round ranking
+  (:meth:`~repro.net.adversary.OmissionPolicy.rank_block`, e.g.
+  :class:`~repro.net.adversary.DelayRankOmission` over stateless delay
+  models) — one bulk query per round, ranked with a stable lexicographic
+  sort matching the scalar tie-breaking;
+* everything else falls back to per-recipient
+  :meth:`~repro.net.adversary.OmissionPolicy.quorum` calls issued in the
+  exact order the pure-Python engine would issue them (rounds ascending,
+  recipients ascending), so stateful policies stay reproducible.
+
+Byzantine value strategies must be ``stateless`` (pure functions of
+``(round, recipient, observed)``); the engine evaluates them eagerly for
+every recipient.  Stateful strategies and adaptive round policies raise a
+documented error pointing at the pure-Python engine, which supports both.
+
+Results are full :class:`~repro.sim.runner.ExecutionResult` objects (runtime
+tag ``"ndbatch"``) with the same schema as the other engines, so the metrics,
+convergence-analysis and table pipelines apply unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.problem import ProblemInstance, ValidationReport, validate_outputs
+from repro.core.protocol import ResilienceError
+from repro.core.rounds import AlgorithmBounds, approximation_step_block
+from repro.core.termination import RoundPolicy, default_round_policy
+from repro.net.adversary import (
+    SENDER_MASK,
+    DelayRankOmission,
+    OmissionPolicy,
+    RoundFaultModel,
+    SeededOmission,
+    mix64,
+    round_fault_model,
+    seeded_rank_key_block,
+)
+from repro.net.message import Message, message_bits
+from repro.net.network import DelayModel, FaultPlan, NetworkStats
+from repro.sim.batch import BATCH_PROTOCOL_BOUNDS, BATCH_PROTOCOLS, _upfront_rounds
+from repro.sim.runner import ExecutionResult
+
+__all__ = [
+    "NDBATCH_PROTOCOLS",
+    "run_ndbatch_block",
+    "run_ndbatch_protocol",
+]
+
+#: Protocols the vectorised engine supports (same set as the batch engine).
+NDBATCH_PROTOCOLS = BATCH_PROTOCOLS
+
+_SYNCHRONOUS = frozenset({"sync-crash", "sync-byzantine"})
+
+#: Sentinel crash round for processes that never crash (far beyond any block).
+_NEVER = np.int64(2**31)
+
+_UINT64_MAX = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _seeded_keys(seed_mix: np.ndarray, round_number: int, n: int) -> np.ndarray:
+    """Quorum rank keys of one round for a block of seeds.
+
+    ``seed_mix`` has shape ``(E,)``; the result has shape ``(E, n, n)`` with
+    ``keys[e, recipient, sender]`` equal to
+    :func:`~repro.net.adversary.seeded_rank_key` evaluated scalar-by-scalar —
+    one shared vectorised implementation
+    (:func:`~repro.net.adversary.seeded_rank_key_block`) serves both this
+    engine and :class:`~repro.net.adversary.SeededOmission`'s per-round key
+    cache, so the engines' quorums stay identical by construction.  Keys
+    embed the sender id in their low bits, so ``np.sort`` of a key row
+    followed by masking out the low bits *is* quorum selection (no
+    ``argsort`` indirection, no ties possible).
+    """
+    return seeded_rank_key_block(seed_mix, round_number, n)
+
+
+class _Block:
+    """Per-execution scenario data and numpy state of one ndbatch block."""
+
+    def __init__(
+        self,
+        protocol: str,
+        inputs_block: Sequence[Sequence[float]],
+        t: int,
+        epsilon: float,
+        round_policy: Optional[RoundPolicy],
+        fault_models: Sequence[RoundFaultModel],
+        omission_policies: Sequence[OmissionPolicy],
+        strict: bool,
+    ) -> None:
+        self.count = len(inputs_block)
+        self.n = len(inputs_block[0])
+        self.t = t
+        self.epsilon = epsilon
+        self.protocol = protocol
+        self.synchronous = protocol in _SYNCHRONOUS
+        self.bounds: AlgorithmBounds = BATCH_PROTOCOL_BOUNDS[protocol](self.n, t)
+        if strict and not self.bounds.resilience_ok:
+            raise ResilienceError(
+                f"{self.bounds.name} does not tolerate t={t} faults with n={self.n}"
+            )
+        self.fault_models = list(fault_models)
+        self.policies = list(omission_policies)
+        n, count = self.n, self.count
+
+        shared_rounds: Optional[int] = None
+        if round_policy is not None:
+            shared_rounds = _upfront_rounds(round_policy, self.bounds, epsilon)
+            if shared_rounds is None:
+                raise ValueError(
+                    f"the ndbatch engine requires a round policy whose count is known "
+                    f"upfront, not {round_policy.describe()}; adaptive policies are "
+                    f"supported by the pure-Python engine "
+                    f"(repro.sim.batch.run_batch_protocol)"
+                )
+
+        self.problems: List[ProblemInstance] = []
+        rounds: List[int] = []
+        for inputs, model, policy in zip(inputs_block, self.fault_models, self.policies):
+            if len(inputs) != n:
+                raise ValueError("all executions in a block must share n")
+            self.problems.append(
+                ProblemInstance(
+                    n=n,
+                    t=t,
+                    epsilon=epsilon,
+                    inputs=list(inputs),
+                    faulty=model.faulty_ids(n),
+                    byzantine=model.byzantine_ids(n),
+                )
+            )
+            if shared_rounds is not None:
+                rounds.append(shared_rounds)
+            else:
+                cell_policy = default_round_policy(self.bounds, inputs, epsilon)
+                rounds.append(_upfront_rounds(cell_policy, self.bounds, epsilon))
+            policy.reset()
+        if len(set(rounds)) > 1:
+            raise ValueError(
+                f"executions in one ndbatch block must share the round count, got "
+                f"{sorted(set(rounds))}; group cells by round count first "
+                f"(repro.sim.sweep does this automatically)"
+            )
+        self.total_rounds = rounds[0] if rounds else 0
+
+        # --- numpy scenario state --------------------------------------
+        self.inputs_matrix = np.asarray(inputs_block, dtype=np.float64)
+        self.crash_round = np.full((count, n), _NEVER, dtype=np.int64)
+        self.crash_deliveries = np.zeros((count, n), dtype=np.int64)
+        self.strategy_mask = np.zeros((count, n), dtype=bool)
+        self.silent_mask = np.zeros((count, n), dtype=bool)
+        self.honest_mask = np.ones((count, n), dtype=bool)
+        self.strategy_ids: List[Tuple[int, ...]] = []
+
+        starting = self.inputs_matrix.copy()
+        for e, model in enumerate(self.fault_models):
+            for pid, strategy in model.strategies.items():
+                if not getattr(strategy, "stateless", False):
+                    raise ValueError(
+                        f"the ndbatch engine requires stateless Byzantine value "
+                        f"strategies (pure functions of round/recipient/observed), "
+                        f"not {strategy.describe()}; stateful strategies are "
+                        f"supported by the pure-Python engine "
+                        f"(repro.sim.batch.run_batch_protocol)"
+                    )
+                if pid < n:
+                    self.strategy_mask[e, pid] = True
+            for pid in model.silent:
+                if pid < n:
+                    self.silent_mask[e, pid] = True
+            self.strategy_ids.append(tuple(sorted(model.strategies)))
+            for pid, forged in model.corrupted_inputs.items():
+                if pid < n:
+                    starting[e, pid] = float(forged)
+            for pid, (crash_round, deliveries) in model.crash_schedule.items():
+                if pid < n:
+                    self.crash_round[e, pid] = crash_round
+                    self.crash_deliveries[e, pid] = deliveries
+            for pid in self.problems[e].faulty:
+                self.honest_mask[e, pid] = False
+        self.holder_mask = ~self.strategy_mask & ~self.silent_mask
+        # Crash schedules only apply to value holders (a Byzantine replacement
+        # supersedes a crash point, as in the round_fault_model adapter).
+        self.crash_round = np.where(self.holder_mask, self.crash_round, _NEVER)
+        self.crash_deliveries = np.where(self.holder_mask, self.crash_deliveries, 0)
+        self.values = np.where(self.holder_mask, starting, np.nan)
+        self.strategy_counts = self.strategy_mask.sum(axis=1).astype(np.int64)
+
+        # --- quorum-selection mode partition ---------------------------
+        # "seeded": every policy is a SeededOmission — keys computed natively
+        # in numpy for the whole block.  "ranked": the policy answers
+        # rank_block() — one bulk float ranking per execution per round.
+        # "generic": per-recipient Python fallback, in the batch engine's
+        # exact query order.
+        if n > SENDER_MASK:
+            raise ValueError(
+                f"quorum rank keys embed the sender id in 16 bits; "
+                f"n={n} processes exceed that"
+            )
+        self.seeded_idx: List[int] = []
+        self.ranked_idx: List[int] = []
+        self.generic_idx: List[int] = []
+        probes: List[List[List[float]]] = []
+        for e, policy in enumerate(self.policies):
+            if type(policy) is SeededOmission:
+                self.seeded_idx.append(e)
+                continue
+            probe = policy.rank_block(1, n)
+            if probe is not None:
+                self.ranked_idx.append(e)
+                probes.append(probe)
+            else:
+                self.generic_idx.append(e)
+        #: Round-1 rank matrices gathered during classification, reused by
+        #: the first round instead of re-querying every ranked policy.
+        self.rank_probe: Optional[np.ndarray] = (
+            np.array(probes, dtype=np.float64) if probes else None
+        )
+        self.seed_mix = np.array(
+            [mix64(self.policies[e].seed) for e in self.seeded_idx], dtype=np.uint64
+        ).reshape(len(self.seeded_idx))
+
+
+def run_ndbatch_block(
+    protocol: str,
+    inputs_block: Sequence[Sequence[float]],
+    t: int,
+    epsilon: float,
+    round_policy: Optional[RoundPolicy] = None,
+    fault_models: Optional[Sequence[Optional[RoundFaultModel]]] = None,
+    omission_policies: Optional[Sequence[Optional[OmissionPolicy]]] = None,
+    seeds: Optional[Sequence[int]] = None,
+    strict: bool = True,
+) -> List[ExecutionResult]:
+    """Run a block of executions on the vectorised engine.
+
+    All executions share ``(protocol, n, t, epsilon)`` and the round count
+    their policies compute (heterogeneous round counts raise — group first;
+    :func:`repro.sim.sweep.run_sweep` does).  Per-execution scenario data —
+    inputs, fault models, omission policies — are supplied as parallel
+    sequences; policies must be distinct objects per execution (they carry
+    per-execution seeds/state).
+
+    ``fault_models[e]`` defaults to no faults, ``omission_policies[e]`` to
+    ``SeededOmission(seeds[e])`` (``seeds`` defaulting to all zeros), exactly
+    mirroring :func:`repro.sim.batch.run_batch_protocol`, so the two engines
+    realise identical scenarios for identical arguments.
+    """
+    if protocol not in BATCH_PROTOCOL_BOUNDS:
+        raise ValueError(
+            f"ndbatch engine does not support protocol {protocol!r}; "
+            f"supported: {list(NDBATCH_PROTOCOLS)}"
+        )
+    count = len(inputs_block)
+    if count == 0:
+        return []
+    if fault_models is None:
+        fault_models = [None] * count
+    if omission_policies is None:
+        omission_policies = [None] * count
+    if seeds is None:
+        seeds = [0] * count
+    if not (len(fault_models) == len(omission_policies) == len(seeds) == count):
+        raise ValueError("inputs_block, fault_models, omission_policies and seeds "
+                         "must have equal lengths")
+    models = [model if model is not None else RoundFaultModel() for model in fault_models]
+    policies = [
+        policy if policy is not None else SeededOmission(int(seed))
+        for policy, seed in zip(omission_policies, seeds)
+    ]
+
+    started = time.perf_counter()
+    block = _Block(
+        protocol, inputs_block, t, epsilon, round_policy, models, policies, strict
+    )
+    results = _advance_block(block)
+    wall = time.perf_counter() - started
+    # Wall time is observational; charge each execution its share of the block.
+    share = wall / count
+    for result in results:
+        result.wall_time_seconds = share
+    return results
+
+
+def run_ndbatch_protocol(
+    protocol: str,
+    inputs: Sequence[float],
+    t: int,
+    epsilon: float,
+    round_policy: Optional[RoundPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    fault_model: Optional[RoundFaultModel] = None,
+    omission_policy: Optional[OmissionPolicy] = None,
+    delay_model: Optional[DelayModel] = None,
+    seed: int = 0,
+    strict: bool = True,
+) -> ExecutionResult:
+    """Run one execution on the vectorised engine (a block of size one).
+
+    Parameters mirror :func:`repro.sim.batch.run_batch_protocol` exactly, so
+    callers can switch engines by switching the function.
+    """
+    if fault_plan is not None and fault_model is not None:
+        raise ValueError("pass either fault_plan or fault_model, not both")
+    if omission_policy is not None and delay_model is not None:
+        raise ValueError("pass either omission_policy or delay_model, not both")
+    if fault_model is None:
+        fault_model = round_fault_model(fault_plan, len(inputs))
+    if omission_policy is None and delay_model is not None:
+        omission_policy = DelayRankOmission(delay_model)
+    return run_ndbatch_block(
+        protocol,
+        [list(inputs)],
+        t,
+        epsilon,
+        round_policy=round_policy,
+        fault_models=[fault_model],
+        omission_policies=[omission_policy],
+        seeds=[seed],
+        strict=strict,
+    )[0]
+
+
+# ----------------------------------------------------------------------
+# The vectorised round loop
+# ----------------------------------------------------------------------
+
+
+def _advance_block(block: _Block) -> List[ExecutionResult]:
+    count, n, m = block.count, block.n, block.bounds.sample_size
+    total_rounds = block.total_rounds
+    arange_n = np.arange(n)
+
+    active = np.ones(count, dtype=bool)
+    rounds_completed = np.zeros(count, dtype=np.int64)
+    messages_sent = np.zeros(count, dtype=np.int64)
+    bits_sent = np.zeros(count, dtype=np.int64)
+    delivered = np.zeros(count, dtype=np.int64)
+    rounds_entered = np.zeros(count, dtype=np.int64)
+    holder_sends = np.zeros((count, n), dtype=np.int64)
+    history = [block.values.copy()]
+    any_strategies = any(block.strategy_ids)
+    clean_values = not any_strategies and not bool(block.silent_mask.any())
+
+    # The crash model's send/update/candidate structure changes only while a
+    # crash point lies ahead; past the last scheduled crash it is identical
+    # every round, so it is computed once and reused.
+    scheduled = np.where(block.crash_round < _NEVER, block.crash_round, 0)
+    last_crash_round = int(scheduled.max()) if count else 0
+    static_structure = None
+
+    for round_number in range(1, total_rounds + 1):
+        if not active.any():
+            break
+        value_bits = message_bits(Message(kind="VALUE", round=round_number, value=0.0))
+
+        if static_structure is not None:
+            sends, updates, cand, cand_count, round_sends = static_structure
+        else:
+            # Who sends, who updates (the crash model's prefix semantics).
+            before_crash = round_number < block.crash_round
+            sends = np.where(
+                block.holder_mask & before_crash,
+                n,
+                np.where(
+                    block.holder_mask & (round_number == block.crash_round),
+                    block.crash_deliveries,
+                    0,
+                ),
+            )
+            updates = block.holder_mask & before_crash
+            # Candidate tensor: cand[e, recipient, sender].
+            cand = block.strategy_mask[:, None, :] | (
+                block.holder_mask[:, None, :]
+                & (arange_n[None, :, None] < sends[:, None, :])
+            )
+            cand &= ~block.silent_mask[:, None, :]
+            cand_count = cand.sum(axis=2)
+            round_sends = sends.sum(axis=1) + n * block.strategy_counts
+            if round_number > last_crash_round:
+                static_structure = (sends, updates, cand, cand_count, round_sends)
+
+        # Message accounting happens at round entry, exactly like the batch
+        # engine (a round that fails liveness mid-way keeps its sends).
+        messages_sent += np.where(active, round_sends, 0)
+        bits_sent += np.where(active, round_sends * value_bits, 0)
+        holder_sends += sends * active[:, None]
+        rounds_entered += active
+
+        # Full-information adversary: strategies observe every holder value
+        # at round entry.
+        injected = None
+        if any_strategies:
+            injected = _injected_values(block, round_number)
+
+        if block.synchronous:
+            sample = _sync_samples(block, cand, injected)
+            sample_width = n
+            failed_round = np.zeros(count, dtype=bool)
+            round_delivered = np.where(active, updates.sum(axis=1) * n, 0)
+        else:
+            sample, failed_round, round_delivered = _async_samples(
+                block, cand, cand_count, injected, updates, active, round_number, m
+            )
+            sample_width = m
+        delivered += round_delivered
+
+        apply_mask = updates & active[:, None] & ~failed_round[:, None]
+        if clean_values and not failed_round.any():
+            # Crash-only blocks gather exclusively finite holder values, so
+            # the placeholder fill and the kernel's finiteness scan are
+            # provably redundant.
+            new_values = approximation_step_block(sample, block.bounds, validate=False)
+        else:
+            safe_sample = np.where(
+                apply_mask[:, :, None],
+                sample,
+                np.zeros((1, 1, sample_width)),
+            )
+            new_values = approximation_step_block(safe_sample, block.bounds)
+        block.values = np.where(apply_mask, new_values, block.values)
+        history.append(block.values.copy())
+
+        completed_now = active & ~failed_round
+        rounds_completed = np.where(completed_now, round_number, rounds_completed)
+        active = completed_now
+
+    return _assemble_results(
+        block,
+        history,
+        active,
+        rounds_completed,
+        messages_sent,
+        bits_sent,
+        delivered,
+        rounds_entered,
+        holder_sends,
+    )
+
+
+def _injected_values(block: _Block, round_number: int) -> np.ndarray:
+    """Eagerly evaluated strategy reports: ``injected[e, sender, recipient]``.
+
+    Non-finite reports are stored as NaN, which the sampling paths treat as
+    omissions (mirroring the message boundary of the protocol skeletons).
+    Only stateless strategies reach this point, so eager evaluation for every
+    recipient is indistinguishable from the batch engine's lazy evaluation.
+    """
+    count, n = block.count, block.n
+    injected = np.full((count, n, n), np.nan, dtype=np.float64)
+    for e, ids in enumerate(block.strategy_ids):
+        if not ids:
+            continue
+        row = block.values[e]
+        observed = np.sort(row[block.holder_mask[e]]).tolist()
+        strategies = block.fault_models[e].strategies
+        for sender in ids:
+            strategy = strategies[sender]
+            for recipient in range(n):
+                value = strategy.value(round_number, recipient, observed)
+                if isinstance(value, (int, float)):
+                    injected[e, sender, recipient] = float(value)  # inf -> isfinite no
+        # Normalise ±inf to NaN so one mask covers every non-finite report.
+    np.copyto(injected, np.nan, where=~np.isfinite(injected))
+    return injected
+
+
+def _sync_samples(
+    block: _Block, cand: np.ndarray, injected: Optional[np.ndarray]
+) -> np.ndarray:
+    """Size-``n`` synchronous samples with own-value substitution."""
+    own = block.values[:, :, None]  # (E, recipient, 1)
+    holder_values = block.values[:, None, :]  # (E, 1, sender)
+    sample = np.where(cand & block.holder_mask[:, None, :], holder_values, own)
+    if injected is not None:
+        reports = np.swapaxes(injected, 1, 2)  # (E, recipient, sender)
+        use = cand & block.strategy_mask[:, None, :] & np.isfinite(reports)
+        sample = np.where(use, reports, sample)
+    return sample
+
+
+def _async_samples(
+    block: _Block,
+    cand: np.ndarray,
+    cand_count: np.ndarray,
+    injected: Optional[np.ndarray],
+    updates: np.ndarray,
+    active: np.ndarray,
+    round_number: int,
+    m: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Quorum samples ``(E, n, m)``, liveness failures, and delivery counts.
+
+    Reproduces the batch engine's per-recipient behaviour: the omission
+    policy picks ``m`` candidates, non-finite Byzantine reports degrade to
+    omissions and the quorum refills from the remaining candidates in
+    ascending sender order, and a recipient that cannot fill its quorum fails
+    the execution at that recipient (earlier recipients' deliveries stand).
+    """
+    count, n = block.count, block.n
+    chosen = _choose_quorums(block, cand, cand_count, updates, active, round_number, m)
+
+    e_idx = np.arange(count)[:, None, None]
+    sample = block.values[e_idx, chosen]
+    if injected is not None:
+        q_idx = np.arange(n)[None, :, None]
+        strategy_chosen = block.strategy_mask[e_idx, chosen]
+        if strategy_chosen.any():
+            reports = injected[e_idx, chosen, q_idx]
+            sample = np.where(strategy_chosen, reports, sample)
+
+    # Liveness / refill bookkeeping.  In-model scenarios never enter either
+    # branch: the candidate set always has >= m members and only Byzantine
+    # strategies can inject non-finite values (so crash-only blocks skip the
+    # finiteness scan entirely).
+    relevant = updates & active[:, None]
+    starving = relevant & (cand_count < m)
+    if injected is not None:
+        short = relevant & (np.isfinite(sample).sum(axis=2) < m) & ~starving
+    else:
+        short = np.zeros_like(starving)
+    failed_at = np.full(count, n, dtype=np.int64)
+    if starving.any() or short.any():
+        failed_at = _refill_or_fail(
+            block, cand, chosen, sample, starving, short, round_number, m
+        )
+    failed_round = failed_at < n
+
+    quorums_filled = np.where(
+        failed_round[:, None],
+        (np.arange(n)[None, :] < failed_at[:, None]) & relevant,
+        relevant,
+    ).sum(axis=1)
+    round_delivered = quorums_filled * m
+    return sample, failed_round, round_delivered
+
+
+def _choose_quorums(
+    block: _Block,
+    cand: np.ndarray,
+    cand_count: np.ndarray,
+    updates: np.ndarray,
+    active: np.ndarray,
+    round_number: int,
+    m: int,
+) -> np.ndarray:
+    """Quorum index tensor ``chosen[e, recipient, :m]`` for one round."""
+    count, n = block.count, block.n
+    chosen = np.zeros((count, n, m), dtype=np.int64)
+
+    if block.seeded_idx:
+        idx = block.seeded_idx
+        keys = _seeded_keys(block.seed_mix, round_number, n)
+        np.copyto(keys, _UINT64_MAX, where=~cand[idx])
+        # Selection by value sort: the sender id lives in each key's low
+        # bits, so sorting the keys and masking those bits out yields the
+        # chosen senders directly — cheaper than argsort's indirection and
+        # exactly the scalar engine's (PRF value, sender) order.
+        smallest = np.sort(keys, axis=2)[:, :, :m]
+        picked = (smallest & np.uint64(SENDER_MASK)).astype(np.int64)
+        # Starving rows (fewer candidates than m) pick up the sentinel's low
+        # bits; clamp so the gather stays in bounds — those rows fail the
+        # execution before their samples are ever used.
+        chosen[idx] = np.minimum(picked, n - 1)
+
+    if block.ranked_idx:
+        idx = block.ranked_idx
+        if round_number == 1 and block.rank_probe is not None:
+            ranks = block.rank_probe
+            block.rank_probe = None
+        else:
+            ranks = np.array(
+                [block.policies[e].rank_block(round_number, n) for e in idx],
+                dtype=np.float64,
+            )
+        # NaN (not inf) masks the non-candidates: numpy sorts NaN after every
+        # number including +inf, so a legitimately infinite rank (e.g. an
+        # infinite delay) still outranks a non-candidate — matching the
+        # scalar path, which only ever sorts actual candidates.
+        masked = np.where(cand[idx], ranks, np.nan)
+        # Real-valued ranks (e.g. delays) do tie; the scalar path breaks ties
+        # by sender id, which the stable sort reproduces exactly.
+        order = np.argsort(masked, axis=2, kind="stable")
+        chosen[idx] = order[:, :, :m]
+
+    for e in block.generic_idx:
+        if not active[e]:
+            continue
+        policy = block.policies[e]
+        trusted = type(policy) is DelayRankOmission
+        for recipient in range(n):
+            if not updates[e, recipient] or cand_count[e, recipient] < m:
+                continue
+            candidates = np.nonzero(cand[e, recipient])[0].tolist()
+            picked = list(policy.quorum(round_number, recipient, candidates, m))
+            if not trusted:
+                picked_set = set(picked)
+                if len(picked) != m or len(picked_set) != m:
+                    raise ValueError(
+                        f"omission policy {policy.describe()} returned {len(picked)} "
+                        f"senders, expected {m} distinct"
+                    )
+                if not picked_set <= set(candidates):
+                    raise ValueError(
+                        f"omission policy {policy.describe()} chose senders outside "
+                        "the candidate set"
+                    )
+            chosen[e, recipient, :] = picked
+    return chosen
+
+
+def _refill_or_fail(
+    block: _Block,
+    cand: np.ndarray,
+    chosen: np.ndarray,
+    sample: np.ndarray,
+    starving: np.ndarray,
+    short: np.ndarray,
+    round_number: int,
+    m: int,
+) -> np.ndarray:
+    """Handle quorum starvation and non-finite-report refills (rare paths).
+
+    Mutates ``sample`` in place for refilled quorums and returns, per
+    execution, the first recipient at which the quorum could not be filled
+    (``n`` when every quorum filled).  Matches the batch engine: a dropped
+    non-finite report refills from the not-chosen candidates in ascending
+    sender order; starvation fails the execution at that recipient.
+    """
+    count, n = block.count, block.n
+    failed_at = np.full(count, n, dtype=np.int64)
+    for e in range(count):
+        for recipient in range(n):
+            if starving[e, recipient]:
+                failed_at[e] = recipient
+                break
+            if not short[e, recipient]:
+                continue
+            quorum = chosen[e, recipient]
+            collected = [
+                float(sample[e, recipient, i])
+                for i in range(m)
+                if np.isfinite(sample[e, recipient, i])
+            ]
+            chosen_set = set(int(s) for s in quorum)
+            refill_ok = True
+            for sender in np.nonzero(cand[e, recipient])[0]:
+                if len(collected) >= m:
+                    break
+                sender = int(sender)
+                if sender in chosen_set:
+                    continue
+                value = _late_sender_value(block, e, sender, recipient, round_number)
+                if value is not None:
+                    collected.append(value)
+            if len(collected) < m:
+                failed_at[e] = recipient
+                refill_ok = False
+            if not refill_ok:
+                break
+            sample[e, recipient, :] = collected
+    return failed_at
+
+
+def _late_sender_value(
+    block: _Block, e: int, sender: int, recipient: int, round_number: int
+) -> Optional[float]:
+    """Value a late (not-chosen) candidate contributes during a refill."""
+    if block.strategy_mask[e, sender]:
+        strategy = block.fault_models[e].strategies[sender]
+        observed = np.sort(block.values[e][block.holder_mask[e]]).tolist()
+        value = strategy.value(round_number, recipient, observed)
+        if not isinstance(value, (int, float)) or not np.isfinite(value):
+            return None
+        return float(value)
+    return float(block.values[e, sender])
+
+
+# ----------------------------------------------------------------------
+# Result assembly
+# ----------------------------------------------------------------------
+
+
+def _assemble_results(
+    block: _Block,
+    history: List[np.ndarray],
+    active: np.ndarray,
+    rounds_completed: np.ndarray,
+    messages_sent: np.ndarray,
+    bits_sent: np.ndarray,
+    delivered: np.ndarray,
+    rounds_entered: np.ndarray,
+    holder_sends: np.ndarray,
+) -> List[ExecutionResult]:
+    count, n = block.count, block.n
+    stacked = np.stack(history)  # (rounds + 1, E, n)
+
+    # Spread trajectories of every execution at once: diameter of the honest
+    # values after each round (faulty columns masked out of max/min).
+    honest3 = block.honest_mask[None, :, :]
+    traj_all = (
+        np.where(honest3, stacked, -np.inf).max(axis=2)
+        - np.where(honest3, stacked, np.inf).min(axis=2)
+    ).T  # (E, rounds + 1)
+
+    # Vectorised fast path of repro.core.problem.validate_outputs for the
+    # common all-correct case; executions failing any check fall back to the
+    # shared checker so reports (violation strings included) stay identical.
+    eps_ok_bound = block.epsilon * (1.0 + 1e-9)
+    output_spread = traj_all[np.arange(count), rounds_completed]
+    agreement_ok = output_spread <= eps_ok_bound
+    byz_mask = np.zeros((count, n), dtype=bool)
+    for e, problem in enumerate(block.problems):
+        for pid in problem.byzantine:
+            byz_mask[e, pid] = True
+    validity_ref = np.where(byz_mask, np.nan, block.inputs_matrix)
+    lo = np.nanmin(validity_ref, axis=1)
+    hi = np.nanmax(validity_ref, axis=1)
+    slack = 1e-9 * np.maximum(1.0, np.maximum(np.abs(lo), np.abs(hi)))
+    out_hi = np.where(block.honest_mask, block.values, -np.inf).max(axis=1)
+    out_lo = np.where(block.honest_mask, block.values, np.inf).min(axis=1)
+    validity_ok = (out_lo >= lo - slack) & (out_hi <= hi + slack)
+    fast_ok = active & agreement_ok & validity_ok
+
+    # Bulk conversions to Python scalars up front: element-wise numpy reads
+    # inside the per-execution loop would dominate large blocks.
+    hist_t = np.ascontiguousarray(stacked.transpose(1, 2, 0))  # (E, n, rounds + 1)
+    values_rows = block.values.tolist()
+    traj_rows = traj_all.tolist()
+    spread_list = output_spread.tolist()
+    completed_list = rounds_completed.tolist()
+    messages_list = messages_sent.tolist()
+    bits_list = bits_sent.tolist()
+    delivered_list = delivered.tolist()
+    entered_list = rounds_entered.tolist()
+    holder_sends_rows = holder_sends.tolist()
+
+    results: List[ExecutionResult] = []
+    for e in range(count):
+        problem = block.problems[e]
+        decided = bool(active[e])
+        completed = completed_list[e]
+        honest = problem.honest
+        values_row = values_rows[e]
+
+        outputs: Dict[int, Optional[float]] = {
+            pid: (values_row[pid] if decided else None) for pid in honest
+        }
+        if fast_ok[e]:
+            report = ValidationReport(
+                all_decided=True,
+                epsilon_agreement=True,
+                validity=True,
+                output_spread=spread_list[e],
+                outputs=dict(outputs),
+            )
+        else:
+            report = validate_outputs(problem, outputs)
+
+        rows = hist_t[e].tolist()
+        length = 1 + completed  # honest processes never crash, so never truncate
+        value_histories: Dict[int, List[float]] = {
+            pid: rows[pid][:length] for pid in honest
+        }
+        trajectory = traj_rows[e][:length]
+
+        stats = NetworkStats()
+        stats.messages_sent = messages_list[e]
+        stats.bits_sent = bits_list[e]
+        stats.messages_delivered = delivered_list[e]
+        if stats.messages_sent:
+            stats.messages_by_kind["VALUE"] = stats.messages_sent
+        sends_row = holder_sends_rows[e]
+        strategy_ids = block.strategy_ids[e]
+        for pid in range(n):
+            sent = sends_row[pid]
+            if pid in strategy_ids:
+                sent = n * entered_list[e]
+            if sent:
+                stats.sends_by_process[pid] = sent
+
+        results.append(
+            ExecutionResult(
+                protocol=block.protocol,
+                runtime="ndbatch",
+                problem=problem,
+                report=report,
+                outputs=outputs,
+                stats=stats,
+                rounds_used=completed,
+                trajectory=trajectory,
+                value_histories=value_histories,
+                events_executed=0,
+                wall_time_seconds=0.0,
+            )
+        )
+    return results

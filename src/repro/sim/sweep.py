@@ -1,14 +1,15 @@
-"""Seeded scenario-grid sweeps over both execution engines.
+"""Seeded scenario-grid sweeps over the execution engines.
 
 A *sweep* is the cartesian product of named axes — protocol, system size,
-adversary, input workload, seed — evaluated cell by cell on either the
-round-level batch engine (:mod:`repro.sim.batch`, the default: fast enough
-for thousand-execution grids) or the per-message event simulator
-(:mod:`repro.sim.runner`, for differential validation and message-level
-effects).  Both engines consume the *same* adversary specification: each
-named adversary builds a message-level ``(fault_plan, delay_model)`` bundle,
-which the batch engine adapts through
-:func:`repro.net.adversary.round_fault_model` and
+adversary, input workload, seed — evaluated on one of three engines: the
+pure-Python round-level batch engine (:mod:`repro.sim.batch`, the default),
+the numpy-vectorised block engine (:mod:`repro.sim.ndbatch`, the fastest:
+cells sharing a scenario shape are grouped and advance together as one value
+matrix), or the per-message event simulator (:mod:`repro.sim.runner`, for
+differential validation and message-level effects).  All engines consume the
+*same* adversary specification: each named adversary builds a message-level
+``(fault_plan, delay_model)`` bundle, which the round-level engines adapt
+through :func:`repro.net.adversary.round_fault_model` and
 :class:`repro.net.adversary.DelayRankOmission`.
 
 Everything in a sweep is deterministic given the cell: workloads and
@@ -40,10 +41,11 @@ Typical use::
 from __future__ import annotations
 
 import itertools
+import json
 import multiprocessing
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 from repro.analysis.convergence import compare_to_bound
 from repro.core.rounds import (
@@ -54,20 +56,31 @@ from repro.core.rounds import (
     sync_crash_bounds,
     witness_bounds,
 )
+from repro.core.multiset import spread
+from repro.core.termination import FixedRounds, default_round_policy
 from repro.net.adversary import (
     AntiConvergenceStrategy,
     ByzantineFaultPlan,
     CrashFaultPlan,
     CrashPoint,
+    DelayRankOmission,
     EquivocatingStrategy,
     FixedValueStrategy,
     LaggardDelay,
     PartitionDelay,
     RoundEchoByzantine,
+    SeededOmission,
     StaggeredExclusionDelay,
+    round_fault_model,
 )
 from repro.net.network import DelayModel, FaultPlan, UniformRandomDelay
 from repro.sim.batch import BATCH_PROTOCOLS, run_batch_protocol
+
+try:
+    from repro.sim.ndbatch import run_ndbatch_block, run_ndbatch_protocol
+except ImportError:  # numpy unavailable — engine="ndbatch" raises at dispatch
+    run_ndbatch_block = None
+    run_ndbatch_protocol = None
 from repro.sim.experiments import ExperimentRecord, aggregate
 from repro.sim.metrics import CostSummary
 from repro.sim.runner import PROTOCOL_FACTORIES, ExecutionResult, run_protocol
@@ -93,6 +106,8 @@ __all__ = [
     "adversary_fits_protocol",
     "run_cell",
     "run_sweep",
+    "iter_sweep_jsonl",
+    "read_sweep_jsonl",
     "records_from_sweep",
     "summarize_sweep",
 ]
@@ -220,7 +235,7 @@ class SweepCell:
     adversary: str
     workload: str
     seed: int
-    engine: str  # "batch" or "event"
+    engine: str  # "batch", "ndbatch" or "event"
 
     def validate(self) -> None:
         if self.protocol not in PROTOCOL_FACTORIES:
@@ -229,12 +244,12 @@ class SweepCell:
             raise ValueError(f"unknown adversary {self.adversary!r}")
         if self.workload not in WORKLOAD_SPECS:
             raise ValueError(f"unknown workload {self.workload!r}")
-        if self.engine not in ("batch", "event"):
+        if self.engine not in ("batch", "ndbatch", "event"):
             raise ValueError(f"unknown engine {self.engine!r}")
-        if self.engine == "batch" and self.protocol not in BATCH_PROTOCOLS:
+        if self.engine in ("batch", "ndbatch") and self.protocol not in BATCH_PROTOCOLS:
             raise ValueError(
-                f"protocol {self.protocol!r} is not supported by the batch engine; "
-                f"use engine='event'"
+                f"protocol {self.protocol!r} is not supported by the "
+                f"{self.engine} engine; use engine='event'"
             )
 
 
@@ -248,6 +263,10 @@ class SweepSpec:
     workloads: Tuple[str, ...] = ("uniform",)
     seeds: Tuple[int, ...] = (0,)
     epsilon: float = 1e-3
+    #: Execution engine: ``"batch"`` (pure-Python round level, the default),
+    #: ``"ndbatch"`` (numpy-vectorised round level — fastest; whole blocks of
+    #: shape-compatible cells advance as one matrix), or ``"event"`` (the
+    #: per-message discrete-event simulator).
     engine: str = "batch"
 
     def cells(self) -> Iterator[SweepCell]:
@@ -364,6 +383,21 @@ def _execute_cell(cell: SweepCell) -> ExecutionResult:
             delay_model=bundle.delay_model,
             seed=cell.seed,
         )
+    if cell.engine == "ndbatch":
+        if run_ndbatch_protocol is None:
+            raise ImportError(
+                "engine='ndbatch' requires numpy; install numpy or use "
+                "engine='batch'"
+            )
+        return run_ndbatch_protocol(
+            cell.protocol,
+            inputs,
+            t=cell.t,
+            epsilon=cell.epsilon,
+            fault_plan=bundle.fault_plan,
+            delay_model=bundle.delay_model,
+            seed=cell.seed,
+        )
     return run_protocol(
         cell.protocol,
         inputs,
@@ -374,10 +408,14 @@ def _execute_cell(cell: SweepCell) -> ExecutionResult:
     )
 
 
-def run_cell(cell: SweepCell) -> CellOutcome:
-    """Execute one cell and compress the result into a :class:`CellOutcome`."""
-    result = _execute_cell(cell)
-    bounds = PROTOCOL_BOUNDS[cell.protocol](cell.n, cell.t)
+def _outcome_from_result(
+    cell: SweepCell,
+    result: ExecutionResult,
+    bounds: Optional[AlgorithmBounds] = None,
+) -> CellOutcome:
+    """Compress one :class:`~repro.sim.runner.ExecutionResult` into a cell outcome."""
+    if bounds is None:
+        bounds = PROTOCOL_BOUNDS[cell.protocol](cell.n, cell.t)
     comparison = compare_to_bound(bounds, result.trajectory)
     return CellOutcome(
         cell=cell,
@@ -396,6 +434,11 @@ def run_cell(cell: SweepCell) -> CellOutcome:
     )
 
 
+def run_cell(cell: SweepCell) -> CellOutcome:
+    """Execute one cell and compress the result into a :class:`CellOutcome`."""
+    return _outcome_from_result(cell, _execute_cell(cell))
+
+
 def _resolve_workers(workers: Optional[int], cell_count: int) -> int:
     if workers is not None:
         if workers < 1:
@@ -404,20 +447,115 @@ def _resolve_workers(workers: Optional[int], cell_count: int) -> int:
     return max(1, min(os.cpu_count() or 1, cell_count))
 
 
-def run_sweep(spec: SweepSpec, workers: Optional[int] = None) -> List[CellOutcome]:
-    """Run every cell of ``spec`` and return outcomes in grid order.
+def _group_ndbatch_blocks(
+    cells: Sequence[SweepCell],
+) -> List[Tuple[int, List[int], List[List[float]]]]:
+    """Group cells into shape-compatible ndbatch blocks.
 
-    ``workers`` controls the ``multiprocessing`` pool size; ``None`` uses one
-    worker per CPU (capped by the cell count) and ``1`` runs serially in
-    process.  Outcomes are deterministic and identically ordered either way:
-    each cell is self-contained and seeded, so the pool only changes the
-    wall-clock, never the results.  If the platform cannot spawn a pool the
-    sweep silently degrades to the serial path.
+    Cells sharing ``(protocol, n, t, epsilon, round count)`` advance together
+    as one value matrix.  Returns ``(rounds, cell_indices, inputs_block)``
+    per block, in first-appearance order, so reassembly into grid order is
+    deterministic; inputs are generated once here and carried into the block
+    (workers would otherwise regenerate every workload).
     """
-    cells = list(spec.cells())
+    blocks: Dict[Tuple, Tuple[int, List[int], List[List[float]]]] = {}
+    bounds_cache: Dict[Tuple[str, int, int], AlgorithmBounds] = {}
+    for index, cell in enumerate(cells):
+        inputs = WORKLOAD_SPECS[cell.workload](cell.n, cell.seed)
+        shape = (cell.protocol, cell.n, cell.t)
+        bounds = bounds_cache.get(shape)
+        if bounds is None:
+            bounds = PROTOCOL_BOUNDS[cell.protocol](cell.n, cell.t)
+            bounds_cache[shape] = bounds
+        if bounds.resilience_ok:
+            # Fast path for the common case; identical to the engines'
+            # default_round_policy (FixedRounds over the input spread).
+            rounds = bounds.rounds_for(spread(inputs), cell.epsilon)
+        else:
+            # Out-of-model (n, t): defer to the policy itself so grouping can
+            # never drift from what the engines would run.
+            rounds = default_round_policy(bounds, inputs, cell.epsilon).required_rounds(
+                bounds.contraction, cell.epsilon, None
+            )
+        key = (cell.protocol, cell.n, cell.t, cell.epsilon, rounds)
+        entry = blocks.setdefault(key, (rounds, [], []))
+        entry[1].append(index)
+        entry[2].append(inputs)
+    return list(blocks.values())
+
+
+def _run_ndbatch_chunk(
+    chunk: Tuple[int, List[SweepCell], List[List[float]]]
+) -> List[CellOutcome]:
+    """Execute one shape-compatible block of cells on the vectorised engine."""
+    rounds, cells, inputs_block = chunk
+    if run_ndbatch_block is None:
+        raise ImportError(
+            "engine='ndbatch' requires numpy; install numpy or use engine='batch'"
+        )
+    first = cells[0]
+    fault_models = []
+    policies = []
+    for cell in cells:
+        cell.validate()
+        bundle = ADVERSARY_SPECS[cell.adversary](cell.protocol, cell.n, cell.t, cell.seed)
+        fault_models.append(round_fault_model(bundle.fault_plan, cell.n))
+        policies.append(
+            DelayRankOmission(bundle.delay_model)
+            if bundle.delay_model is not None
+            else SeededOmission(cell.seed)
+        )
+    results = run_ndbatch_block(
+        first.protocol,
+        inputs_block,
+        t=first.t,
+        epsilon=first.epsilon,
+        round_policy=FixedRounds(rounds),
+        fault_models=fault_models,
+        omission_policies=policies,
+        strict=True,
+    )
+    bounds = PROTOCOL_BOUNDS[first.protocol](first.n, first.t)
+    return [
+        _outcome_from_result(cell, result, bounds)
+        for cell, result in zip(cells, results)
+    ]
+
+
+def _run_ndbatch_cells(
+    cells: List[SweepCell], workers: Optional[int]
+) -> List[CellOutcome]:
+    """Run an ndbatch sweep: group into blocks, dispatch, restore grid order."""
+    blocks = _group_ndbatch_blocks(cells)
+    chunks = [
+        (rounds, [cells[i] for i in indices], inputs_block)
+        for rounds, indices, inputs_block in blocks
+    ]
+    worker_count = _resolve_workers(workers, len(chunks))
+    if worker_count <= 1 or len(chunks) <= 1:
+        block_outcomes = [_run_ndbatch_chunk(chunk) for chunk in chunks]
+    else:
+        try:
+            pool = multiprocessing.Pool(worker_count)
+        except OSError:
+            block_outcomes = [_run_ndbatch_chunk(chunk) for chunk in chunks]
+        else:
+            with pool:
+                block_outcomes = pool.map(_run_ndbatch_chunk, chunks)
+    outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+    for (rounds, indices, _), block in zip(blocks, block_outcomes):
+        for index, outcome in zip(indices, block):
+            outcomes[index] = outcome
+    return outcomes  # type: ignore[return-value]
+
+
+def _iter_outcomes(cells: List[SweepCell], workers: Optional[int]) -> Iterator[CellOutcome]:
+    """Yield per-cell outcomes in grid order, streaming from the pool."""
     worker_count = _resolve_workers(workers, len(cells))
     if worker_count <= 1 or len(cells) <= 1:
-        return [run_cell(cell) for cell in cells]
+        for cell in cells:
+            yield run_cell(cell)
+        return
     try:
         pool = multiprocessing.Pool(worker_count)
     except OSError:
@@ -425,10 +563,129 @@ def run_sweep(spec: SweepSpec, workers: Optional[int] = None) -> List[CellOutcom
         # the serial path; results are identical by construction.  Only pool
         # *creation* is guarded — an error raised by a cell itself must
         # propagate, not silently re-run the whole grid serially.
-        return [run_cell(cell) for cell in cells]
+        for cell in cells:
+            yield run_cell(cell)
+        return
     with pool:
         chunk = max(1, len(cells) // (worker_count * 4))
-        return pool.map(run_cell, cells, chunksize=chunk)
+        yield from pool.imap(run_cell, cells, chunksize=chunk)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: Optional[int] = None,
+    jsonl_path: Optional[str] = None,
+) -> Union[List[CellOutcome], int]:
+    """Run every cell of ``spec``, in grid order.
+
+    ``workers`` controls the ``multiprocessing`` pool size; ``None`` uses one
+    worker per CPU (capped by the work-item count) and ``1`` runs serially in
+    process.  Outcomes are deterministic and identically ordered either way:
+    each cell is self-contained and seeded, so the pool only changes the
+    wall-clock, never the results.  If the platform cannot spawn a pool the
+    sweep silently degrades to the serial path.
+
+    With ``engine="ndbatch"`` the grid is first grouped into shape-compatible
+    blocks — cells sharing ``(protocol, n, t, epsilon, round count)`` — and
+    each block advances as one numpy value matrix
+    (:func:`repro.sim.ndbatch.run_ndbatch_block`); the pool then distributes
+    whole blocks instead of single cells.
+
+    When ``jsonl_path`` is given, outcomes stream to that file as JSON lines
+    (one :class:`CellOutcome` per line, grid order) instead of accumulating
+    in memory, and the function returns the number of cells written; read
+    them back with :func:`read_sweep_jsonl` / :func:`iter_sweep_jsonl`.  The
+    batch/event engines write each outcome as it completes; the ndbatch
+    engine computes whole blocks, then writes.  Without ``jsonl_path`` the
+    outcomes are returned as a list.
+    """
+    cells = list(spec.cells())
+    if spec.engine == "ndbatch":
+        outcomes = _run_ndbatch_cells(cells, workers)
+        if jsonl_path is None:
+            return outcomes
+        with open(jsonl_path, "w", encoding="utf-8") as handle:
+            for outcome in outcomes:
+                handle.write(_outcome_to_json_line(outcome))
+        return len(outcomes)
+    if jsonl_path is None:
+        return list(_iter_outcomes(cells, workers))
+    written = 0
+    with open(jsonl_path, "w", encoding="utf-8") as handle:
+        for outcome in _iter_outcomes(cells, workers):
+            handle.write(_outcome_to_json_line(outcome))
+            written += 1
+    return written
+
+
+# ----------------------------------------------------------------------
+# JSONL persistence
+# ----------------------------------------------------------------------
+
+
+def _outcome_to_json_line(outcome: CellOutcome) -> str:
+    """One JSON line for a :class:`CellOutcome` (non-finite floats included).
+
+    Uses Python's JSON dialect for ``NaN``/``Infinity`` (``allow_nan``), which
+    :func:`json.loads` parses back; ``output_spread`` is NaN for cells where
+    no process decided.
+    """
+    cell = outcome.cell
+    payload = {
+        "cell": {
+            "protocol": cell.protocol,
+            "n": cell.n,
+            "t": cell.t,
+            "epsilon": cell.epsilon,
+            "adversary": cell.adversary,
+            "workload": cell.workload,
+            "seed": cell.seed,
+            "engine": cell.engine,
+        },
+        "ok": outcome.ok,
+        "all_decided": outcome.all_decided,
+        "rounds": outcome.rounds,
+        "messages": outcome.messages,
+        "bits": outcome.bits,
+        "output_spread": outcome.output_spread,
+        "theoretical_contraction": outcome.theoretical_contraction,
+        "worst_contraction": outcome.worst_contraction,
+        "mean_contraction": outcome.mean_contraction,
+        "bound_respected": outcome.bound_respected,
+        "wall_time_seconds": outcome.wall_time_seconds,
+        "violations": list(outcome.violations),
+    }
+    return json.dumps(payload) + "\n"
+
+
+def iter_sweep_jsonl(path: str) -> Iterator[CellOutcome]:
+    """Lazily read :class:`CellOutcome` records written by ``run_sweep(..., jsonl_path=...)``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            yield CellOutcome(
+                cell=SweepCell(**payload["cell"]),
+                ok=payload["ok"],
+                all_decided=payload["all_decided"],
+                rounds=payload["rounds"],
+                messages=payload["messages"],
+                bits=payload["bits"],
+                output_spread=payload["output_spread"],
+                theoretical_contraction=payload["theoretical_contraction"],
+                worst_contraction=payload["worst_contraction"],
+                mean_contraction=payload["mean_contraction"],
+                bound_respected=payload["bound_respected"],
+                wall_time_seconds=payload["wall_time_seconds"],
+                violations=tuple(payload["violations"]),
+            )
+
+
+def read_sweep_jsonl(path: str) -> List[CellOutcome]:
+    """Read a whole sweep JSONL file into memory (see :func:`iter_sweep_jsonl`)."""
+    return list(iter_sweep_jsonl(path))
 
 
 def records_from_sweep(outcomes: Sequence[CellOutcome]) -> List[ExperimentRecord]:

@@ -67,6 +67,43 @@ class TestMidpointAndMean:
         assert mean(values) == pytest.approx(1.0 / 3.0)
 
 
+class TestFiniteConsistency:
+    """Every multiset entry point rejects NaN/inf the same way.
+
+    Historically ``reduce_multiset``/``select_multiset`` raised while
+    ``spread``/``midpoint``/``mean`` silently propagated NaN into diameters,
+    midpoints and means — exactly the silent corruption the finite check
+    exists to prevent.
+    """
+
+    ENTRY_POINTS = [spread, midpoint, mean]
+    POISONS = [float("nan"), float("inf"), float("-inf")]
+
+    @pytest.mark.parametrize("operation", ENTRY_POINTS)
+    @pytest.mark.parametrize("poison", POISONS)
+    def test_scalar_entry_points_reject_non_finite(self, operation, poison):
+        with pytest.raises(ValueError, match="finite"):
+            operation([1.0, poison, 2.0])
+
+    @pytest.mark.parametrize("poison", POISONS)
+    def test_structural_entry_points_reject_non_finite(self, poison):
+        with pytest.raises(ValueError, match="finite"):
+            reduce_multiset([1.0, poison, 2.0], 1)
+        with pytest.raises(ValueError, match="finite"):
+            select_multiset([1.0, poison, 2.0], 1)
+        with pytest.raises(ValueError, match="finite"):
+            approximate([1.0, poison, 2.0], 0, 1)
+
+    def test_spread_of_empty_still_defined(self):
+        assert spread([]) == 0.0
+
+    def test_empty_raises_before_finiteness_for_midpoint_and_mean(self):
+        with pytest.raises(ValueError, match="empty"):
+            midpoint([])
+        with pytest.raises(ValueError, match="empty"):
+            mean([])
+
+
 class TestReduce:
     def test_reduce_removes_extremes(self):
         assert reduce_multiset([5, 1, 9, 3, 7], 1) == [3, 5, 7]

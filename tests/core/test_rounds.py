@@ -189,3 +189,36 @@ class TestArgumentValidation:
 
         failures, _ = doctest.testmod(module)
         assert failures == 0
+
+
+class TestApproximationStepBlock:
+    """The array kernel both round-level engines share.
+
+    Deeper coverage (including Byzantine parameters and the engines built on
+    top) lives in ``tests/sim/test_ndbatch.py``; here the kernel itself is
+    pinned against the scalar step it vectorises.
+    """
+
+    def test_block_equals_scalar_map(self):
+        import numpy as np
+
+        from repro.core.rounds import approximation_step, approximation_step_block
+
+        bounds = async_crash_bounds(10, 3)  # m = 7, j = 0, k = 3
+        rng = np.random.default_rng(11)
+        samples = rng.uniform(0.0, 1.0, size=(5, 4, 7))
+        block = approximation_step_block(samples, bounds)
+        assert block.shape == (5, 4)
+        for e in range(5):
+            for q in range(4):
+                scalar = approximation_step(list(samples[e, q]), bounds)
+                assert abs(block[e, q] - scalar) <= 1e-12
+
+    def test_single_axis_input(self):
+        from repro.core.rounds import approximation_step, approximation_step_block
+
+        bounds = sync_crash_bounds(5, 1)
+        sample = [0.9, 0.1, 0.5, 0.3, 0.7]
+        assert float(approximation_step_block(sample, bounds)) == pytest.approx(
+            approximation_step(sample, bounds)
+        )

@@ -19,6 +19,8 @@ from repro.core.multiset import (
     common_submultiset_size,
     contraction_denominator,
     convergence_bound_holds,
+    mean,
+    midpoint,
     midpoint_of_reduced,
     reduce_clips_to_good_range,
     reduce_multiset,
@@ -267,6 +269,24 @@ class TestNonFiniteRejection:
     def test_approximate_rejects_non_finite(self, values, poison):
         with pytest.raises(ValueError, match="finite"):
             approximate(values + [poison], 1, 1)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=10), non_finite,
+           st.integers(0, 2))
+    def test_scalar_entry_points_reject_non_finite(self, values, poison, position_seed):
+        # All five entry points behave consistently: spread/midpoint/mean
+        # raise exactly like reduce/select instead of silently propagating
+        # NaN into diameters, midpoints and means.
+        poisoned = list(values)
+        poisoned.insert(position_seed % (len(values) + 1), poison)
+        for operation in (spread, midpoint, mean):
+            with pytest.raises(ValueError, match="finite"):
+                operation(poisoned)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=10))
+    def test_scalar_entry_points_accept_all_finite(self, values):
+        assert math.isfinite(spread(values))
+        assert math.isfinite(midpoint(values))
+        assert math.isfinite(mean(values))
 
     def test_finite_inputs_still_accepted_at_extremes(self):
         huge = [1e308, -1e308, 0.0]

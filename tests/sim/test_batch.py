@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+from typing import Dict, List
 
 import pytest
 
@@ -65,15 +66,15 @@ class TestBasicExecutions:
         with pytest.raises(ValueError, match="not support"):
             run_batch_protocol("witness", [0.0, 1.0, 2.0, 3.0], t=1, epsilon=0.1)
 
-    def test_adaptive_round_policy_rejected(self):
-        with pytest.raises(ValueError, match="upfront"):
-            run_batch_protocol(
-                "async-crash",
-                [0.0, 0.5, 1.0, 0.2],
-                t=1,
-                epsilon=0.1,
-                round_policy=SpreadEstimateRounds(),
-            )
+    def test_adaptive_round_policy_supported(self):
+        result = run_batch_protocol(
+            "async-crash",
+            [0.0, 0.5, 1.0, 0.2],
+            t=1,
+            epsilon=0.1,
+            round_policy=SpreadEstimateRounds(),
+        )
+        assert_execution_ok(result, "adaptive policy")
 
     def test_conflicting_adversary_arguments_rejected(self):
         with pytest.raises(ValueError, match="not both"):
@@ -153,6 +154,87 @@ class TestFaultHandling:
         for value in result.report.outputs.values():
             assert math.isfinite(value)
 
+    def test_non_finite_injection_refills_from_late_candidates(self):
+        # Async Byzantine at n=6, t=1: quorum m = 5 of 6 candidates.  A
+        # pinned omission policy picks the NaN-injecting strategy plus four
+        # honest senders; the dropped payload must refill from the one
+        # remaining (late) candidate, so the sample equals the quorum that
+        # excludes the Byzantine process entirely.
+        n, t = 6, 1
+        inputs = [0.0, 0.2, 0.4, 0.6, 0.8, 123.0]
+        model = RoundFaultModel(strategies={5: FixedValueStrategy(float("nan"))})
+
+        class PinnedQuorum(OmissionPolicy):
+            def quorum(self, round_number, recipient, candidates, m):
+                return [5] + [s for s in candidates if s != 5][: m - 1]
+
+        class HonestQuorum(OmissionPolicy):
+            def quorum(self, round_number, recipient, candidates, m):
+                return [s for s in candidates if s != 5][:m]
+
+        pinned = run_batch_protocol(
+            "async-byzantine", inputs, t=t, epsilon=1e-2, fault_model=model,
+            omission_policy=PinnedQuorum(), round_policy=FixedRounds(3),
+        )
+        honest = run_batch_protocol(
+            "async-byzantine", inputs, t=t, epsilon=1e-2, fault_model=model,
+            omission_policy=HonestQuorum(), round_policy=FixedRounds(3),
+        )
+        # The refilled quorum is exactly the all-honest quorum.
+        assert pinned.outputs == honest.outputs
+        # Every updating holder still filled a full m-sized quorum every
+        # round (5 holders × quorum size 5 × 3 rounds).
+        assert pinned.stats.messages_delivered == 3 * (n - t) * (n - t)
+        assert_execution_ok(pinned, "refill")
+
+    def test_refill_cannot_exhaust_in_model(self):
+        # Refill exhaustion would need more non-finite injectors (plus silent
+        # processes) than t, which the problem instance rejects outright —
+        # so within the fault model every quorum refills successfully even
+        # when every Byzantine process injects garbage.
+        n, t = 11, 2
+        model = RoundFaultModel(
+            strategies={
+                9: FixedValueStrategy(float("nan")),
+                10: FixedValueStrategy(float("-inf")),
+            }
+        )
+        inputs = [i / (n - 1) for i in range(n)]
+        result = run_batch_protocol(
+            "async-byzantine", inputs, t=t, epsilon=1e-3, fault_model=model, seed=2
+        )
+        assert result.report.all_decided
+        assert_execution_ok(result, "all-garbage injection")
+
+    def test_mid_multicast_prefix_boundary_recipients(self):
+        # A sender crashing after `deliveries` sends reaches exactly the
+        # recipients with ids < deliveries: id deliveries-1 still hears it,
+        # id deliveries does not (multicasts send in ascending recipient
+        # order).
+        n, deliveries = 6, 3
+        model = RoundFaultModel(crash_schedule={5: (1, deliveries)})
+        seen: Dict[int, List[int]] = {}
+
+        class Recording(OmissionPolicy):
+            def quorum(self, round_number, recipient, candidates, m):
+                if round_number == 1:
+                    seen[recipient] = list(candidates)
+                return [s for s in candidates][:m]
+
+        run_batch_protocol(
+            "async-crash", [0.0, 0.2, 0.4, 0.6, 0.8, 1.0], t=2, epsilon=1e-2,
+            fault_model=model, omission_policy=Recording(),
+            round_policy=FixedRounds(2),
+        )
+        for recipient in range(n - 1):
+            if recipient < deliveries:
+                assert 5 in seen[recipient], f"recipient {recipient} below prefix"
+            else:
+                assert 5 not in seen[recipient], f"recipient {recipient} at/after prefix"
+        # Boundary recipients, explicitly:
+        assert 5 in seen[deliveries - 1]
+        assert 5 not in seen[deliveries]
+
     def test_fault_model_larger_than_t_rejected(self):
         # More faults than t would make liveness unprovable; the problem
         # instance rejects it before the engine runs (and with at most t
@@ -164,6 +246,76 @@ class TestFaultHandling:
                 "async-crash", [0.0, 1.0, 2.0, 3.0, 4.0], t=2, epsilon=1e-3,
                 fault_model=model, strict=False,
             )
+
+
+class TestAdaptivePolicies:
+    """Per-process round counts with halt-echo substitution (SpreadEstimateRounds)."""
+
+    @pytest.mark.parametrize("protocol,n,t", [
+        ("async-crash", 7, 2),
+        ("async-byzantine", 11, 2),
+        ("sync-crash", 7, 2),
+        ("sync-byzantine", 7, 2),
+    ])
+    def test_adaptive_execution_is_correct(self, protocol, n, t):
+        inputs = [i / (n - 1) for i in range(n)]
+        result = run_batch_protocol(
+            protocol, inputs, t=t, epsilon=1e-3,
+            round_policy=SpreadEstimateRounds(), seed=11,
+        )
+        assert_execution_ok(result, f"adaptive {protocol}")
+        assert result.rounds_used > 0
+        # Every honest process multicast exactly one HALT echo of n messages.
+        assert result.stats.messages_by_kind["HALT"] == n * n
+
+    def test_adaptive_with_crash_faults(self):
+        n, t = 7, 2
+        plan = CrashFaultPlan({
+            6: CrashPoint(after_sends=0),
+            5: CrashPoint.mid_multicast(2, n, 3),
+        })
+        inputs = [i / (n - 1) for i in range(n)]
+        result = run_batch_protocol(
+            "async-crash", inputs, t=t, epsilon=1e-3,
+            round_policy=SpreadEstimateRounds(), fault_plan=plan, seed=4,
+        )
+        assert_execution_ok(result, "adaptive with crashes")
+        # Crashed processes never halt: only the n - t survivors echo.
+        assert result.stats.messages_by_kind["HALT"] == (n - t) * n
+        # The initially dead process sent nothing; the mid-multicast one sent
+        # one full round plus its three-message prefix.
+        assert 6 not in result.stats.sends_by_process
+        assert result.stats.sends_by_process[5] == n + 3
+
+    def test_adaptive_is_deterministic(self):
+        inputs = [0.0, 0.31, 0.67, 0.85, 1.0, 0.5, 0.12]
+
+        def run():
+            result = run_batch_protocol(
+                "async-crash", inputs, t=2, epsilon=1e-4,
+                round_policy=SpreadEstimateRounds(), seed=21,
+            )
+            return (result.outputs, result.rounds_used, result.stats.messages_sent,
+                    result.stats.bits_sent, result.trajectory)
+
+        assert run() == run()
+
+    def test_adaptive_halted_values_substitute_in_later_rounds(self):
+        # With zero slack and no extra rounds, estimates differ more across
+        # processes, forcing some to halt earlier than others — the halt-echo
+        # substitution path.  Validity must hold unconditionally.
+        inputs = [0.0, 0.9, 1.0, 0.1, 0.5, 0.45, 0.55]
+        result = run_batch_protocol(
+            "async-crash", inputs, t=2, epsilon=0.05,
+            round_policy=SpreadEstimateRounds(slack_factor=1.0, extra_rounds=0),
+            seed=9,
+        )
+        assert result.report.all_decided
+        assert result.report.validity
+        # Histories may have different lengths (processes halt at their own
+        # round counts).
+        lengths = {len(history) for history in result.value_histories.values()}
+        assert lengths, "no histories recorded"
 
 
 class TestOmissionPolicies:

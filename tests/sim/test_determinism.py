@@ -13,6 +13,7 @@ import pytest
 
 from repro.net.network import UniformRandomDelay
 from repro.sim.batch import BATCH_PROTOCOLS, run_batch_protocol
+from repro.sim.ndbatch import run_ndbatch_protocol
 from repro.sim.runner import PROTOCOL_FACTORIES, SYNCHRONOUS_PROTOCOLS, run_protocol
 from repro.sim.sweep import SweepSpec, run_sweep
 from repro.sim.workloads import uniform_inputs
@@ -65,6 +66,18 @@ class TestBatchEngineDeterminism:
         assert metrics_of(execute()) == metrics_of(execute())
 
 
+class TestNdbatchEngineDeterminism:
+    @pytest.mark.parametrize("protocol", BATCH_PROTOCOLS)
+    def test_repeated_runs_are_identical(self, protocol):
+        n, t = (11, 2) if protocol == "async-byzantine" else (7, 2)
+        inputs = uniform_inputs(n, seed=SEED)
+
+        def execute():
+            return run_ndbatch_protocol(protocol, inputs, t=t, epsilon=1e-3, seed=SEED)
+
+        assert metrics_of(execute()) == metrics_of(execute())
+
+
 class TestSweepDeterminism:
     SPEC = SweepSpec(
         protocols=("async-crash", "sync-byzantine"),
@@ -81,6 +94,16 @@ class TestSweepDeterminism:
         # CellOutcome equality excludes wall time, so the worker pool must
         # reproduce the serial results exactly, in the same grid order.
         assert run_sweep(self.SPEC, workers=2) == run_sweep(self.SPEC, workers=1)
+
+    def test_ndbatch_pool_matches_serial(self):
+        import dataclasses
+
+        spec = dataclasses.replace(self.SPEC, engine="ndbatch")
+        serial = run_sweep(spec, workers=1)
+        assert run_sweep(spec, workers=2) == serial
+        # Repetition is bit-stable too (the PRF-based omission policy is
+        # stateless, so query order cannot leak in).
+        assert run_sweep(spec, workers=1) == serial
 
     def test_event_engine_sweep_is_deterministic(self):
         spec = SweepSpec(

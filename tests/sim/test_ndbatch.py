@@ -1,0 +1,270 @@
+"""Unit tests for the vectorised batch engine (:mod:`repro.sim.ndbatch`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import ResilienceError
+from repro.core.rounds import async_byzantine_bounds, async_crash_bounds, witness_bounds
+from repro.core.rounds import approximation_step, approximation_step_block
+from repro.core.termination import FixedRounds, SpreadEstimateRounds
+from repro.net.adversary import (
+    CrashFaultPlan,
+    CrashPoint,
+    RandomValueStrategy,
+    RoundFaultModel,
+    SeededOmission,
+    seeded_rank_key,
+    mix64,
+)
+from repro.sim.ndbatch import (
+    NDBATCH_PROTOCOLS,
+    _seeded_keys,
+    run_ndbatch_block,
+    run_ndbatch_protocol,
+)
+
+from tests.conftest import assert_execution_ok
+
+
+class TestSeededKeysBitEquivalence:
+    """The numpy PRF must reproduce the scalar PRF bit for bit."""
+
+    def test_key_tensor_matches_scalar_keys(self):
+        n = 9
+        for seed in (0, 1, 7, 123456789, 2**63):
+            seed_mix = np.array([mix64(seed)], dtype=np.uint64)
+            for round_number in (1, 2, 17):
+                keys = _seeded_keys(seed_mix, round_number, n)[0]
+                for recipient in range(n):
+                    for sender in range(n):
+                        expected = seeded_rank_key(
+                            mix64(seed), round_number, recipient, sender
+                        )
+                        assert int(keys[recipient, sender]) == expected
+
+    def test_policy_quorum_equals_smallest_keys(self):
+        policy = SeededOmission(seed=42)
+        candidates = [0, 2, 3, 5, 6, 8, 9]
+        quorum = policy.quorum(3, 4, candidates, 4)
+        keys = {
+            sender: seeded_rank_key(mix64(42), 3, 4, sender) for sender in candidates
+        }
+        expected = sorted(candidates, key=lambda s: (keys[s], s))[:4]
+        assert list(quorum) == expected
+
+    def test_rank_block_matches_scalar_keys(self):
+        policy = SeededOmission(seed=5)
+        block = policy.rank_block(2, 6)
+        for recipient in range(6):
+            for sender in range(6):
+                assert block[recipient][sender] == seeded_rank_key(
+                    mix64(5), 2, recipient, sender
+                )
+
+    def test_use_numpy_flag_is_performance_only(self):
+        # The scalar (pure-Python) and numpy-assisted key paths must compute
+        # bit-identical keys — the flag is the engine benchmarks' baseline
+        # switch, never a behaviour switch.
+        scalar = SeededOmission(seed=9, use_numpy=False)
+        vectorised = SeededOmission(seed=9, use_numpy=True)
+        for round_number in (1, 4):
+            assert scalar.rank_block(round_number, 9) == vectorised.rank_block(
+                round_number, 9
+            )
+            for recipient in range(9):
+                assert list(
+                    scalar.quorum(round_number, recipient, list(range(9)), 5)
+                ) == list(vectorised.quorum(round_number, recipient, list(range(9)), 5))
+
+    def test_keys_embed_sender_id_in_low_bits(self):
+        from repro.net.adversary import SENDER_MASK
+
+        for sender in range(7):
+            key = seeded_rank_key(mix64(3), 1, 0, sender)
+            assert key & SENDER_MASK == sender
+
+
+class TestApproximationStepBlock:
+    def test_matches_scalar_step_elementwise(self):
+        rng = np.random.default_rng(3)
+        samples = rng.uniform(-5, 5, size=(4, 7, 9))
+        bounds = async_byzantine_bounds(11, 2)  # m = 9, j = 2, k = 4
+        block = approximation_step_block(samples, bounds)
+        for e in range(4):
+            for q in range(7):
+                scalar = approximation_step(list(samples[e, q]), bounds)
+                assert block[e, q] == pytest.approx(scalar, abs=1e-12)
+
+    def test_midpoint_rule_supported(self):
+        bounds = witness_bounds(7, 2)  # select_k=None, j=2
+        samples = np.array([[[0.0, 1.0, 2.0, 3.0, 10.0]]])
+        result = approximation_step_block(samples, bounds)
+        assert result[0, 0] == pytest.approx(approximation_step([0, 1, 2, 3, 10], bounds))
+
+    def test_non_finite_rejected(self):
+        bounds = async_crash_bounds(7, 2)
+        with pytest.raises(ValueError, match="finite"):
+            approximation_step_block(np.array([[1.0, float("nan"), 2.0, 0.0, 1.0]]), bounds)
+
+    def test_over_reduction_rejected(self):
+        bounds = witness_bounds(7, 2)
+        with pytest.raises(ValueError, match="extremes"):
+            approximation_step_block(np.zeros((2, 4)), bounds)
+
+
+class TestBlockValidation:
+    def test_protocols_match_batch_engine(self):
+        assert NDBATCH_PROTOCOLS == ("async-byzantine", "async-crash", "sync-byzantine", "sync-crash")
+
+    def test_witness_rejected(self):
+        with pytest.raises(ValueError, match="not support"):
+            run_ndbatch_protocol("witness", [0.0, 1.0, 2.0, 3.0], t=1, epsilon=0.1)
+
+    def test_adaptive_policy_rejected_with_pointer_to_batch(self):
+        with pytest.raises(ValueError, match="repro.sim.batch"):
+            run_ndbatch_protocol(
+                "async-crash", [0.0, 0.5, 1.0, 0.2], t=1, epsilon=0.1,
+                round_policy=SpreadEstimateRounds(),
+            )
+
+    def test_heterogeneous_round_counts_rejected(self):
+        # Spread 1.0 versus spread 100.0 need different round counts.
+        with pytest.raises(ValueError, match="share the round count"):
+            run_ndbatch_block(
+                "async-crash",
+                [[0.0, 0.5, 1.0, 0.2], [0.0, 50.0, 100.0, 20.0]],
+                t=1,
+                epsilon=1e-3,
+            )
+
+    def test_stateful_strategy_rejected_with_pointer_to_batch(self):
+        model = RoundFaultModel(strategies={6: RandomValueStrategy(-1.0, 1.0, seed=0)})
+        with pytest.raises(ValueError, match="stateless"):
+            run_ndbatch_protocol(
+                "async-byzantine", [0.0] * 11, t=2, epsilon=0.1, fault_model=model
+            )
+
+    def test_resilience_enforced_when_strict(self):
+        with pytest.raises(ResilienceError):
+            run_ndbatch_protocol("async-byzantine", [0.0] * 7, t=2, epsilon=0.1)
+        result = run_ndbatch_protocol(
+            "async-byzantine", [0.0] * 7, t=2, epsilon=0.1, strict=False
+        )
+        assert result.report.all_decided
+
+    def test_mismatched_sequence_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            run_ndbatch_block(
+                "async-crash", [[0.0, 1.0, 0.5]], t=1, epsilon=0.1, seeds=[0, 1]
+            )
+
+    def test_empty_block(self):
+        assert run_ndbatch_block("async-crash", [], t=1, epsilon=0.1) == []
+
+
+class TestBasicExecutions:
+    @pytest.mark.parametrize("protocol,n,t", [
+        ("async-crash", 7, 2),
+        ("async-byzantine", 11, 2),
+        ("sync-crash", 7, 2),
+        ("sync-byzantine", 7, 2),
+    ])
+    def test_fault_free_execution_is_correct(self, protocol, n, t):
+        inputs = [i / (n - 1) for i in range(n)]
+        result = run_ndbatch_protocol(protocol, inputs, t=t, epsilon=1e-3)
+        assert_execution_ok(result, f"{protocol} n={n}")
+        assert result.runtime == "ndbatch"
+        assert result.trajectory[0] == pytest.approx(1.0)
+        assert result.trajectory[-1] <= 1e-3 * (1 + 1e-9)
+
+    def test_zero_rounds_when_inputs_already_agree(self):
+        result = run_ndbatch_protocol("async-crash", [0.5, 0.5001, 0.5], t=1, epsilon=0.01)
+        assert result.ok
+        assert result.rounds_used == 0
+        assert result.stats.messages_sent == 0
+
+    def test_block_executions_are_independent(self):
+        # A crash in one execution of the block must not leak into others.
+        n, t = 7, 2
+        inputs = [i / (n - 1) for i in range(n)]
+        dead = RoundFaultModel(crash_schedule={6: (1, 0), 5: (1, 0)})
+        block = run_ndbatch_block(
+            "async-crash",
+            [inputs, inputs, inputs],
+            t=t,
+            epsilon=1e-3,
+            fault_models=[None, dead, None],
+            seeds=[3, 3, 3],
+        )
+        assert block[0].outputs == block[2].outputs
+        assert block[0].stats.messages_sent != block[1].stats.messages_sent
+        assert block[0].problem.faulty == ()
+        assert block[1].problem.faulty == (5, 6)
+        for result, context in zip(block, ("clean-a", "dead", "clean-b")):
+            assert_execution_ok(result, context)
+
+    def test_wall_time_is_shared_across_block(self):
+        block = run_ndbatch_block(
+            "async-crash",
+            [[0.0, 0.5, 1.0, 0.2, 0.8]] * 4,
+            t=2,
+            epsilon=1e-2,
+        )
+        walls = {result.wall_time_seconds for result in block}
+        assert len(walls) == 1
+        assert walls.pop() > 0.0
+
+    def test_mid_multicast_crash_prefix(self):
+        n = 5
+        model = RoundFaultModel(crash_schedule={4: (1, 2)})
+        result = run_ndbatch_protocol(
+            "async-crash", [0.0, 0.0, 1.0, 1.0, 100.0], t=2, epsilon=1e-3,
+            fault_model=model, round_policy=FixedRounds(1),
+        )
+        assert result.report.validity
+        assert result.stats.sends_by_process[4] == 2
+
+    def test_package_level_export(self):
+        from repro import run_ndbatch_protocol as exported
+
+        assert exported is run_ndbatch_protocol
+
+
+class TestNumpyFreeOperation:
+    def test_package_imports_and_batch_engine_runs_without_numpy(self, tmp_path):
+        """The vectorised engine is optional: without numpy, `import repro`
+        works, the batch engine runs (scalar PRF keys), and engine='ndbatch'
+        raises an actionable ImportError."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        # A numpy that refuses to import simulates its absence.
+        (tmp_path / "numpy.py").write_text("raise ImportError('numpy blocked')\n")
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ, PYTHONPATH=f"{tmp_path}{os.pathsep}{src}")
+        script = (
+            "import repro\n"
+            "from repro.sim.sweep import SweepSpec, run_sweep\n"
+            "from repro import run_batch_protocol\n"
+            "result = run_batch_protocol('async-crash', [0.0, 0.2, 0.9, 1.0],"
+            " t=1, epsilon=0.05)\n"
+            "assert result.ok\n"
+            "spec = SweepSpec(protocols=('async-crash',), system_sizes=((4, 1),),"
+            " engine='ndbatch')\n"
+            "try:\n"
+            "    run_sweep(spec, workers=1)\n"
+            "except ImportError as exc:\n"
+            "    assert 'numpy' in str(exc)\n"
+            "else:\n"
+            "    raise AssertionError('ndbatch ran without numpy')\n"
+            "print('numpy-free OK')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "numpy-free OK" in proc.stdout

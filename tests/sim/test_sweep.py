@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+import math
 import pickle
 
 import pytest
@@ -18,7 +20,10 @@ from repro.sim.sweep import (
     CellOutcome,
     SweepCell,
     SweepSpec,
+    _group_ndbatch_blocks,
     adversary_fits_protocol,
+    iter_sweep_jsonl,
+    read_sweep_jsonl,
     records_from_sweep,
     run_cell,
     run_sweep,
@@ -53,12 +58,13 @@ class TestGrid:
             list(bad.cells())
 
     def test_witness_requires_event_engine(self):
-        cell = SweepCell(
-            protocol="witness", n=7, t=2, epsilon=1e-3,
-            adversary="none", workload="uniform", seed=0, engine="batch",
-        )
-        with pytest.raises(ValueError, match="batch engine"):
-            cell.validate()
+        for engine in ("batch", "ndbatch"):
+            cell = SweepCell(
+                protocol="witness", n=7, t=2, epsilon=1e-3,
+                adversary="none", workload="uniform", seed=0, engine=engine,
+            )
+            with pytest.raises(ValueError, match=f"{engine} engine"):
+                cell.validate()
         SweepCell(
             protocol="witness", n=7, t=2, epsilon=1e-3,
             adversary="none", workload="uniform", seed=0, engine="event",
@@ -133,6 +139,103 @@ class TestOutcomes:
     def test_workers_argument_validated(self):
         with pytest.raises(ValueError, match="workers"):
             run_sweep(SPEC, workers=0)
+
+
+class TestNdbatchEngine:
+    def test_ndbatch_sweep_agrees_with_batch_sweep(self):
+        batch = run_sweep(SPEC, workers=1)
+        ndbatch = run_sweep(dataclasses.replace(SPEC, engine="ndbatch"), workers=1)
+        assert len(batch) == len(ndbatch)
+        for left, right in zip(batch, ndbatch):
+            assert right.cell == dataclasses.replace(left.cell, engine="ndbatch")
+            assert (left.ok, left.rounds, left.messages, left.bits) == (
+                right.ok, right.rounds, right.messages, right.bits
+            )
+            assert left.output_spread == pytest.approx(right.output_spread, abs=1e-9)
+
+    def test_ndbatch_cells_cover_all_batch_protocols(self):
+        for protocol in BATCH_PROTOCOLS:
+            n, t = (11, 2) if protocol == "async-byzantine" else (7, 2)
+            cell = SweepCell(
+                protocol=protocol, n=n, t=t, epsilon=1e-2,
+                adversary="crash-staggered", workload="two-cluster", seed=5,
+                engine="ndbatch",
+            )
+            outcome = run_cell(cell)
+            assert outcome.ok, f"{protocol}: {outcome.violations}"
+
+    def test_blocks_group_by_shape_and_round_count(self):
+        spec = dataclasses.replace(
+            SPEC, engine="ndbatch", workloads=("uniform", "extremes")
+        )
+        cells = list(spec.cells())
+        blocks = _group_ndbatch_blocks(cells)
+        covered = sorted(i for _, indices, _ in blocks for i in indices)
+        assert covered == list(range(len(cells)))  # every cell in exactly one block
+        for rounds, indices, inputs_block in blocks:
+            shapes = {(cells[i].protocol, cells[i].n, cells[i].t) for i in indices}
+            assert len(shapes) == 1
+            assert rounds >= 0
+            assert len(inputs_block) == len(indices)
+            assert all(len(row) == cells[indices[0]].n for row in inputs_block)
+
+
+class TestJsonlStreaming:
+    def test_roundtrip_preserves_outcomes(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        outcomes = run_sweep(SPEC, workers=1)
+        written = run_sweep(SPEC, workers=1, jsonl_path=str(path))
+        assert written == SPEC.cell_count
+        assert read_sweep_jsonl(str(path)) == outcomes
+
+    def test_ndbatch_streaming_roundtrip(self, tmp_path):
+        path = tmp_path / "nd.jsonl"
+        spec = dataclasses.replace(SPEC, engine="ndbatch")
+        outcomes = run_sweep(spec, workers=1)
+        written = run_sweep(spec, workers=2, jsonl_path=str(path))
+        assert written == spec.cell_count
+        assert read_sweep_jsonl(str(path)) == outcomes
+
+    def test_iterator_is_lazy_and_line_oriented(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        run_sweep(SPEC, workers=1, jsonl_path=str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == SPEC.cell_count
+        first = next(iter_sweep_jsonl(str(path)))
+        assert isinstance(first, CellOutcome)
+        assert first.cell == next(iter(SPEC.cells()))
+
+    def test_non_finite_output_spread_roundtrips(self, tmp_path):
+        # An undecided cell records output_spread = NaN; the JSON dialect with
+        # allow_nan must carry it through unchanged.
+        outcome = run_cell(next(iter(SPEC.cells())))
+        broken = dataclasses.replace(outcome, output_spread=float("nan"), ok=False)
+        path = tmp_path / "nan.jsonl"
+        from repro.sim.sweep import _outcome_to_json_line
+
+        path.write_text(_outcome_to_json_line(broken))
+        loaded = read_sweep_jsonl(str(path))[0]
+        assert math.isnan(loaded.output_spread)
+        assert not loaded.ok
+
+    @pytest.mark.slow
+    def test_large_grid_streams_to_disk(self, tmp_path):
+        spec = SweepSpec(
+            protocols=("async-crash", "sync-crash"),
+            system_sizes=((7, 2), (13, 4)),
+            adversaries=("none", "crash-initial", "crash-staggered", "staggered", "laggard"),
+            workloads=("uniform", "two-cluster"),
+            seeds=tuple(range(25)),
+            engine="ndbatch",
+        )
+        path = tmp_path / "large.jsonl"
+        written = run_sweep(spec, jsonl_path=str(path))
+        assert written == 1000
+        count = 0
+        for outcome in iter_sweep_jsonl(str(path)):
+            assert outcome.ok, outcome.cell
+            count += 1
+        assert count == 1000
 
 
 @pytest.mark.slow
