@@ -30,7 +30,7 @@ from repro.sim.runner import run_protocol
 from repro.sim.experiments import ExperimentRecord
 from repro.sim.workloads import two_cluster_inputs
 
-from conftest import emit_table
+from conftest import emit_table, records_payload, write_bench_json
 
 N, T = 11, 2
 EPS = 1e-4
@@ -94,4 +94,5 @@ def test_e7_adversary_ablation(benchmark):
     outlier = by_name["outlier"].measured["mean_contraction"]
     if adaptive is not None and outlier is not None:
         assert adaptive >= outlier - 1e-9
+    write_bench_json("e7_adversary_ablation", {"records": records_payload(records)})
     benchmark(lambda: run_cell("adaptive"))

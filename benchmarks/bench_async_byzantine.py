@@ -25,7 +25,7 @@ from repro.sim.experiments import ExperimentRecord
 from repro.sim.runner import run_protocol
 from repro.sim.workloads import two_cluster_inputs
 
-from conftest import emit_table
+from conftest import emit_table, records_payload, write_bench_json
 
 EPS = 1e-3
 SYSTEM_SIZES = [6, 8, 11, 16, 21]
@@ -74,4 +74,5 @@ def test_e2_async_byzantine_convergence(benchmark):
          "messages", "output_spread", "ok"],
     )
     assert all(record.ok for record in records)
+    write_bench_json("e2_async_byzantine", {"records": records_payload(records)})
     benchmark(lambda: run_cell(11))

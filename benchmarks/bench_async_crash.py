@@ -24,7 +24,7 @@ from repro.sim.experiments import ExperimentRecord
 from repro.sim.runner import run_protocol
 from repro.sim.workloads import two_cluster_inputs
 
-from conftest import emit_table
+from conftest import emit_table, records_payload, write_bench_json
 
 EPS = 1e-3
 SYSTEM_SIZES = [4, 5, 7, 10, 13, 16]
@@ -77,4 +77,5 @@ def test_e1_async_crash_convergence(benchmark):
         if worst is not None:
             assert worst <= record.expected["contraction"] * (1 + 1e-9)
     # Timing: one representative mid-size execution.
+    write_bench_json("e1_async_crash", {"records": records_payload(records)})
     benchmark(lambda: run_cell(10))

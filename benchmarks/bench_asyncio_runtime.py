@@ -20,7 +20,7 @@ from repro.sim.experiments import ExperimentRecord
 from repro.sim.runner import run_protocol
 from repro.sim.workloads import linear_inputs
 
-from conftest import emit_table
+from conftest import emit_table, records_payload, write_bench_json
 
 SYSTEM_SIZES = [4, 7, 10]
 ROUNDS = 5
@@ -65,6 +65,7 @@ def test_e8_runtime_equivalence_and_overhead(benchmark):
     assert all(record.ok for record in records)
     # The asyncio runtime is expected to be slower (it sleeps in real time).
     assert all(record.measured["overhead_x"] >= 1.0 for record in records)
+    write_bench_json("e8_asyncio_runtime", {"records": records_payload(records)})
     benchmark(lambda: run_protocol(
         "async-crash", linear_inputs(7, 0.0, 1.0), t=2, epsilon=0.01,
         round_policy=FixedRounds(ROUNDS), delay_model=ConstantDelay(1.0), runtime="des",

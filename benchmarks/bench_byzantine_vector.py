@@ -1,0 +1,102 @@
+"""E12 — Vectorised Byzantine grids: PRF strategies on the ndbatch engine.
+
+PR 2's vectorised engine rejected stateful Byzantine strategies outright, so
+randomised-adversary grids (``RandomValueStrategy``) and randomised-delay
+grids (``UniformRandomDelay``) ran on the pure-Python engines only.  This PR
+redesigns both as counter-based PRFs (:class:`~repro.net.adversary.
+RandomValueStrategy`, :class:`~repro.net.adversary.SeededDelay`), making them
+stateless and block-queryable: the ndbatch engine runs them fully vectorised
+— the quorum path stays native (zero per-recipient Python ``quorum()``
+calls) and the draws are bit-identical to the scalar engines'.
+
+Recorded in ``BENCH_byzantine_vector.json`` (committed, uploaded as a CI
+artifact): wall time of the same ``byz-random`` scenario grid on the batch
+and ndbatch engines, the measured speedup, and the zero-fallback/bit-identity
+checks the speedup is only meaningful with.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.net.adversary import SeededOmission
+from repro.sim.sweep import SweepSpec, run_sweep
+
+from conftest import write_bench_json
+
+REQUIRED_SPEEDUP = 2.0
+
+SPEC = SweepSpec(
+    protocols=("async-byzantine",),
+    system_sizes=((11, 2), (16, 3)),
+    adversaries=("byz-random",),
+    workloads=("uniform", "two-cluster"),
+    seeds=tuple(range(128)),
+    epsilon=1e-3,
+    engine="batch",
+)
+
+
+def test_e12_prf_byzantine_grid_vectorises(monkeypatch):
+    # Count every per-recipient Python quorum call the vectorised sweep makes;
+    # the PRF paths must never fall back to one.
+    calls = []
+    original = SeededOmission.quorum
+
+    def counting_quorum(self, round_number, recipient, candidates, m):
+        calls.append((round_number, recipient))
+        return original(self, round_number, recipient, candidates, m)
+
+    started = time.perf_counter()
+    batch_outcomes = run_sweep(SPEC, workers=1)
+    batch_seconds = time.perf_counter() - started
+
+    monkeypatch.setattr(SeededOmission, "quorum", counting_quorum)
+    nd_spec = dataclasses.replace(SPEC, engine="ndbatch")
+    started = time.perf_counter()
+    nd_outcomes = run_sweep(nd_spec, workers=1)
+    nd_seconds = time.perf_counter() - started
+    monkeypatch.undo()
+
+    assert calls == [], "ndbatch fell back to per-recipient Python quorum calls"
+    assert len(batch_outcomes) == len(nd_outcomes)
+    agreement = True
+    for batch, nd in zip(batch_outcomes, nd_outcomes):
+        assert batch.ok and nd.ok, (batch.cell, batch.violations, nd.violations)
+        assert (batch.rounds, batch.messages, batch.bits) == (
+            nd.rounds, nd.messages, nd.bits
+        ), batch.cell
+        agreement = agreement and abs(batch.output_spread - nd.output_spread) <= 1e-9
+
+    speedup = batch_seconds / nd_seconds
+    cells = len(batch_outcomes)
+    write_bench_json(
+        "byzantine_vector",
+        {
+            "byz_random_grid": {
+                "cells": cells,
+                "batch_seconds": batch_seconds,
+                "ndbatch_seconds": nd_seconds,
+                "batch_cells_per_second": cells / batch_seconds,
+                "ndbatch_cells_per_second": cells / nd_seconds,
+                "ndbatch_speedup_vs_batch": speedup,
+                "python_fallback_quorum_calls": len(calls),
+                "structural_agreement_exact": True,
+                "output_spread_agreement_1e9": agreement,
+                "systems": [list(pair) for pair in SPEC.system_sizes],
+                "seeds": len(SPEC.seeds),
+            },
+            "required_ndbatch_speedup_vs_batch": REQUIRED_SPEEDUP,
+        },
+    )
+    print(
+        f"\nE12 byz-random grid: {cells} cells, batch {batch_seconds:.2f}s "
+        f"vs ndbatch {nd_seconds:.3f}s -> {speedup:.1f}x, "
+        f"fallback quorum calls: {len(calls)}"
+    )
+    assert agreement
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"ndbatch only {speedup:.1f}x faster than batch on the PRF Byzantine "
+        f"grid (required {REQUIRED_SPEEDUP}x)"
+    )

@@ -18,7 +18,7 @@ from repro.sim.experiments import ExperimentRecord
 from repro.sim.runner import run_protocol
 from repro.sim.workloads import linear_inputs
 
-from conftest import emit_table
+from conftest import emit_table, records_payload, write_bench_json
 
 ROUNDS = 4
 SYSTEM_SIZES = [4, 7, 10, 13, 16, 19]
@@ -80,4 +80,5 @@ def test_e5_message_complexity(benchmark):
     witness_values = normalised("witness")
     assert witness_values[-1] > witness_values[0] * 2
     assert witness_values[-1] > 5.0
+    write_bench_json("e5_message_complexity", {"records": records_payload(records)})
     benchmark(lambda: run_cell("async-crash", 13))

@@ -26,7 +26,7 @@ from repro.sim.experiments import ExperimentRecord
 from repro.sim.runner import run_protocol
 from repro.sim.workloads import linear_inputs
 
-from conftest import emit_table
+from conftest import emit_table, records_payload, write_bench_json
 
 EPS = 1e-2
 N = 16
@@ -91,4 +91,5 @@ def test_e4_resilience_thresholds(benchmark):
     }
     assert accepted_counts["async-crash"] > accepted_counts["witness"]
     assert accepted_counts["witness"] > accepted_counts["async-byzantine"]
+    write_bench_json("e4_resilience", {"records": records_payload(records)})
     benchmark(lambda: run_cell("async-crash", 3))

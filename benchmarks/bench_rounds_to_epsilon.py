@@ -19,7 +19,7 @@ from repro.sim.experiments import ExperimentRecord
 from repro.sim.runner import run_protocol
 from repro.sim.workloads import linear_inputs
 
-from conftest import emit_table
+from conftest import emit_table, records_payload, write_bench_json
 
 EPSILONS = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6]
 
@@ -70,4 +70,5 @@ def test_e3_rounds_scale_logarithmically(benchmark):
         increments = [b - a for a, b in zip(rounds, rounds[1:])]
         assert all(0 <= inc <= 8 for inc in increments)
         assert rounds == sorted(rounds)
+    write_bench_json("e3_rounds_to_epsilon", {"records": records_payload(records)})
     benchmark(lambda: run_cell("async-crash", 7, 3, async_crash_bounds, 1e-4))

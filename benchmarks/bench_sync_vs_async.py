@@ -24,7 +24,7 @@ from repro.sim.experiments import ExperimentRecord
 from repro.sim.runner import run_protocol
 from repro.sim.workloads import linear_inputs
 
-from conftest import emit_table
+from conftest import emit_table, records_payload, write_bench_json
 
 EPS = 1e-4
 
@@ -78,4 +78,5 @@ def test_e6_sync_vs_async(benchmark):
         by_name["sync-crash"].measured["contraction_bound"]
         < by_name["async-crash"].measured["contraction_bound"]
     )
+    write_bench_json("e6_sync_vs_async", {"records": records_payload(records)})
     benchmark(lambda: run_cell("async-crash", 10, 3, async_crash_bounds))

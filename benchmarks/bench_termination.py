@@ -23,7 +23,7 @@ from repro.sim.experiments import ExperimentRecord
 from repro.sim.runner import run_protocol
 from repro.sim.workloads import uniform_inputs
 
-from conftest import emit_table
+from conftest import emit_table, records_payload, write_bench_json
 
 N, T = 10, 3
 EPS = 1e-3
@@ -84,4 +84,5 @@ def test_e9_termination_policies(benchmark):
         by_name["known-range-tight"].measured["rounds"]
         == by_name["fixed-exact"].measured["rounds"]
     )
+    write_bench_json("e9_termination", {"records": records_payload(records)})
     benchmark(lambda: run_cell("fixed-exact", policies()["fixed-exact"]))

@@ -1,0 +1,139 @@
+"""E11 — Witness round-form throughput: event simulator vs batch engine.
+
+PR 1–2 made thousand-execution sweeps routine for the four direct protocols,
+but the witness protocol — the headline optimal-resilience algorithm of the
+follow-on work — stayed locked to the per-message event simulator, whose
+``Θ(n³)`` messages per iteration cap witness sweeps at a few dozen cells.
+The round-level witness form (``repro.sim.batch`` with
+``protocol="witness"``) collapses each iteration's reliable-broadcast/report/
+witness machinery into one quorum step with closed-form traffic accounting.
+
+Two measurements, recorded in ``BENCH_witness_batch.json`` (committed, and
+uploaded as a CI artifact):
+
+* **fidelity** — on a seeded sub-grid the batch engine must agree with the
+  event simulator *run to quiescence* exactly: same rounds, same message
+  counts, same bit counts, outputs within 1e-9 (the differential test grid
+  in ``tests/sim/test_witness_batch_equivalence.py`` pins the full matrix;
+  the benchmark re-checks a sample so the committed JSON carries the claim);
+* **throughput** — wall time of the same witness scenario grid on both
+  engines, through the ordinary sweep entry point.  This PR's bar: the batch
+  engine ≥ 10× faster (measured far above it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List
+
+from repro.core.termination import FixedRounds
+from repro.core.witness import make_witness_processes
+from repro.net.network import ConstantDelay, SimulatedNetwork
+from repro.sim.batch import run_batch_protocol
+from repro.sim.sweep import SweepSpec, run_sweep
+from repro.sim.workloads import uniform_inputs
+
+from conftest import write_bench_json
+
+REQUIRED_SPEEDUP = 10.0
+
+SPEC = SweepSpec(
+    protocols=("witness",),
+    system_sizes=((4, 1), (7, 2), (10, 3)),
+    adversaries=("none", "crash-initial"),
+    workloads=("uniform", "two-cluster"),
+    seeds=tuple(range(4)),
+    epsilon=1e-3,
+    engine="batch",
+)
+
+
+def quiescence_agreement_sample() -> List[Dict]:
+    """Exact event-versus-batch agreement on a seeded sample (quiescence runs)."""
+    sample = []
+    for n, t in SPEC.system_sizes:
+        inputs = uniform_inputs(n, 0.0, 2.0, seed=n)
+        rounds = 5
+        processes = make_witness_processes(
+            inputs, t, SPEC.epsilon, round_policy=FixedRounds(rounds)
+        )
+        network = SimulatedNetwork(processes, delay_model=ConstantDelay(1.0))
+        network.start()
+        network.run(stop_when_outputs=False)
+        result = run_batch_protocol(
+            "witness", inputs, t=t, epsilon=SPEC.epsilon,
+            round_policy=FixedRounds(rounds),
+        )
+        event_rounds = max(p.rounds_completed for p in network.processes)
+        max_output_delta = max(
+            abs(result.outputs[pid] - network.processes[pid].output_value)
+            for pid in result.outputs
+        )
+        sample.append(
+            {
+                "n": n,
+                "t": t,
+                "rounds_equal": result.rounds_used == event_rounds,
+                "messages_equal": result.stats.messages_sent
+                == network.stats.messages_sent,
+                "bits_equal": result.stats.bits_sent == network.stats.bits_sent,
+                "kinds_equal": result.stats.messages_by_kind
+                == network.stats.messages_by_kind,
+                "max_output_delta": max_output_delta,
+            }
+        )
+    return sample
+
+
+def test_e11_witness_batch_speedup():
+    started = time.perf_counter()
+    batch_outcomes = run_sweep(SPEC, workers=1)
+    batch_seconds = time.perf_counter() - started
+
+    event_spec = dataclasses.replace(SPEC, engine="event")
+    started = time.perf_counter()
+    event_outcomes = run_sweep(event_spec, workers=1)
+    event_seconds = time.perf_counter() - started
+
+    assert all(outcome.ok for outcome in batch_outcomes)
+    assert all(outcome.ok for outcome in event_outcomes)
+    for batch, event in zip(batch_outcomes, event_outcomes):
+        assert batch.rounds == event.rounds, batch.cell
+
+    agreement = quiescence_agreement_sample()
+    assert all(
+        row["rounds_equal"] and row["messages_equal"] and row["bits_equal"]
+        and row["kinds_equal"] and row["max_output_delta"] <= 1e-9
+        for row in agreement
+    )
+
+    speedup = event_seconds / batch_seconds
+    cells = len(batch_outcomes)
+    write_bench_json(
+        "witness_batch",
+        {
+            "witness_sweep": {
+                "cells": cells,
+                "event_seconds": event_seconds,
+                "batch_seconds": batch_seconds,
+                "event_cells_per_second": cells / event_seconds,
+                "batch_cells_per_second": cells / batch_seconds,
+                "batch_speedup_vs_event": speedup,
+                "systems": [list(pair) for pair in SPEC.system_sizes],
+                "adversaries": list(SPEC.adversaries),
+                "workloads": list(SPEC.workloads),
+                "seeds": len(SPEC.seeds),
+            },
+            "quiescence_agreement_sample": agreement,
+            "required_batch_speedup_vs_event": REQUIRED_SPEEDUP,
+        },
+    )
+    print(
+        f"\nE11 witness sweep: {cells} cells, event {event_seconds:.2f}s "
+        f"vs batch {batch_seconds:.3f}s -> {speedup:.1f}x"
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"witness batch engine only {speedup:.1f}x faster than the event "
+        f"simulator (required {REQUIRED_SPEEDUP}x)"
+    )

@@ -42,6 +42,26 @@ def table_printer():
     return emit_table
 
 
+def records_payload(records: Sequence[ExperimentRecord]) -> List[Dict]:
+    """JSON-serialisable form of experiment records (for ``write_bench_json``).
+
+    Every benchmark module funnels its result table through this helper so
+    each run leaves a machine-readable ``BENCH_<name>.json`` behind — the
+    cross-PR performance/correctness trajectory CI uploads as artifacts.
+    """
+    return [
+        {
+            "experiment": record.experiment,
+            "params": dict(record.params),
+            "measured": dict(record.measured),
+            "expected": dict(record.expected),
+            "ok": record.ok,
+            "notes": record.notes,
+        }
+        for record in records
+    ]
+
+
 def write_bench_json(name: str, payload: Dict) -> Path:
     """Write ``BENCH_<name>.json`` at the repository root and return its path.
 

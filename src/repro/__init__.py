@@ -75,11 +75,14 @@ from repro.net import (
     UniformRandomDelay,
 )
 from repro.sim import (
+    ENGINE_CAPABILITIES,
+    EngineCapabilityError,
     ExecutionResult,
     SweepCell,
     SweepSpec,
     VectorExecutionResult,
     read_sweep_jsonl,
+    run,
     run_batch_protocol,
     run_ndbatch_protocol,
     run_protocol,
@@ -103,6 +106,8 @@ __all__ = [
     "ConstantDelay",
     "CrashFaultPlan",
     "CrashPoint",
+    "ENGINE_CAPABILITIES",
+    "EngineCapabilityError",
     "EquivocatingStrategy",
     "ExecutionResult",
     "ExponentialRandomDelay",
@@ -143,6 +148,7 @@ __all__ = [
     "read_sweep_jsonl",
     "render_table",
     "rounds_to_epsilon",
+    "run",
     "run_batch_protocol",
     "run_ndbatch_protocol",
     "run_protocol",

@@ -48,17 +48,23 @@ every process must run the same number of iterations — which
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.multiset import midpoint_of_reduced
 from repro.core.protocol import ProtocolConfig, ResilienceError
 from repro.core.rounds import AlgorithmBounds, witness_bounds
 from repro.core.termination import RoundPolicy, default_round_policy
 from repro.net.interfaces import Process, ProcessContext
-from repro.net.message import Message
-from repro.net.rbc import RbcMultiplexer
+from repro.net.message import Message, message_bits
+from repro.net.rbc import RbcMultiplexer, echo_quorum
 
-__all__ = ["WitnessProcess", "make_witness_processes"]
+__all__ = [
+    "WitnessProcess",
+    "WitnessRoundTraffic",
+    "make_witness_processes",
+    "witness_round_traffic",
+]
 
 
 REPORT_KIND = "REPORT"
@@ -210,6 +216,121 @@ class WitnessProcess(Process):
 
     def describe(self) -> str:
         return f"WitnessProcess(pid={self.process_id}, n={self.config.n}, t={self.config.t})"
+
+
+# ----------------------------------------------------------------------
+# Round-level form (the batch engine's witness support)
+# ----------------------------------------------------------------------
+#
+# One iteration of the protocol — n concurrent reliable broadcasts, the
+# report exchange, the witness wait — collapses at round granularity into a
+# *per-round quorum abstraction*: every process ends up applying
+# ``midpoint ∘ reduce^t`` to some set of delivered values, and everything the
+# message-level machinery guarantees is (a) no equivocation (each originator
+# contributes ONE value per iteration), (b) every sample holds ≥ n − t
+# values, and (c) any two honest samples share ≥ n − t values.  The batch
+# engine (:func:`repro.sim.batch.run_batch_protocol` with
+# ``protocol="witness"``) synthesises exactly the samples this family of
+# legal schedules allows; the helpers below capture the parts of the
+# message-level structure the round form must reproduce *exactly* — the
+# traffic of one iteration run to quiescence.
+
+
+@dataclass(frozen=True)
+class WitnessRoundTraffic:
+    """Message traffic of one witness iteration, run to quiescence.
+
+    ``by_kind`` / ``bits_by_kind`` map message kinds to point-to-point send
+    counts / total wire bits; ``sends_per_participant`` is every
+    participant's own point-to-point send count; ``completes`` reports
+    whether the iteration reaches the update step (enough participants for
+    deliveries, reports and witnesses) or stalls forever.
+    """
+
+    by_kind: Dict[str, int]
+    bits_by_kind: Dict[str, int]
+    sends_per_participant: int
+    completes: bool
+
+    @property
+    def messages(self) -> int:
+        return sum(self.by_kind.values())
+
+    @property
+    def bits(self) -> int:
+        return sum(self.bits_by_kind.values())
+
+
+def witness_round_traffic(
+    n: int, t: int, round_number: int, participants: Sequence[int]
+) -> WitnessRoundTraffic:
+    """Exact traffic of witness iteration ``round_number`` at quiescence.
+
+    ``participants`` are the processes alive for the whole iteration (honest
+    and corrupted-input holders plus committed-value Byzantine senders);
+    everybody else is silent.  Because honest processes keep serving the
+    reliable-broadcast and report machinery after deciding, every instance of
+    the iteration runs to completion and the totals are *schedule
+    independent* — each participant reliably broadcasts once (one ``RBC_INIT``
+    multicast), echoes and readies every participant's instance (one
+    ``RBC_ECHO`` and one ``RBC_READY`` multicast per instance), and reports
+    once — which is what lets the round-level engine charge them in closed
+    form, exactly matching the event simulator run to quiescence (guarded by
+    ``tests/sim/test_witness_batch_equivalence.py``).
+
+    When fewer than ``n − t`` participants remain the iteration stalls: the
+    echo stage still runs (every participant echoes every instance), the
+    ready stage runs only if the echo quorum ``⌊(n + t)/2⌋ + 1`` is
+    reachable, and no reports are ever sent (report payloads list the first
+    ``n − t`` delivered originators, which at round level are the ``n − t``
+    smallest participant ids — instances deliver in originator order under
+    any uniform schedule).
+    """
+    count = len(participants)
+    by_kind: Dict[str, int] = {}
+    bits_by_kind: Dict[str, int] = {}
+    if count == 0:
+        return WitnessRoundTraffic(by_kind, bits_by_kind, 0, False)
+
+    init_bits = sum(
+        message_bits(Message(kind="RBC_INIT", value=0.0, tag=(round_number, s)))
+        for s in participants
+    )
+    echo_bits = sum(
+        message_bits(Message(kind="RBC_ECHO", value=0.0, tag=(round_number, s)))
+        for s in participants
+    )
+    ready_bits = sum(
+        message_bits(Message(kind="RBC_READY", value=0.0, tag=(round_number, s)))
+        for s in participants
+    )
+
+    # Every participant multicasts one INIT; every participant echoes every
+    # participant's instance (INIT bits are summed over originators, so the
+    # per-originator tag sizes are exact).
+    by_kind["RBC_INIT"] = count * n
+    bits_by_kind["RBC_INIT"] = n * init_bits
+    by_kind["RBC_ECHO"] = count * count * n
+    bits_by_kind["RBC_ECHO"] = count * n * echo_bits
+    sends = n + count * n
+
+    readies = count >= echo_quorum(n, t)
+    if readies:
+        by_kind["RBC_READY"] = count * count * n
+        bits_by_kind["RBC_READY"] = count * n * ready_bits
+        sends += count * n
+
+    completes = count >= n - t
+    if completes:
+        report_ids = tuple(sorted(participants)[: n - t])
+        report_bits = message_bits(
+            Message(kind=REPORT_KIND, round=round_number, value=report_ids)
+        )
+        by_kind[REPORT_KIND] = count * n
+        bits_by_kind[REPORT_KIND] = count * n * report_bits
+        sends += n
+
+    return WitnessRoundTraffic(by_kind, bits_by_kind, sends, completes)
 
 
 def make_witness_processes(

@@ -26,7 +26,6 @@ All randomised components take explicit seeds; there is no hidden global RNG.
 from __future__ import annotations
 
 import abc
-import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -58,6 +57,7 @@ __all__ = [
     "round_fault_model",
     "mix64",
     "seeded_rank_key",
+    "SeededDelay",
     "SENDER_BITS",
     "SENDER_MASK",
     "MASK64",
@@ -66,6 +66,8 @@ __all__ = [
     "KEY_ROUND",
     "KEY_RECIPIENT",
     "KEY_SENDER",
+    "VALUE_STREAM",
+    "DELAY_STREAM",
 ]
 
 
@@ -177,6 +179,23 @@ class ByzantineValueStrategy(abc.ABC):
         seen so far (the adversary is full-information).
         """
 
+    def value_block(
+        self, round_number: int, n: int, observed: Sequence[float]
+    ) -> Optional[Sequence[float]]:
+        """Vector-friendly form of :meth:`value` for one whole round.
+
+        Returns the length-``n`` sequence ``[value(round, 0, observed), …,
+        value(round, n − 1, observed)]`` — one bulk query answering every
+        recipient of the round, which is what lets the vectorised batch
+        engine (:mod:`repro.sim.ndbatch`) inject Byzantine reports without a
+        per-recipient Python loop.  The contract ties the two forms together:
+        element ``q`` must equal ``value(round_number, q, observed)`` bit for
+        bit.  Strategies that cannot answer in bulk return ``None``; the
+        engine then falls back to per-recipient :meth:`value` calls (possible
+        only for ``stateless`` strategies).
+        """
+        return None
+
     def describe(self) -> str:
         return type(self).__name__
 
@@ -191,6 +210,11 @@ class FixedValueStrategy(ByzantineValueStrategy):
 
     def value(self, round_number: int, recipient: int, observed: Sequence[float]) -> float:
         return self.reported_value
+
+    def value_block(
+        self, round_number: int, n: int, observed: Sequence[float]
+    ) -> Sequence[float]:
+        return [self.reported_value] * n
 
     def describe(self) -> str:
         return f"FixedValueStrategy({self.reported_value})"
@@ -214,23 +238,75 @@ class EquivocatingStrategy(ByzantineValueStrategy):
     def value(self, round_number: int, recipient: int, observed: Sequence[float]) -> float:
         return self.low if recipient % 2 == 0 else self.high
 
+    def value_block(
+        self, round_number: int, n: int, observed: Sequence[float]
+    ) -> Sequence[float]:
+        return [self.low if recipient % 2 == 0 else self.high for recipient in range(n)]
+
     def describe(self) -> str:
         return f"EquivocatingStrategy({self.low}, {self.high})"
 
 
 class RandomValueStrategy(ByzantineValueStrategy):
-    """Report independent uniformly random values in ``[low, high]``."""
+    """Report pseudo-random, per-(round, recipient) values in ``[low, high]``.
+
+    The draws come from a counter-based PRF — the same MurmurHash3-finalizer
+    key schedule as :class:`SeededOmission`, on a decorrelated stream
+    (:data:`VALUE_STREAM`) — rather than a sequential RNG: every
+    ``(round, recipient)`` pair maps to one 64-bit mix whose top-down scaling
+    into ``[low, high]`` is a pure function of the seed.  That makes the
+    strategy ``stateless`` (query order cannot change the draws), so the
+    vectorised batch engine (:mod:`repro.sim.ndbatch`) can evaluate whole
+    rounds at once (:meth:`value_block`) with draws bit-identical to the
+    scalar path — the equivocation pattern every engine observes is the same.
+    """
+
+    stateless = True
 
     def __init__(self, low: float, high: float, seed: int = 0) -> None:
         self.low = float(low)
         self.high = float(high)
-        self._rng = random.Random(seed)
+        self.seed = int(seed)
+        self._seed_mix = mix64(self.seed ^ VALUE_STREAM)
+
+    def _unit(self, round_number: int, recipient: int) -> float:
+        key = mix64(
+            self._seed_mix ^ (round_number * KEY_ROUND) ^ (recipient * KEY_RECIPIENT)
+        )
+        return key * 2.0**-64
 
     def value(self, round_number: int, recipient: int, observed: Sequence[float]) -> float:
-        return self._rng.uniform(self.low, self.high)
+        return self.low + (self.high - self.low) * self._unit(round_number, recipient)
+
+    def value_block(
+        self, round_number: int, n: int, observed: Sequence[float]
+    ) -> Sequence[float]:
+        try:
+            import numpy as np
+        except ImportError:
+            return [
+                self.value(round_number, recipient, observed) for recipient in range(n)
+            ]
+        shift = np.uint64(33)
+
+        def mix(x):
+            x = (x ^ (x >> shift)) * np.uint64(MIX64_MULT1)
+            x = (x ^ (x >> shift)) * np.uint64(MIX64_MULT2)
+            return x ^ (x >> shift)
+
+        recipients = np.arange(n, dtype=np.uint64) * np.uint64(KEY_RECIPIENT)
+        keys = mix(
+            np.uint64(self._seed_mix)
+            ^ np.uint64((round_number * KEY_ROUND) & MASK64)
+            ^ recipients
+        )
+        # uint64 → float64 rounds to nearest, exactly like Python's float(int),
+        # and the scaling applies operations in the scalar path's order, so the
+        # draws are bit-identical across the scalar and numpy paths.
+        return self.low + (self.high - self.low) * (keys.astype(np.float64) * 2.0**-64)
 
     def describe(self) -> str:
-        return f"RandomValueStrategy([{self.low}, {self.high}])"
+        return f"RandomValueStrategy([{self.low}, {self.high}], seed={self.seed})"
 
 
 class AntiConvergenceStrategy(ByzantineValueStrategy):
@@ -257,6 +333,13 @@ class AntiConvergenceStrategy(ByzantineValueStrategy):
         low = min(observed) - self.stretch
         high = max(observed) + self.stretch
         return low if recipient % 2 == 0 else high
+
+    def value_block(
+        self, round_number: int, n: int, observed: Sequence[float]
+    ) -> Sequence[float]:
+        return [
+            self.value(round_number, recipient, observed) for recipient in range(n)
+        ]
 
     def describe(self) -> str:
         return f"AntiConvergenceStrategy(stretch={self.stretch})"
@@ -529,6 +612,85 @@ class TargetedDelay(DelayModel):
         return self.slow if (sender, recipient) in self.slow_pairs else self.fast
 
 
+class SeededDelay(DelayModel):
+    """Pseudo-random delays in ``[low, high]`` from a counter-based PRF.
+
+    The stateless counterpart of
+    :class:`~repro.net.network.UniformRandomDelay`: instead of drawing from a
+    sequential RNG stream (whose answers depend on query *order*), every
+    ``(round, recipient, sender)`` triple maps to one 64-bit mix — the same
+    MurmurHash3-finalizer key schedule as :class:`SeededOmission`, on the
+    decorrelated :data:`DELAY_STREAM` — scaled into ``[low, high]``.  Two
+    consequences:
+
+    * the event simulator and the round-level engines see the *same* delay
+      for the same (round, sender, recipient) probe, so
+      :class:`DelayRankOmission` over this model ranks exactly as the event
+      scheduler would order arrivals;
+    * :meth:`delay_block` answers a whole round in one bulk query, which is
+      what lets the vectorised batch engine (:mod:`repro.sim.ndbatch`) run
+      randomised-delay scenarios with zero per-recipient Python quorum calls.
+
+    Repeated messages of one (round, sender, recipient) triple — e.g. the
+    reliable-broadcast sub-messages of the witness protocol, which carry no
+    round field and fall into the round-0 slot — share a delay, which is a
+    legal (deterministic) adversarial schedule.
+    """
+
+    stateless = True
+
+    def __init__(self, low: float = 0.5, high: float = 1.5, seed: int = 0) -> None:
+        if low <= 0 or high < low:
+            raise ValueError("require 0 < low <= high")
+        self.low = float(low)
+        self.high = float(high)
+        self.seed = int(seed)
+        self._seed_mix = mix64(self.seed ^ DELAY_STREAM)
+
+    def delay(self, sender: int, recipient: int, message: Message, now: float) -> float:
+        round_number = message.round if message.round is not None else 0
+        key = mix64(
+            self._seed_mix
+            ^ (round_number * KEY_ROUND)
+            ^ (recipient * KEY_RECIPIENT)
+            ^ (sender * KEY_SENDER)
+        )
+        return self.low + (self.high - self.low) * (key * 2.0**-64)
+
+    def delay_block(self, round_number: int, n: int):
+        """The round's full delay matrix ``delays[recipient][sender]``.
+
+        Bit-identical to probing :meth:`delay` per pair (numpy when
+        importable, scalar Python otherwise); consumed by
+        :meth:`DelayRankOmission.rank_block` for the vectorised engine.
+        """
+        try:
+            import numpy as np
+        except ImportError:
+            probe = Message(kind="VALUE", round=round_number, value=0.0)
+            now = float(round_number)
+            return [
+                [self.delay(sender, recipient, probe, now) for sender in range(n)]
+                for recipient in range(n)
+            ]
+        shift = np.uint64(33)
+
+        def mix(x):
+            x = (x ^ (x >> shift)) * np.uint64(MIX64_MULT1)
+            x = (x ^ (x >> shift)) * np.uint64(MIX64_MULT2)
+            return x ^ (x >> shift)
+
+        recipients = np.arange(n, dtype=np.uint64) * np.uint64(KEY_RECIPIENT)
+        senders = np.arange(n, dtype=np.uint64) * np.uint64(KEY_SENDER)
+        keys = mix(
+            np.uint64(self._seed_mix)
+            ^ np.uint64((round_number * KEY_ROUND) & MASK64)
+            ^ recipients[:, None]
+            ^ senders[None, :]
+        )
+        return self.low + (self.high - self.low) * (keys.astype(np.float64) * 2.0**-64)
+
+
 # ----------------------------------------------------------------------
 # Round-level adversary adapters (batch engine)
 # ----------------------------------------------------------------------
@@ -605,6 +767,12 @@ MIX64_MULT2 = 0xC4CEB9FE1A85EC53
 KEY_ROUND = 0x9E3779B97F4A7C15
 KEY_RECIPIENT = 0xC2B2AE3D27D4EB4F
 KEY_SENDER = 0x165667B19E3779F9
+#: Stream constants xor-folded into the seed so that the three counter-based
+#: PRF families — quorum rank keys (:class:`SeededOmission`), Byzantine value
+#: draws (:class:`RandomValueStrategy`) and delay draws (:class:`SeededDelay`)
+#: — are decorrelated even when built from the same scenario seed.
+VALUE_STREAM = 0xA24BAED4963EE407
+DELAY_STREAM = 0x9FB21C651E98DF25
 
 
 def mix64(x: int) -> int:
@@ -813,6 +981,11 @@ class DelayRankOmission(OmissionPolicy):
         """
         if not getattr(self.delay_model, "stateless", False):
             return None
+        block = getattr(self.delay_model, "delay_block", None)
+        if block is not None:
+            # Bulk-queryable models (e.g. SeededDelay) answer the whole round
+            # natively — bit-identical to the per-pair probing below.
+            return block(round_number, n)
         probe = Message(kind="VALUE", round=round_number, value=0.0)
         now = float(round_number)
         return [

@@ -33,7 +33,7 @@ from typing import Any, Callable, Dict, Optional, Set, Tuple
 from repro.net.interfaces import ProcessContext
 from repro.net.message import Message
 
-__all__ = ["RBC_KINDS", "BrachaInstance", "RbcMultiplexer"]
+__all__ = ["RBC_KINDS", "BrachaInstance", "RbcMultiplexer", "echo_quorum"]
 
 
 #: Message kinds used by the broadcast (INIT from the sender, ECHO and READY
@@ -41,9 +41,14 @@ __all__ = ["RBC_KINDS", "BrachaInstance", "RbcMultiplexer"]
 RBC_KINDS = ("RBC_INIT", "RBC_ECHO", "RBC_READY")
 
 
-def _echo_quorum(n: int, t: int) -> int:
+def echo_quorum(n: int, t: int) -> int:
     """Size of the echo quorum: strictly more than ``(n + t) / 2`` parties."""
     return (n + t) // 2 + 1
+
+
+#: Backwards-compatible alias (the quorum size is part of the public contract
+#: now that the round-level witness engine reproduces the broadcast's traffic).
+_echo_quorum = echo_quorum
 
 
 @dataclass

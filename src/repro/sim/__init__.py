@@ -1,5 +1,13 @@
 """Simulation harness: runners, metrics, workloads, sweeps, experiment utilities."""
 
+from repro.sim.engine import (
+    ENGINES,
+    ENGINE_CAPABILITIES,
+    EngineCapabilities,
+    EngineCapabilityError,
+    run,
+    select_engine,
+)
 from repro.sim.batch import BATCH_PROTOCOLS, run_batch_protocol
 
 try:
@@ -69,6 +77,10 @@ __all__ = [
     "BATCH_PROTOCOLS",
     "CellOutcome",
     "CostSummary",
+    "ENGINES",
+    "ENGINE_CAPABILITIES",
+    "EngineCapabilities",
+    "EngineCapabilityError",
     "ExecutionResult",
     "ExperimentRecord",
     "NDBATCH_PROTOCOLS",
@@ -90,6 +102,7 @@ __all__ = [
     "parameter_grid",
     "read_sweep_jsonl",
     "records_from_sweep",
+    "run",
     "run_async_network",
     "run_asyncio_runtime",
     "run_batch_protocol",
@@ -100,6 +113,7 @@ __all__ = [
     "run_protocol",
     "run_sweep",
     "run_vector_protocol",
+    "select_engine",
     "sensor_readings",
     "spread_trajectory",
     "summarize_results",

@@ -33,9 +33,28 @@ The engine supports the four direct protocols (``async-crash``,
 ``async-byzantine``, ``sync-crash``, ``sync-byzantine``) under both upfront
 round policies (uniform fast loop) and adaptive ones
 (:class:`~repro.core.termination.SpreadEstimateRounds`, via per-process round
-counts with halt-echo substitution).  The witness protocol is intentionally
-unsupported: its reliable-broadcast and witness sub-protocols are
-message-level by nature and have no faithful round-level form.
+counts with halt-echo substitution), plus the witness protocol in its
+round-level form (see below).
+
+Witness protocol at round level
+-------------------------------
+
+One witness iteration — ``n`` concurrent reliable broadcasts, the report
+exchange, the witness wait — collapses into a per-round quorum abstraction:
+reliable broadcast removes equivocation (each originator contributes exactly
+one value per iteration), and the witness exchange guarantees every sample
+holds ``≥ n − t`` values with any two honest samples sharing ``≥ n − t``.
+The engine therefore gives every process a sample drawn from that legal
+schedule family — full delivery under the default (uniform) schedule, or a
+shared ``n − t`` core plus per-recipient extras under an explicit omission
+policy — and charges each iteration's reliable-broadcast/report traffic in
+closed form (:func:`repro.core.witness.witness_round_traffic`), exactly
+matching the event simulator run to quiescence.  Crash faults must fall on
+iteration boundaries (``deliveries == 0``); mid-multicast prefixes have no
+witness round form and stay with the event engine
+(:class:`~repro.sim.engine.EngineCapabilityError` points there).
+Differential agreement — exact rounds, message and bit counts, outputs —
+is pinned by ``tests/sim/test_witness_batch_equivalence.py``.
 
 Results are full :class:`~repro.sim.runner.ExecutionResult` objects (runtime
 tag ``"batch"``), so the metrics, convergence-analysis and table pipelines
@@ -59,8 +78,10 @@ from repro.core.rounds import (
     async_crash_bounds,
     sync_byzantine_bounds,
     sync_crash_bounds,
+    witness_bounds,
 )
 from repro.core.termination import RoundPolicy, default_round_policy
+from repro.core.witness import witness_round_traffic
 from repro.net.adversary import (
     DelayRankOmission,
     OmissionPolicy,
@@ -70,23 +91,33 @@ from repro.net.adversary import (
 )
 from repro.net.message import Message, message_bits
 from repro.net.network import DelayModel, FaultPlan, NetworkStats
+from repro.sim.engine import EngineCapabilityError, capable_engines
 from repro.sim.metrics import spread_trajectory
 from repro.sim.runner import ExecutionResult
 
 __all__ = [
     "BATCH_PROTOCOL_BOUNDS",
     "BATCH_PROTOCOLS",
+    "DIRECT_PROTOCOL_BOUNDS",
     "run_batch_protocol",
 ]
 
 
-#: Protocol name → closed-form bounds factory, for every protocol the batch
-#: engine can execute at round granularity.
-BATCH_PROTOCOL_BOUNDS: Dict[str, Callable[[int, int], AlgorithmBounds]] = {
+#: Protocol name → bounds factory for the four direct protocols (one value
+#: multicast per round); this is the slice the vectorised engine also runs.
+DIRECT_PROTOCOL_BOUNDS: Dict[str, Callable[[int, int], AlgorithmBounds]] = {
     "async-crash": async_crash_bounds,
     "async-byzantine": async_byzantine_bounds,
     "sync-crash": sync_crash_bounds,
     "sync-byzantine": sync_byzantine_bounds,
+}
+
+#: Protocol name → closed-form bounds factory, for every protocol the batch
+#: engine can execute at round granularity (the direct protocols plus the
+#: witness protocol's round-level form).
+BATCH_PROTOCOL_BOUNDS: Dict[str, Callable[[int, int], AlgorithmBounds]] = {
+    **DIRECT_PROTOCOL_BOUNDS,
+    "witness": witness_bounds,
 }
 
 #: Names of the protocols the batch engine supports.
@@ -250,9 +281,10 @@ def run_batch_protocol(
         Whether to reject ``(n, t)`` outside the protocol's resilience bound.
     """
     if protocol not in BATCH_PROTOCOL_BOUNDS:
-        raise ValueError(
-            f"batch engine does not support protocol {protocol!r}; "
-            f"supported: {list(BATCH_PROTOCOLS)}"
+        raise EngineCapabilityError(
+            "batch",
+            f"protocol {protocol!r}",
+            capable_engines({f"protocol:{protocol}"}),
         )
     if fault_plan is not None and fault_model is not None:
         raise ValueError("pass either fault_plan or fault_model, not both")
@@ -269,6 +301,10 @@ def run_batch_protocol(
 
     if fault_model is None:
         fault_model = round_fault_model(fault_plan, n)
+    # Whether the caller shaped quorum composition explicitly; the witness
+    # round form distinguishes the default uniform schedule (full delivery,
+    # matching the event simulator) from adversarial sub-sampling.
+    explicit_quorum_adversary = omission_policy is not None or delay_model is not None
     if omission_policy is None:
         omission_policy = (
             DelayRankOmission(delay_model) if delay_model is not None else SeededOmission(seed)
@@ -284,6 +320,20 @@ def run_batch_protocol(
         byzantine=fault_model.byzantine_ids(n),
     )
     policy = round_policy or default_round_policy(bounds, inputs, epsilon)
+
+    if protocol == "witness":
+        return _run_witness(
+            problem,
+            bounds,
+            policy,
+            fault_model,
+            omission_policy,
+            explicit_quorum_adversary,
+            epsilon,
+            started,
+            fault_plan=fault_plan,
+        )
+
     total_rounds = _upfront_rounds(policy, bounds, epsilon)
 
     state = _RoundState(n, inputs, fault_model)
@@ -389,6 +439,284 @@ def run_batch_protocol(
         events_executed=0,
         wall_time_seconds=wall,
     )
+
+
+def _witness_crash_schedule(
+    crash_points: Dict[int, int],
+    n: int,
+    t: int,
+    holders: List[int],
+    strategy_ids: List[int],
+    total_rounds: int,
+) -> Dict[int, int]:
+    """Map raw send-count crash points onto witness iteration boundaries.
+
+    A witness participant alive through iteration ``r`` sends
+    ``n·(2·ℓ_r + 2)`` point-to-point messages (INIT + ℓ_r ECHO + ℓ_r READY +
+    REPORT multicasts, ``ℓ_r`` the iteration's participant count), so a crash
+    point expressed in sends — the unit of
+    :class:`~repro.net.adversary.CrashPoint` — lands on an iteration boundary
+    exactly when it equals a prefix sum of those totals.  The mapping is
+    computed jointly for all crash-faulty processes (earlier deaths shrink
+    ``ℓ_r`` for later iterations); a point strictly inside an iteration has
+    no witness round form and raises
+    :class:`~repro.sim.engine.EngineCapabilityError` (event engine only).
+    """
+    crash_round: Dict[int, int] = {}
+    sent: Dict[int, int] = {pid: 0 for pid in crash_points}
+    for round_number in range(1, total_rounds + 1):
+        for pid in sorted(crash_points):
+            if pid not in crash_round and sent[pid] >= crash_points[pid]:
+                crash_round[pid] = round_number
+        participants = [
+            pid for pid in holders if pid not in crash_round
+        ] + strategy_ids
+        count = len(participants)
+        if count < n - t:
+            break  # the execution stalls here; later sends never happen
+        per_participant = n * (2 * count + 2)
+        for pid in crash_points:
+            if pid not in crash_round and pid in holders:
+                sent[pid] += per_participant
+                if sent[pid] > crash_points[pid]:
+                    raise EngineCapabilityError(
+                        "batch",
+                        "mid-iteration crash points under the witness protocol "
+                        f"(P{pid} crashes after {crash_points[pid]} sends, inside "
+                        f"iteration {round_number}; round-level witness crashes "
+                        "must fall on iteration boundaries)",
+                        ("event",),
+                    )
+    return crash_round
+
+
+def _witness_raw_crash_points(fault_plan: FaultPlan, n: int) -> Dict[int, int]:
+    """Collect raw ``after_sends`` crash points from a (possibly composed) plan."""
+    from repro.net.adversary import ComposedFaultPlan, CrashFaultPlan
+
+    points: Dict[int, int] = {}
+    if isinstance(fault_plan, ComposedFaultPlan):
+        for sub_plan in fault_plan.plans:
+            points.update(_witness_raw_crash_points(sub_plan, n))
+    elif isinstance(fault_plan, CrashFaultPlan):
+        for pid, point in fault_plan.crash_points.items():
+            if pid < n and point.after_sends is not None:
+                points[pid] = point.after_sends
+    return points
+
+
+def _run_witness(
+    problem: ProblemInstance,
+    bounds: AlgorithmBounds,
+    policy: RoundPolicy,
+    fault_model: RoundFaultModel,
+    omission_policy: OmissionPolicy,
+    explicit_quorum_adversary: bool,
+    epsilon: float,
+    started: float,
+    fault_plan: Optional[FaultPlan] = None,
+) -> ExecutionResult:
+    """Round-level witness protocol: per-iteration quorum abstraction.
+
+    Each iteration collapses the reliable-broadcast/report/witness machinery
+    into one quorum step (see the module docstring): reliable broadcast means
+    every participant contributes exactly one value — a Byzantine strategy
+    commits to a single per-iteration value (consulted once, with the
+    sender's own id as the recipient argument) because equivocation is
+    impossible — and the witness exchange constrains which value subsets the
+    adversary may serve:
+
+    * under the default uniform schedule (no explicit omission policy or
+      delay model) every process receives *every* participant's value, which
+      is exactly the schedule the event simulator realises under its default
+      constant delays — the configuration the differential grid pins
+      exactly;
+    * under an explicit policy, the adversary serves a shared core of
+      ``n − t`` values (``policy.quorum(round, n, candidates, n − t)`` — the
+      pseudo-recipient ``n`` keys the round's shared choice) plus
+      per-recipient extras (``policy.quorum(round, p, candidates, n − t)``),
+      so samples differ between processes while any two still share the
+      ``≥ n − t`` values the witness exchange guarantees.
+
+    Crash faults must fall on iteration boundaries — ``(r, 0)`` means the
+    process participates fully in iterations ``< r`` and is silent from
+    ``r`` on; mid-multicast prefixes raise
+    :class:`~repro.sim.engine.EngineCapabilityError` (event engine only).
+    Message/bit accounting is the closed quiescence form of
+    :func:`repro.core.witness.witness_round_traffic`.
+    """
+    n, t = problem.n, problem.t
+    if not policy.uniform:
+        raise ValueError(
+            "the witness protocol requires a uniform round policy "
+            "(FixedRounds or KnownRangeRounds)"
+        )
+    total_rounds = policy.required_rounds(bounds.contraction, epsilon, None)
+    quorum_size = n - t
+
+    strategies = fault_model.strategies
+    silent = set(fault_model.silent)
+    holders = [
+        pid for pid in range(n) if pid not in strategies and pid not in silent
+    ]
+    if fault_plan is not None:
+        # Message-level crash points count raw sends; re-map them onto witness
+        # iteration boundaries (the generic adapter's (round, deliveries) form
+        # divides by n, the direct protocols' multicast size).
+        crash_schedule = _witness_crash_schedule(
+            _witness_raw_crash_points(fault_plan, n),
+            n,
+            t,
+            holders,
+            sorted(strategies),
+            total_rounds,
+        )
+    else:
+        for pid, (crash_round, deliveries) in fault_model.crash_schedule.items():
+            if deliveries != 0:
+                raise EngineCapabilityError(
+                    "batch",
+                    "mid-multicast crash points under the witness protocol "
+                    "(round-level witness crashes must fall on iteration "
+                    f"boundaries: deliveries == 0, got P{pid}@r{crash_round}"
+                    f"+{deliveries})",
+                    ("event",),
+                )
+        crash_schedule = {
+            pid: point[0] for pid, point in fault_model.crash_schedule.items()
+        }
+    values: Dict[int, float] = {pid: float(problem.inputs[pid]) for pid in holders}
+    for pid, forged in fault_model.corrupted_inputs.items():
+        if pid in values:
+            values[pid] = float(forged)
+    histories: Dict[int, List[float]] = {pid: [values[pid]] for pid in holders}
+    trusted_policy = type(omission_policy) in (SeededOmission, DelayRankOmission)
+
+    stats = NetworkStats()
+    decided = True
+    rounds_completed = 0
+
+    for round_number in range(1, total_rounds + 1):
+        alive = [
+            pid
+            for pid in holders
+            if pid not in crash_schedule or round_number < crash_schedule[pid]
+        ]
+        participants = sorted(alive + list(strategies))
+
+        # Committed per-iteration Byzantine values (reliable broadcast makes
+        # equivocation impossible); non-finite commitments degrade to the
+        # sender's broadcast never delivering, like the message boundary of
+        # the protocol skeletons.
+        observed: Sequence[float] = sorted(values[pid] for pid in alive)
+        round_values: Dict[int, float] = {pid: values[pid] for pid in alive}
+        for pid in strategies:
+            committed = strategies[pid].value(round_number, pid, observed)
+            if isinstance(committed, (int, float)) and math.isfinite(committed):
+                round_values[pid] = float(committed)
+
+        traffic = witness_round_traffic(n, t, round_number, participants)
+        for kind, count in traffic.by_kind.items():
+            stats.messages_by_kind[kind] = stats.messages_by_kind.get(kind, 0) + count
+        for kind, bits in traffic.bits_by_kind.items():
+            stats.bits_sent += bits
+        stats.messages_sent += traffic.messages
+        for pid in participants:
+            stats.sends_by_process[pid] = (
+                stats.sends_by_process.get(pid, 0) + traffic.sends_per_participant
+            )
+        # At quiescence every send reaches every recipient that has not
+        # crashed by this iteration (silent/Byzantine processes still listen).
+        crashed_recipients = sum(
+            1
+            for pid in crash_schedule
+            if pid in values and round_number >= crash_schedule[pid]
+        )
+        stats.messages_delivered += (traffic.messages // n) * (n - crashed_recipients)
+
+        candidates = sorted(pid for pid in participants if pid in round_values)
+        if not traffic.completes or len(candidates) < quorum_size:
+            # Too few participants to fill deliveries, reports or witnesses:
+            # the event simulator would stall with every process waiting
+            # forever (this iteration's partial traffic already charged).
+            decided = False
+            break
+
+        if not explicit_quorum_adversary:
+            shared_sample = [round_values[pid] for pid in candidates]
+            samples: Dict[int, List[float]] = {pid: shared_sample for pid in alive}
+        else:
+            core = _witness_quorum(
+                omission_policy, round_number, n, candidates, quorum_size, trusted_policy
+            )
+            samples = {}
+            for recipient in alive:
+                extra = _witness_quorum(
+                    omission_policy,
+                    round_number,
+                    recipient,
+                    candidates,
+                    quorum_size,
+                    trusted_policy,
+                )
+                chosen = sorted(set(core) | set(extra))
+                samples[recipient] = [round_values[pid] for pid in chosen]
+
+        new_values: Dict[int, float] = {}
+        for recipient in alive:
+            new_values[recipient] = approximation_step(samples[recipient], bounds)
+        values.update(new_values)
+        for pid, value in new_values.items():
+            histories[pid].append(value)
+        rounds_completed = round_number
+
+    honest = problem.honest
+    outputs: Dict[int, Optional[float]] = {
+        pid: (values[pid] if decided else None) for pid in honest
+    }
+    report = validate_outputs(problem, outputs)
+    value_histories = {pid: list(histories[pid]) for pid in honest}
+    wall = time.perf_counter() - started
+    return ExecutionResult(
+        protocol="witness",
+        runtime="batch",
+        problem=problem,
+        report=report,
+        outputs=outputs,
+        stats=stats,
+        rounds_used=rounds_completed,
+        trajectory=spread_trajectory(value_histories),
+        value_histories=value_histories,
+        events_executed=0,
+        wall_time_seconds=wall,
+    )
+
+
+def _witness_quorum(
+    omission_policy: OmissionPolicy,
+    round_number: int,
+    recipient: int,
+    candidates: List[int],
+    quorum_size: int,
+    trusted_policy: bool,
+) -> Sequence[int]:
+    """One validated quorum query of the witness round form."""
+    chosen = list(
+        omission_policy.quorum(round_number, recipient, candidates, quorum_size)
+    )
+    if not trusted_policy:
+        chosen_set = set(chosen)
+        if len(chosen) != quorum_size or len(chosen_set) != quorum_size:
+            raise ValueError(
+                f"omission policy {omission_policy.describe()} returned {len(chosen)} "
+                f"senders, expected {quorum_size} distinct"
+            )
+        if not chosen_set <= set(candidates):
+            raise ValueError(
+                f"omission policy {omission_policy.describe()} chose senders outside "
+                "the candidate set"
+            )
+    return chosen
 
 
 def _run_adaptive(

@@ -1,0 +1,564 @@
+"""Capability-based engine dispatch: one front door over three engines.
+
+The library ships three execution engines — the per-message discrete-event
+simulator (:mod:`repro.sim.runner`), the pure-Python round-level batch engine
+(:mod:`repro.sim.batch`) and the numpy-vectorised block engine
+(:mod:`repro.sim.ndbatch`).  They trade fidelity for speed, and each supports
+a different slice of the scenario space.  Before this layer existed, callers
+hard-coded ``engine=`` strings and every engine rejected out-of-scope
+scenarios with its own ad-hoc ``ValueError``; this module replaces both with
+a declarative capability model:
+
+* each engine declares an :class:`EngineCapabilities` record — the protocols
+  it runs, whether it handles adaptive round policies, stateful Byzantine
+  strategies, stateful quorum policies, message-level fault plans, and
+  whether it needs numpy — collected in :data:`ENGINE_CAPABILITIES`;
+* a scenario is summarised as a set of *feature* strings
+  (:func:`scenario_features`) derived from its protocol, round policy,
+  fault model and quorum adversary;
+* :func:`select_engine` picks the fastest engine whose capability set covers
+  the scenario's features (preferring the vectorised engine only when the
+  scenario actually vectorises), and :func:`run` is the front door that
+  performs the selection and dispatches — with ``engine=`` kept as an
+  explicit override;
+* every rejection — here and inside the engines — raises one uniform
+  :class:`EngineCapabilityError` naming the engines that *can* run the
+  scenario.
+
+:func:`repro.sim.sweep.run_sweep` applies the same selection per sweep cell
+(``engine="auto"``), so a single grid transparently mixes vectorised blocks,
+round-level cells and event-simulator cells.
+
+The capability matrix (also rendered in the README):
+
+=====================  =======  ======  ========
+capability             ndbatch  batch   event
+=====================  =======  ======  ========
+direct protocols       ✓        ✓       ✓
+witness protocol       —        ✓       ✓
+adaptive round policy  —        ✓       ✓
+stateful strategy      —        ✓       ✓
+stateful quorum/delay  ✓ (a)    ✓       ✓
+message-level faults   —        —       ✓
+runs without numpy     —        ✓       ✓
+relative speed         ~50×     ~10×    1×
+=====================  =======  ======  ========
+
+(a) supported through a per-recipient fallback; auto-selection prefers the
+batch engine for such scenarios, because the fallback gives up the
+vectorisation that makes ndbatch worth choosing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "DIRECT_PROTOCOLS",
+    "ENGINES",
+    "ENGINE_CAPABILITIES",
+    "EngineCapabilities",
+    "EngineCapabilityError",
+    "capable_engines",
+    "numpy_available",
+    "run",
+    "scenario_features",
+    "select_engine",
+]
+
+
+#: The four protocols whose rounds are a single value multicast.
+DIRECT_PROTOCOLS = ("async-byzantine", "async-crash", "sync-byzantine", "sync-crash")
+
+#: Every protocol the library implements.
+ALL_PROTOCOLS = DIRECT_PROTOCOLS + ("witness",)
+
+# Scenario feature tags (the requirement side of the capability relation).
+FEATURE_ADAPTIVE = "adaptive-round-policy"
+FEATURE_STATEFUL_STRATEGY = "stateful-strategy"
+FEATURE_STATEFUL_QUORUM = "stateful-quorum-policy"
+FEATURE_MESSAGE_LEVEL = "message-level-faults"
+FEATURE_ROUND_LEVEL = "round-level-adversary"
+FEATURE_NO_NUMPY = "no-numpy"
+FEATURE_WITNESS_MID_MULTICAST = "witness-mid-multicast-crash"
+FEATURE_EVENT_RUNTIME = "explicit-event-runtime"
+
+
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """Declarative capability set of one execution engine.
+
+    ``features`` holds the protocol tags (``"protocol:<name>"``) plus the
+    scenario features the engine can absorb; an engine supports a scenario
+    iff the scenario's feature set is a subset.  ``speed_rank`` orders the
+    engines fastest-first for auto-selection.
+    """
+
+    name: str
+    module: str
+    protocols: Tuple[str, ...]
+    features: FrozenSet[str]
+    speed_rank: int
+    summary: str
+
+    def feature_set(self) -> FrozenSet[str]:
+        return self.features | frozenset(f"protocol:{p}" for p in self.protocols)
+
+    def supports(self, required: Iterable[str]) -> bool:
+        return set(required) <= self.feature_set()
+
+    def missing(self, required: Iterable[str]) -> Tuple[str, ...]:
+        return tuple(sorted(set(required) - self.feature_set()))
+
+
+#: Engine name → capability record, fastest engine first.
+ENGINE_CAPABILITIES: Dict[str, EngineCapabilities] = {
+    "ndbatch": EngineCapabilities(
+        name="ndbatch",
+        module="repro.sim.ndbatch",
+        protocols=DIRECT_PROTOCOLS,
+        features=frozenset({FEATURE_ROUND_LEVEL, FEATURE_STATEFUL_QUORUM}),
+        speed_rank=0,
+        summary="numpy-vectorised block engine (whole executions advance as matrices)",
+    ),
+    "batch": EngineCapabilities(
+        name="batch",
+        module="repro.sim.batch",
+        protocols=ALL_PROTOCOLS,
+        features=frozenset(
+            {
+                FEATURE_ADAPTIVE,
+                FEATURE_STATEFUL_STRATEGY,
+                FEATURE_STATEFUL_QUORUM,
+                FEATURE_ROUND_LEVEL,
+                FEATURE_NO_NUMPY,
+            }
+        ),
+        speed_rank=1,
+        summary="pure-Python round-level engine (one asynchronous round at a time)",
+    ),
+    "event": EngineCapabilities(
+        name="event",
+        module="repro.sim.runner",
+        protocols=ALL_PROTOCOLS,
+        features=frozenset(
+            {
+                FEATURE_ADAPTIVE,
+                FEATURE_STATEFUL_STRATEGY,
+                FEATURE_STATEFUL_QUORUM,
+                FEATURE_MESSAGE_LEVEL,
+                FEATURE_NO_NUMPY,
+                FEATURE_WITNESS_MID_MULTICAST,
+                FEATURE_EVENT_RUNTIME,
+            }
+        ),
+        speed_rank=2,
+        summary="per-message discrete-event simulator (highest fidelity)",
+    ),
+}
+
+#: Engine names in auto-selection order (fastest capable engine wins).
+ENGINES = tuple(
+    sorted(ENGINE_CAPABILITIES, key=lambda name: ENGINE_CAPABILITIES[name].speed_rank)
+)
+
+
+class EngineCapabilityError(ValueError):
+    """An engine was asked to run a scenario outside its capability set.
+
+    Every engine rejection goes through this one error type, and the message
+    always names the engine(s) that *can* run the scenario (with their module
+    paths), so callers hitting an override mismatch learn the fix directly
+    from the exception.  Subclasses :class:`ValueError` so pre-existing
+    ``except ValueError`` call sites keep working.
+    """
+
+    def __init__(self, engine: str, reason: str, capable: Sequence[str] = ()) -> None:
+        self.engine = engine
+        self.reason = reason
+        self.capable = tuple(capable)
+        if self.capable:
+            alternatives = ", ".join(
+                f"{name} ({ENGINE_CAPABILITIES[name].module})"
+                for name in self.capable
+                if name in ENGINE_CAPABILITIES
+            )
+            hint = f"capable engine(s): {alternatives}"
+        else:
+            hint = "no engine supports this scenario"
+        super().__init__(f"the {engine} engine does not support {reason}; {hint}")
+
+
+def numpy_available() -> bool:
+    """Whether numpy is importable (gates the vectorised engine)."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _upfront_rounds_known(round_policy) -> bool:
+    """Whether the policy's round count is computable before round 1."""
+    try:
+        round_policy.required_rounds(0.5, 1.0, None)
+    except TypeError:
+        return False
+    return True
+
+
+def _witness_crashes_on_boundaries(
+    fault_plan, fault_model, n: int, t: Optional[int]
+) -> bool:
+    """Whether every crash point has a witness iteration-boundary form.
+
+    Message-level crash points count raw sends, so only prefix sums of the
+    witness per-iteration send totals (which depend on the other faults) are
+    boundaries — the probe replays the batch engine's own mapping
+    (:func:`repro.sim.batch._witness_crash_schedule`).  Without ``t`` the
+    totals cannot be derived, so anything beyond "initially dead" is
+    conservatively treated as mid-iteration.
+    """
+    raw_points = {}
+    if fault_plan is not None:
+        from repro.sim.batch import _witness_raw_crash_points
+
+        raw_points = _witness_raw_crash_points(fault_plan, n)
+    if not raw_points:
+        # Round-level models state the boundary form directly.
+        return all(
+            deliveries == 0
+            for _, deliveries in fault_model.crash_schedule.values()
+        )
+    if all(point == 0 for point in raw_points.values()):
+        return True  # initially dead is a boundary under any parameters
+    if t is None:
+        return False
+    from repro.sim.batch import _witness_crash_schedule
+
+    strategies = sorted(fault_model.strategies)
+    silent = set(fault_model.silent)
+    holders = [
+        pid for pid in range(n) if pid not in fault_model.strategies and pid not in silent
+    ]
+    # Horizon large enough to resolve every point: each iteration adds at
+    # least 2n sends to every still-alive crash-faulty process.
+    horizon = max(raw_points.values()) // (2 * n) + 2
+    try:
+        _witness_crash_schedule(raw_points, n, t, holders, strategies, horizon)
+    except ValueError:  # EngineCapabilityError: a point lands mid-iteration
+        return False
+    return True
+
+
+def scenario_features(
+    protocol: str,
+    n: int,
+    t: Optional[int] = None,
+    round_policy=None,
+    fault_plan=None,
+    fault_model=None,
+    omission_policy=None,
+    delay_model=None,
+) -> Set[str]:
+    """The feature set one scenario requires of an engine.
+
+    The fault specification may be message level (``fault_plan``) or round
+    level (``fault_model``); a message-level plan the round-level adapter
+    (:func:`repro.net.adversary.round_fault_model`) cannot interpret marks
+    the scenario message-level-only, which only the event engine runs.
+    ``t`` sharpens the witness crash-boundary probe (without it, any witness
+    crash beyond "initially dead" conservatively routes to the event engine).
+    """
+    from repro.net.adversary import round_fault_model
+
+    features: Set[str] = {f"protocol:{protocol}"}
+    if round_policy is not None and not _upfront_rounds_known(round_policy):
+        features.add(FEATURE_ADAPTIVE)
+
+    given_fault_plan = fault_plan
+    if fault_model is None and fault_plan is not None:
+        try:
+            fault_model = round_fault_model(fault_plan, n)
+        except ValueError:
+            features.add(FEATURE_MESSAGE_LEVEL)
+            fault_model = None
+    if fault_model is not None:
+        if any(
+            not getattr(strategy, "stateless", False)
+            for strategy in fault_model.strategies.values()
+        ):
+            features.add(FEATURE_STATEFUL_STRATEGY)
+        if protocol == "witness" and not _witness_crashes_on_boundaries(
+            given_fault_plan, fault_model, n, t
+        ):
+            features.add(FEATURE_WITNESS_MID_MULTICAST)
+
+    if omission_policy is not None or (fault_model is not None and fault_plan is None):
+        # Round-level adversary specifications have no message-level form.
+        features.add(FEATURE_ROUND_LEVEL)
+    if delay_model is not None and not getattr(delay_model, "stateless", False):
+        features.add(FEATURE_STATEFUL_QUORUM)
+    if omission_policy is not None and _policy_is_stateful(omission_policy):
+        features.add(FEATURE_STATEFUL_QUORUM)
+
+    if not numpy_available():
+        features.add(FEATURE_NO_NUMPY)
+    return features
+
+
+def _policy_is_stateful(omission_policy) -> bool:
+    """Conservatively classify an omission policy's statefulness."""
+    from repro.net.adversary import DelayRankOmission, SeededOmission
+
+    if isinstance(omission_policy, SeededOmission):
+        return False
+    if isinstance(omission_policy, DelayRankOmission):
+        return not getattr(omission_policy.delay_model, "stateless", False)
+    return True  # unknown custom policies may depend on query order
+
+
+def vectorises(
+    protocol: str,
+    fault_model=None,
+    omission_policy=None,
+    delay_model=None,
+) -> bool:
+    """Whether the ndbatch engine would run this scenario fully vectorised.
+
+    True when the quorum-selection path stays native (SeededOmission keys or
+    a bulk :meth:`~repro.net.adversary.OmissionPolicy.rank_block` ranking)
+    and no per-recipient Python fallback would be needed.  Used by
+    auto-selection: a scenario ndbatch *can* run but only through its
+    fallback path is better served by the batch engine.
+    """
+    from repro.net.adversary import DelayRankOmission, SeededOmission
+
+    if protocol not in DIRECT_PROTOCOLS:
+        return False
+    if fault_model is not None and any(
+        not getattr(strategy, "stateless", False)
+        for strategy in fault_model.strategies.values()
+    ):
+        return False
+    if omission_policy is None and delay_model is not None:
+        omission_policy = DelayRankOmission(delay_model)
+    if omission_policy is None or isinstance(omission_policy, SeededOmission):
+        return True
+    if isinstance(omission_policy, DelayRankOmission):
+        return getattr(omission_policy.delay_model, "stateless", False)
+    return False
+
+
+def capable_engines(features: Iterable[str]) -> Tuple[str, ...]:
+    """Engines that support the feature set, fastest first."""
+    required = set(features)
+    return tuple(
+        name for name in ENGINES if ENGINE_CAPABILITIES[name].supports(required)
+    )
+
+
+def select_engine(features: Iterable[str], vectorised: bool = True) -> str:
+    """The fastest capable engine for a scenario (auto-selection policy).
+
+    ``vectorised`` reports whether the scenario would actually vectorise on
+    the ndbatch engine (see :func:`vectorises`); when it would not, selection
+    skips ndbatch in favour of the batch engine, whose pure-Python loop beats
+    the fallback path's per-recipient round trips through numpy.
+    """
+    required = set(features)
+    capable = capable_engines(required)
+    if not capable:
+        raise EngineCapabilityError(
+            "auto", f"this scenario (requires: {', '.join(sorted(required))})", ()
+        )
+    for name in capable:
+        if name == "ndbatch" and not vectorised:
+            continue
+        return name
+    return capable[-1]
+
+
+def _describe_missing(missing: Sequence[str]) -> str:
+    """Human-readable rejection reason for a set of missing features."""
+    parts = []
+    for feature in missing:
+        if feature.startswith("protocol:"):
+            parts.append(f"protocol {feature.split(':', 1)[1]!r}")
+        elif feature == FEATURE_ADAPTIVE:
+            parts.append(
+                "adaptive round policies (per-process round counts with "
+                "halt-echo substitution)"
+            )
+        elif feature == FEATURE_STATEFUL_STRATEGY:
+            parts.append(
+                "stateful Byzantine value strategies (strategies must be "
+                "stateless — pure functions of round/recipient/observed)"
+            )
+        elif feature == FEATURE_STATEFUL_QUORUM:
+            parts.append("stateful quorum/delay adversaries")
+        elif feature == FEATURE_MESSAGE_LEVEL:
+            parts.append("fault plans with no round-level form")
+        elif feature == FEATURE_ROUND_LEVEL:
+            parts.append(
+                "round-level adversary specifications (RoundFaultModel / "
+                "OmissionPolicy)"
+            )
+        elif feature == FEATURE_NO_NUMPY:
+            parts.append("running without numpy")
+        elif feature == FEATURE_WITNESS_MID_MULTICAST:
+            parts.append(
+                "mid-multicast crash points under the witness protocol "
+                "(round-level witness crashes must fall on iteration "
+                "boundaries: deliveries == 0)"
+            )
+        elif feature == FEATURE_EVENT_RUNTIME:
+            parts.append(
+                "explicit runtime= requests (des/asyncio/lockstep are event-"
+                "simulator runtimes)"
+            )
+        else:
+            parts.append(feature)
+    return " and ".join(parts)
+
+
+def require_capability(engine: str, features: Iterable[str]) -> None:
+    """Raise :class:`EngineCapabilityError` unless ``engine`` covers ``features``."""
+    if engine not in ENGINE_CAPABILITIES:
+        raise ValueError(
+            f"unknown engine {engine!r}; known engines: {', '.join(ENGINES)} "
+            f"(or 'auto')"
+        )
+    required = set(features)
+    missing = ENGINE_CAPABILITIES[engine].missing(required)
+    if missing:
+        raise EngineCapabilityError(
+            engine, _describe_missing(missing), capable_engines(required)
+        )
+
+
+def run(
+    protocol: str,
+    inputs: Sequence[float],
+    t: int,
+    epsilon: float,
+    round_policy=None,
+    fault_plan=None,
+    fault_model=None,
+    omission_policy=None,
+    delay_model=None,
+    seed: int = 0,
+    strict: bool = True,
+    engine: str = "auto",
+    runtime: Optional[str] = None,
+):
+    """Run one execution on the fastest capable engine (or an explicit one).
+
+    The scenario parameters mirror :func:`repro.sim.batch.run_batch_protocol`
+    (which itself mirrors :func:`repro.sim.runner.run_protocol` where they
+    overlap), so this is a drop-in front door for all three engines:
+
+    engine:
+        ``"auto"`` (default) selects the fastest engine whose capability set
+        covers the scenario — ndbatch for vectorisable direct-protocol
+        scenarios, batch for round-level scenarios ndbatch cannot (or should
+        not) take, the event simulator for message-level-only scenarios.
+        ``"ndbatch"``, ``"batch"`` and ``"event"`` force a specific engine;
+        an override outside the engine's capabilities raises
+        :class:`EngineCapabilityError` naming the capable engines.
+    runtime:
+        Only meaningful for the event engine (``"des"``, ``"asyncio"``,
+        ``"lockstep"``); forwarded to :func:`repro.sim.runner.run_protocol`.
+
+    Returns the engine's :class:`~repro.sim.runner.ExecutionResult`; the
+    ``runtime`` field of the result records which engine actually ran.
+    """
+    if protocol not in ALL_PROTOCOLS:
+        raise ValueError(
+            f"unknown protocol {protocol!r}; known: {sorted(ALL_PROTOCOLS)}"
+        )
+    n = len(inputs)
+    from repro.net.adversary import round_fault_model
+
+    # Resolve the round-level fault model once; both the feature derivation
+    # and the vectorisation probe consume it.
+    resolved_model = fault_model
+    if resolved_model is None and fault_plan is not None:
+        try:
+            resolved_model = round_fault_model(fault_plan, n)
+        except ValueError:
+            resolved_model = None  # message-level only; scenario_features flags it
+    features = scenario_features(
+        protocol,
+        n,
+        t=t,
+        round_policy=round_policy,
+        fault_plan=fault_plan,
+        fault_model=resolved_model,
+        omission_policy=omission_policy,
+        delay_model=delay_model,
+    )
+    if runtime is not None:
+        # des/asyncio/lockstep are event-simulator runtimes; an explicit
+        # request must not be silently dropped by a faster engine.
+        features.add(FEATURE_EVENT_RUNTIME)
+    if engine == "auto":
+        chosen = select_engine(
+            features,
+            vectorised=vectorises(
+                protocol,
+                fault_model=resolved_model,
+                omission_policy=omission_policy,
+                delay_model=delay_model,
+            ),
+        )
+    else:
+        require_capability(engine, features)
+        chosen = engine
+
+    if chosen == "event":
+        from repro.sim.runner import run_protocol
+
+        return run_protocol(
+            protocol,
+            inputs,
+            t=t,
+            epsilon=epsilon,
+            round_policy=round_policy,
+            delay_model=delay_model,
+            fault_plan=fault_plan,
+            runtime=runtime,
+            strict=strict,
+        )
+    if chosen == "ndbatch":
+        from repro.sim.ndbatch import run_ndbatch_protocol
+
+        return run_ndbatch_protocol(
+            protocol,
+            inputs,
+            t=t,
+            epsilon=epsilon,
+            round_policy=round_policy,
+            fault_plan=fault_plan,
+            fault_model=fault_model,
+            omission_policy=omission_policy,
+            delay_model=delay_model,
+            seed=seed,
+            strict=strict,
+        )
+    from repro.sim.batch import run_batch_protocol
+
+    return run_batch_protocol(
+        protocol,
+        inputs,
+        t=t,
+        epsilon=epsilon,
+        round_policy=round_policy,
+        fault_plan=fault_plan,
+        fault_model=fault_model,
+        omission_policy=omission_policy,
+        delay_model=delay_model,
+        seed=seed,
+        strict=strict,
+    )

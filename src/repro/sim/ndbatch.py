@@ -74,7 +74,8 @@ from repro.net.adversary import (
 )
 from repro.net.message import Message, message_bits
 from repro.net.network import DelayModel, FaultPlan, NetworkStats
-from repro.sim.batch import BATCH_PROTOCOL_BOUNDS, BATCH_PROTOCOLS, _upfront_rounds
+from repro.sim.batch import DIRECT_PROTOCOL_BOUNDS, _upfront_rounds
+from repro.sim.engine import EngineCapabilityError, capable_engines
 from repro.sim.runner import ExecutionResult
 
 __all__ = [
@@ -83,8 +84,10 @@ __all__ = [
     "run_ndbatch_protocol",
 ]
 
-#: Protocols the vectorised engine supports (same set as the batch engine).
-NDBATCH_PROTOCOLS = BATCH_PROTOCOLS
+#: Protocols the vectorised engine supports (the direct protocols; the
+#: witness protocol's round-level form lives in the batch engine).
+NDBATCH_PROTOCOL_BOUNDS = dict(DIRECT_PROTOCOL_BOUNDS)
+NDBATCH_PROTOCOLS = tuple(sorted(NDBATCH_PROTOCOL_BOUNDS))
 
 _SYNCHRONOUS = frozenset({"sync-crash", "sync-byzantine"})
 
@@ -131,7 +134,7 @@ class _Block:
         self.epsilon = epsilon
         self.protocol = protocol
         self.synchronous = protocol in _SYNCHRONOUS
-        self.bounds: AlgorithmBounds = BATCH_PROTOCOL_BOUNDS[protocol](self.n, t)
+        self.bounds: AlgorithmBounds = NDBATCH_PROTOCOL_BOUNDS[protocol](self.n, t)
         if strict and not self.bounds.resilience_ok:
             raise ResilienceError(
                 f"{self.bounds.name} does not tolerate t={t} faults with n={self.n}"
@@ -144,11 +147,11 @@ class _Block:
         if round_policy is not None:
             shared_rounds = _upfront_rounds(round_policy, self.bounds, epsilon)
             if shared_rounds is None:
-                raise ValueError(
-                    f"the ndbatch engine requires a round policy whose count is known "
-                    f"upfront, not {round_policy.describe()}; adaptive policies are "
-                    f"supported by the pure-Python engine "
-                    f"(repro.sim.batch.run_batch_protocol)"
+                raise EngineCapabilityError(
+                    "ndbatch",
+                    f"adaptive round policies ({round_policy.describe()}: the "
+                    f"engine requires a round count known upfront)",
+                    ("batch", "event"),
                 )
 
         self.problems: List[ProblemInstance] = []
@@ -193,12 +196,12 @@ class _Block:
         for e, model in enumerate(self.fault_models):
             for pid, strategy in model.strategies.items():
                 if not getattr(strategy, "stateless", False):
-                    raise ValueError(
-                        f"the ndbatch engine requires stateless Byzantine value "
-                        f"strategies (pure functions of round/recipient/observed), "
-                        f"not {strategy.describe()}; stateful strategies are "
-                        f"supported by the pure-Python engine "
-                        f"(repro.sim.batch.run_batch_protocol)"
+                    raise EngineCapabilityError(
+                        "ndbatch",
+                        f"stateful Byzantine value strategies "
+                        f"({strategy.describe()}: strategies must be stateless "
+                        f"— pure functions of round/recipient/observed)",
+                        ("batch", "event"),
                     )
                 if pid < n:
                     self.strategy_mask[e, pid] = True
@@ -283,10 +286,11 @@ def run_ndbatch_block(
     mirroring :func:`repro.sim.batch.run_batch_protocol`, so the two engines
     realise identical scenarios for identical arguments.
     """
-    if protocol not in BATCH_PROTOCOL_BOUNDS:
-        raise ValueError(
-            f"ndbatch engine does not support protocol {protocol!r}; "
-            f"supported: {list(NDBATCH_PROTOCOLS)}"
+    if protocol not in NDBATCH_PROTOCOL_BOUNDS:
+        raise EngineCapabilityError(
+            "ndbatch",
+            f"protocol {protocol!r}",
+            capable_engines({f"protocol:{protocol}"}),
         )
     count = len(inputs_block)
     if count == 0:
@@ -493,6 +497,13 @@ def _injected_values(block: _Block, round_number: int) -> np.ndarray:
         strategies = block.fault_models[e].strategies
         for sender in ids:
             strategy = strategies[sender]
+            # Bulk-queryable strategies (value_block) answer the whole round
+            # in one call — the PRF-based strategies return numpy arrays
+            # natively; per-recipient value() stays as the fallback.
+            reports = strategy.value_block(round_number, n, observed)
+            if reports is not None:
+                injected[e, sender, :] = np.asarray(reports, dtype=np.float64)
+                continue
             for recipient in range(n):
                 value = strategy.value(round_number, recipient, observed)
                 if isinstance(value, (int, float)):

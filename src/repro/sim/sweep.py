@@ -68,22 +68,29 @@ from repro.net.adversary import (
     FixedValueStrategy,
     LaggardDelay,
     PartitionDelay,
+    RandomValueStrategy,
     RoundEchoByzantine,
+    SeededDelay,
     SeededOmission,
     StaggeredExclusionDelay,
     round_fault_model,
 )
-from repro.net.network import DelayModel, FaultPlan, UniformRandomDelay
-from repro.sim.batch import BATCH_PROTOCOLS, run_batch_protocol
+from repro.net.network import DelayModel, FaultPlan
+from repro.sim.engine import (
+    require_capability,
+    scenario_features,
+    select_engine,
+    vectorises,
+)
+from repro.sim.engine import run as run_on_engine
 
 try:
-    from repro.sim.ndbatch import run_ndbatch_block, run_ndbatch_protocol
+    from repro.sim.ndbatch import run_ndbatch_block
 except ImportError:  # numpy unavailable — engine="ndbatch" raises at dispatch
     run_ndbatch_block = None
-    run_ndbatch_protocol = None
 from repro.sim.experiments import ExperimentRecord, aggregate
 from repro.sim.metrics import CostSummary
-from repro.sim.runner import PROTOCOL_FACTORIES, ExecutionResult, run_protocol
+from repro.sim.runner import PROTOCOL_FACTORIES, ExecutionResult
 from repro.sim.workloads import (
     clock_offsets,
     extremes_inputs,
@@ -99,6 +106,7 @@ __all__ = [
     "PROTOCOL_BOUNDS",
     "SUMMARY_COLUMNS",
     "CELL_COLUMNS",
+    "DEFAULT_MAX_BLOCK_SIZE",
     "AdversaryBundle",
     "SweepCell",
     "SweepSpec",
@@ -176,7 +184,11 @@ def _staggered(protocol: str, n: int, t: int, seed: int) -> AdversaryBundle:
 
 
 def _random_delays(protocol: str, n: int, t: int, seed: int) -> AdversaryBundle:
-    return AdversaryBundle(None, UniformRandomDelay(low=0.1, high=2.0, seed=seed))
+    # Counter-based PRF delays: stateless and block-queryable, so the
+    # vectorised engine runs randomised-delay cells with zero per-recipient
+    # Python quorum calls (UniformRandomDelay's sequential RNG stream forced
+    # the fallback path).
+    return AdversaryBundle(None, SeededDelay(low=0.1, high=2.0, seed=seed))
 
 
 #: Adversary name → builder(protocol, n, t, seed) → :class:`AdversaryBundle`.
@@ -187,6 +199,7 @@ ADVERSARY_SPECS: Dict[str, Callable[[str, int, int, int], AdversaryBundle]] = {
     "byz-fixed": _byzantine(lambda seed: FixedValueStrategy(1e3)),
     "byz-equivocate": _byzantine(lambda seed: EquivocatingStrategy(-1.0, 2.0)),
     "byz-anti": _byzantine(lambda seed: AntiConvergenceStrategy()),
+    "byz-random": _byzantine(lambda seed: RandomValueStrategy(-2.0, 3.0, seed=seed)),
     "partition": _partition,
     "laggard": _laggard,
     "staggered": _staggered,
@@ -194,7 +207,7 @@ ADVERSARY_SPECS: Dict[str, Callable[[str, int, int, int], AdversaryBundle]] = {
 }
 
 #: Adversaries that replace processes with Byzantine behaviours.
-_BYZANTINE_ADVERSARIES = frozenset({"byz-fixed", "byz-equivocate", "byz-anti"})
+_BYZANTINE_ADVERSARIES = frozenset({"byz-fixed", "byz-equivocate", "byz-anti", "byz-random"})
 
 #: Protocols whose fault model covers Byzantine behaviour.
 _BYZANTINE_PROTOCOLS = frozenset({"async-byzantine", "sync-byzantine", "witness"})
@@ -235,7 +248,7 @@ class SweepCell:
     adversary: str
     workload: str
     seed: int
-    engine: str  # "batch", "ndbatch" or "event"
+    engine: str  # "auto", "batch", "ndbatch" or "event"
 
     def validate(self) -> None:
         if self.protocol not in PROTOCOL_FACTORIES:
@@ -244,13 +257,13 @@ class SweepCell:
             raise ValueError(f"unknown adversary {self.adversary!r}")
         if self.workload not in WORKLOAD_SPECS:
             raise ValueError(f"unknown workload {self.workload!r}")
-        if self.engine not in ("batch", "ndbatch", "event"):
+        if self.engine not in ("auto", "batch", "ndbatch", "event"):
             raise ValueError(f"unknown engine {self.engine!r}")
-        if self.engine in ("batch", "ndbatch") and self.protocol not in BATCH_PROTOCOLS:
-            raise ValueError(
-                f"protocol {self.protocol!r} is not supported by the "
-                f"{self.engine} engine; use engine='event'"
-            )
+        if self.engine != "auto":
+            # Engine overrides are checked against the capability matrix at
+            # the protocol level here (cheap, catches grid typos early); the
+            # full scenario check happens at dispatch.
+            require_capability(self.engine, {f"protocol:{self.protocol}"})
 
 
 @dataclass(frozen=True)
@@ -263,10 +276,12 @@ class SweepSpec:
     workloads: Tuple[str, ...] = ("uniform",)
     seeds: Tuple[int, ...] = (0,)
     epsilon: float = 1e-3
-    #: Execution engine: ``"batch"`` (pure-Python round level, the default),
-    #: ``"ndbatch"`` (numpy-vectorised round level — fastest; whole blocks of
-    #: shape-compatible cells advance as one matrix), or ``"event"`` (the
-    #: per-message discrete-event simulator).
+    #: Execution engine: ``"auto"`` (capability-based dispatch — each cell
+    #: runs on the fastest engine whose capability set covers it, vectorised
+    #: cells grouped into ndbatch blocks), ``"batch"`` (pure-Python round
+    #: level, the default), ``"ndbatch"`` (numpy-vectorised round level —
+    #: fastest; whole blocks of shape-compatible cells advance as one
+    #: matrix), or ``"event"`` (the per-message discrete-event simulator).
     engine: str = "batch"
 
     def cells(self) -> Iterator[SweepCell]:
@@ -324,6 +339,9 @@ class CellOutcome:
     #: it is excluded from equality — pool and serial sweeps compare equal.
     wall_time_seconds: float = field(compare=False, default=0.0)
     violations: Tuple[str, ...] = ()
+    #: The engine that actually executed the cell ("batch", "ndbatch" or
+    #: "event") — informative when the cell's engine axis is "auto".
+    engine_used: str = ""
 
     @property
     def costs(self) -> CostSummary:
@@ -373,39 +391,24 @@ def _execute_cell(cell: SweepCell) -> ExecutionResult:
     cell.validate()
     inputs = WORKLOAD_SPECS[cell.workload](cell.n, cell.seed)
     bundle = ADVERSARY_SPECS[cell.adversary](cell.protocol, cell.n, cell.t, cell.seed)
-    if cell.engine == "batch":
-        return run_batch_protocol(
-            cell.protocol,
-            inputs,
-            t=cell.t,
-            epsilon=cell.epsilon,
-            fault_plan=bundle.fault_plan,
-            delay_model=bundle.delay_model,
-            seed=cell.seed,
-        )
-    if cell.engine == "ndbatch":
-        if run_ndbatch_protocol is None:
-            raise ImportError(
-                "engine='ndbatch' requires numpy; install numpy or use "
-                "engine='batch'"
-            )
-        return run_ndbatch_protocol(
-            cell.protocol,
-            inputs,
-            t=cell.t,
-            epsilon=cell.epsilon,
-            fault_plan=bundle.fault_plan,
-            delay_model=bundle.delay_model,
-            seed=cell.seed,
-        )
-    return run_protocol(
+    # One front door for every engine: the dispatch layer selects the fastest
+    # capable engine for "auto" and validates explicit overrides against the
+    # capability matrix (EngineCapabilityError names the capable engines).
+    return run_on_engine(
         cell.protocol,
         inputs,
         t=cell.t,
         epsilon=cell.epsilon,
         fault_plan=bundle.fault_plan,
         delay_model=bundle.delay_model,
+        seed=cell.seed,
+        engine=cell.engine,
     )
+
+
+#: ExecutionResult.runtime tag → engine name (the event engine has three
+#: runtimes; the round-level engines tag results with their own name).
+_RUNTIME_TO_ENGINE = {"des": "event", "lockstep": "event", "asyncio": "event"}
 
 
 def _outcome_from_result(
@@ -431,6 +434,7 @@ def _outcome_from_result(
         bound_respected=comparison.bound_respected,
         wall_time_seconds=result.wall_time_seconds,
         violations=tuple(result.report.violations),
+        engine_used=_RUNTIME_TO_ENGINE.get(result.runtime, result.runtime),
     )
 
 
@@ -484,6 +488,45 @@ def _group_ndbatch_blocks(
     return list(blocks.values())
 
 
+#: Default cap on ndbatch block sizes in the sweep pool.  One giant block
+#: would serialise on a single worker; capped, round-robin-interleaved chunks
+#: keep heterogeneous grids load-balanced across the pool (splitting cannot
+#: change outcomes: every execution's scenario is self-contained, guarded by
+#: ``tests/sim/test_sweep.py``).
+DEFAULT_MAX_BLOCK_SIZE = 256
+
+
+def _split_blocks(
+    blocks: Sequence[Tuple[int, List[int], List[List[float]]]],
+    max_block_size: int,
+) -> List[Tuple[int, List[int], List[List[float]]]]:
+    """Cap block sizes and round-robin-interleave the chunks across blocks.
+
+    Splitting bounds the largest single work item a pool worker can receive;
+    interleaving the chunks of different source blocks (rather than emitting
+    each block's chunks back to back) spreads the expensive shapes across the
+    pool instead of clustering them on neighbouring workers.
+    """
+    if max_block_size < 1:
+        raise ValueError("max_block_size must be at least 1")
+    per_block: List[List[Tuple[int, List[int], List[List[float]]]]] = []
+    for rounds, indices, inputs_block in blocks:
+        per_block.append(
+            [
+                (
+                    rounds,
+                    indices[start : start + max_block_size],
+                    inputs_block[start : start + max_block_size],
+                )
+                for start in range(0, len(indices), max_block_size)
+            ]
+        )
+    interleaved: List[Tuple[int, List[int], List[List[float]]]] = []
+    for layer in itertools.zip_longest(*per_block):
+        interleaved.extend(chunk for chunk in layer if chunk is not None)
+    return interleaved
+
+
 def _run_ndbatch_chunk(
     chunk: Tuple[int, List[SweepCell], List[List[float]]]
 ) -> List[CellOutcome]:
@@ -523,10 +566,12 @@ def _run_ndbatch_chunk(
 
 
 def _run_ndbatch_cells(
-    cells: List[SweepCell], workers: Optional[int]
+    cells: List[SweepCell],
+    workers: Optional[int],
+    max_block_size: int = DEFAULT_MAX_BLOCK_SIZE,
 ) -> List[CellOutcome]:
-    """Run an ndbatch sweep: group into blocks, dispatch, restore grid order."""
-    blocks = _group_ndbatch_blocks(cells)
+    """Run an ndbatch sweep: group into blocks, split, dispatch, restore order."""
+    blocks = _split_blocks(_group_ndbatch_blocks(cells), max_block_size)
     chunks = [
         (rounds, [cells[i] for i in indices], inputs_block)
         for rounds, indices, inputs_block in blocks
@@ -545,6 +590,61 @@ def _run_ndbatch_cells(
     outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
     for (rounds, indices, _), block in zip(blocks, block_outcomes):
         for index, outcome in zip(indices, block):
+            outcomes[index] = outcome
+    return outcomes  # type: ignore[return-value]
+
+
+def _auto_engine_for(cell: SweepCell) -> str:
+    """Resolve one "auto" cell to the fastest capable engine.
+
+    Mirrors :func:`repro.sim.engine.run`'s selection: witness cells go to the
+    batch engine (event when their crash plan has mid-multicast prefixes),
+    vectorisable direct-protocol cells to ndbatch, everything else to batch.
+    """
+    bundle = ADVERSARY_SPECS[cell.adversary](cell.protocol, cell.n, cell.t, cell.seed)
+    fault_model = None
+    if bundle.fault_plan is not None:
+        try:
+            fault_model = round_fault_model(bundle.fault_plan, cell.n)
+        except ValueError:
+            fault_model = None
+    features = scenario_features(
+        cell.protocol,
+        cell.n,
+        t=cell.t,
+        fault_plan=bundle.fault_plan,
+        fault_model=fault_model,
+        delay_model=bundle.delay_model,
+    )
+    return select_engine(
+        features,
+        vectorised=vectorises(
+            cell.protocol, fault_model=fault_model, delay_model=bundle.delay_model
+        ),
+    )
+
+
+def _run_auto_cells(
+    cells: List[SweepCell],
+    workers: Optional[int],
+    max_block_size: int,
+) -> List[CellOutcome]:
+    """Capability-dispatch a mixed grid: ndbatch blocks + per-cell engines."""
+    nd_indices = [i for i, cell in enumerate(cells) if _auto_engine_for(cell) == "ndbatch"]
+    nd_set = set(nd_indices)
+    other_indices = [i for i in range(len(cells)) if i not in nd_set]
+    outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+    if nd_indices:
+        nd_outcomes = _run_ndbatch_cells(
+            [cells[i] for i in nd_indices], workers, max_block_size
+        )
+        for index, outcome in zip(nd_indices, nd_outcomes):
+            outcomes[index] = outcome
+    if other_indices:
+        for index, outcome in zip(
+            other_indices,
+            _iter_outcomes([cells[i] for i in other_indices], workers),
+        ):
             outcomes[index] = outcome
     return outcomes  # type: ignore[return-value]
 
@@ -575,6 +675,7 @@ def run_sweep(
     spec: SweepSpec,
     workers: Optional[int] = None,
     jsonl_path: Optional[str] = None,
+    max_block_size: int = DEFAULT_MAX_BLOCK_SIZE,
 ) -> Union[List[CellOutcome], int]:
     """Run every cell of ``spec``, in grid order.
 
@@ -586,22 +687,35 @@ def run_sweep(
     sweep silently degrades to the serial path.
 
     With ``engine="ndbatch"`` the grid is first grouped into shape-compatible
-    blocks — cells sharing ``(protocol, n, t, epsilon, round count)`` — and
-    each block advances as one numpy value matrix
+    blocks — cells sharing ``(protocol, n, t, epsilon, round count)`` —
+    split into chunks of at most ``max_block_size`` executions (round-robin
+    interleaved across blocks so heterogeneous grids load-balance), and each
+    chunk advances as one numpy value matrix
     (:func:`repro.sim.ndbatch.run_ndbatch_block`); the pool then distributes
-    whole blocks instead of single cells.
+    chunks instead of single cells.  Splitting never changes outcomes.
+
+    With ``engine="auto"`` each cell runs on the fastest engine whose
+    capability set covers it (:mod:`repro.sim.engine`): vectorisable
+    direct-protocol cells are grouped into ndbatch blocks as above, witness
+    and non-vectorisable cells take the batch engine, and cells only the
+    event simulator can express (e.g. witness grids with mid-multicast crash
+    prefixes) fall back to it — all within one grid.  Each outcome records
+    the engine that ran it in :attr:`CellOutcome.engine_used`.
 
     When ``jsonl_path`` is given, outcomes stream to that file as JSON lines
     (one :class:`CellOutcome` per line, grid order) instead of accumulating
     in memory, and the function returns the number of cells written; read
     them back with :func:`read_sweep_jsonl` / :func:`iter_sweep_jsonl`.  The
-    batch/event engines write each outcome as it completes; the ndbatch
-    engine computes whole blocks, then writes.  Without ``jsonl_path`` the
-    outcomes are returned as a list.
+    batch/event engines write each outcome as it completes; the
+    ndbatch/auto engines compute whole blocks, then write.  Without
+    ``jsonl_path`` the outcomes are returned as a list.
     """
     cells = list(spec.cells())
-    if spec.engine == "ndbatch":
-        outcomes = _run_ndbatch_cells(cells, workers)
+    if spec.engine in ("ndbatch", "auto"):
+        if spec.engine == "ndbatch":
+            outcomes = _run_ndbatch_cells(cells, workers, max_block_size)
+        else:
+            outcomes = _run_auto_cells(cells, workers, max_block_size)
         if jsonl_path is None:
             return outcomes
         with open(jsonl_path, "w", encoding="utf-8") as handle:
@@ -654,6 +768,7 @@ def _outcome_to_json_line(outcome: CellOutcome) -> str:
         "bound_respected": outcome.bound_respected,
         "wall_time_seconds": outcome.wall_time_seconds,
         "violations": list(outcome.violations),
+        "engine_used": outcome.engine_used,
     }
     return json.dumps(payload) + "\n"
 
@@ -680,6 +795,7 @@ def iter_sweep_jsonl(path: str) -> Iterator[CellOutcome]:
                 bound_respected=payload["bound_respected"],
                 wall_time_seconds=payload["wall_time_seconds"],
                 violations=tuple(payload["violations"]),
+                engine_used=payload.get("engine_used", ""),
             )
 
 

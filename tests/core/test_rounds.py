@@ -200,7 +200,7 @@ class TestApproximationStepBlock:
     """
 
     def test_block_equals_scalar_map(self):
-        import numpy as np
+        np = pytest.importorskip("numpy")
 
         from repro.core.rounds import approximation_step, approximation_step_block
 
@@ -215,6 +215,7 @@ class TestApproximationStepBlock:
                 assert abs(block[e, q] - scalar) <= 1e-12
 
     def test_single_axis_input(self):
+        pytest.importorskip("numpy")
         from repro.core.rounds import approximation_step, approximation_step_block
 
         bounds = sync_crash_bounds(5, 1)

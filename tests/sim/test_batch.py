@@ -26,6 +26,7 @@ from repro.net.adversary import (
 )
 from repro.net.network import ConstantDelay
 from repro.sim.batch import BATCH_PROTOCOLS, run_batch_protocol
+from repro.sim.engine import EngineCapabilityError
 
 from tests.conftest import assert_execution_ok
 
@@ -61,10 +62,23 @@ class TestBasicExecutions:
         )
         assert result.report.all_decided
 
-    def test_witness_protocol_rejected(self):
-        assert "witness" not in BATCH_PROTOCOLS
-        with pytest.raises(ValueError, match="not support"):
-            run_batch_protocol("witness", [0.0, 1.0, 2.0, 3.0], t=1, epsilon=0.1)
+    def test_witness_protocol_supported_at_round_level(self):
+        assert "witness" in BATCH_PROTOCOLS
+        result = run_batch_protocol("witness", [0.0, 1.0, 2.0, 3.0], t=1, epsilon=0.1)
+        assert_execution_ok(result, "witness on the batch engine")
+        assert result.runtime == "batch"
+        assert result.stats.messages_by_kind["RBC_INIT"] > 0
+
+    def test_unknown_protocol_rejected_with_capability_error(self):
+        with pytest.raises(EngineCapabilityError, match="not support"):
+            run_batch_protocol("nope", [0.0, 1.0, 2.0, 3.0], t=1, epsilon=0.1)
+
+    def test_witness_mid_multicast_crash_points_stay_with_event_engine(self):
+        model = RoundFaultModel(crash_schedule={3: (2, 1)})
+        with pytest.raises(EngineCapabilityError, match="repro.sim.runner"):
+            run_batch_protocol(
+                "witness", [0.0, 0.5, 1.0, 0.2], t=1, epsilon=0.1, fault_model=model
+            )
 
     def test_adaptive_round_policy_supported(self):
         result = run_batch_protocol(

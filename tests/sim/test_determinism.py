@@ -12,8 +12,9 @@ from __future__ import annotations
 import pytest
 
 from repro.net.network import UniformRandomDelay
+from repro.sim import NDBATCH_PROTOCOLS, run_ndbatch_protocol
 from repro.sim.batch import BATCH_PROTOCOLS, run_batch_protocol
-from repro.sim.ndbatch import run_ndbatch_protocol
+from repro.sim.engine import numpy_available
 from repro.sim.runner import PROTOCOL_FACTORIES, SYNCHRONOUS_PROTOCOLS, run_protocol
 from repro.sim.sweep import SweepSpec, run_sweep
 from repro.sim.workloads import uniform_inputs
@@ -66,8 +67,9 @@ class TestBatchEngineDeterminism:
         assert metrics_of(execute()) == metrics_of(execute())
 
 
+@pytest.mark.skipif(not numpy_available(), reason="the vectorised engine requires numpy")
 class TestNdbatchEngineDeterminism:
-    @pytest.mark.parametrize("protocol", BATCH_PROTOCOLS)
+    @pytest.mark.parametrize("protocol", NDBATCH_PROTOCOLS)
     def test_repeated_runs_are_identical(self, protocol):
         n, t = (11, 2) if protocol == "async-byzantine" else (7, 2)
         inputs = uniform_inputs(n, seed=SEED)
@@ -95,6 +97,9 @@ class TestSweepDeterminism:
         # reproduce the serial results exactly, in the same grid order.
         assert run_sweep(self.SPEC, workers=2) == run_sweep(self.SPEC, workers=1)
 
+    @pytest.mark.skipif(
+        not numpy_available(), reason="the vectorised engine requires numpy"
+    )
     def test_ndbatch_pool_matches_serial(self):
         import dataclasses
 

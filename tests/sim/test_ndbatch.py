@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy", reason="the vectorised engine requires numpy")
 
 from repro.core.protocol import ResilienceError
 from repro.core.rounds import async_byzantine_bounds, async_crash_bounds, witness_bounds
@@ -140,11 +141,32 @@ class TestBlockValidation:
             )
 
     def test_stateful_strategy_rejected_with_pointer_to_batch(self):
-        model = RoundFaultModel(strategies={6: RandomValueStrategy(-1.0, 1.0, seed=0)})
+        # RandomValueStrategy is a stateless counter-based PRF now; a strategy
+        # with genuinely order-dependent internal state stands in for it.
+        class CountingStrategy(RandomValueStrategy):
+            stateless = False
+
+            def __init__(self):
+                super().__init__(-1.0, 1.0, seed=0)
+                self.calls = 0
+
+            def value(self, round_number, recipient, observed):
+                self.calls += 1
+                return float(self.calls)
+
+        model = RoundFaultModel(strategies={6: CountingStrategy()})
         with pytest.raises(ValueError, match="stateless"):
             run_ndbatch_protocol(
                 "async-byzantine", [0.0] * 11, t=2, epsilon=0.1, fault_model=model
             )
+
+    def test_prf_random_strategy_accepted(self):
+        model = RoundFaultModel(strategies={10: RandomValueStrategy(-1.0, 1.0, seed=0)})
+        result = run_ndbatch_protocol(
+            "async-byzantine", [0.1 * i for i in range(11)], t=2, epsilon=0.1,
+            fault_model=model,
+        )
+        assert result.report.all_decided
 
     def test_resilience_enforced_when_strict(self):
         with pytest.raises(ResilienceError):

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import pytest
 
+pytest.importorskip("numpy", reason="the vectorised engine requires numpy")
+
 from repro.net.adversary import (
     DelayRankOmission,
     FixedValueStrategy,

@@ -9,7 +9,9 @@ import pickle
 import pytest
 
 from repro.analysis.tables import render_records
+from repro.sim import NDBATCH_PROTOCOLS
 from repro.sim.batch import BATCH_PROTOCOLS
+from repro.sim.engine import numpy_available
 from repro.sim.metrics import CostSummary
 from repro.sim.runner import PROTOCOL_FACTORIES
 from repro.sim.sweep import (
@@ -21,6 +23,7 @@ from repro.sim.sweep import (
     SweepCell,
     SweepSpec,
     _group_ndbatch_blocks,
+    _split_blocks,
     adversary_fits_protocol,
     iter_sweep_jsonl,
     read_sweep_jsonl,
@@ -57,18 +60,21 @@ class TestGrid:
         with pytest.raises(ValueError, match="unknown adversary"):
             list(bad.cells())
 
-    def test_witness_requires_event_engine(self):
-        for engine in ("batch", "ndbatch"):
-            cell = SweepCell(
+    def test_witness_engine_capabilities(self):
+        # The vectorised engine has no witness form; the batch engine's
+        # round-level form and the event simulator both run it, and "auto"
+        # defers the choice to dispatch time.
+        cell = SweepCell(
+            protocol="witness", n=7, t=2, epsilon=1e-3,
+            adversary="none", workload="uniform", seed=0, engine="ndbatch",
+        )
+        with pytest.raises(ValueError, match="ndbatch engine"):
+            cell.validate()
+        for engine in ("batch", "event", "auto"):
+            SweepCell(
                 protocol="witness", n=7, t=2, epsilon=1e-3,
                 adversary="none", workload="uniform", seed=0, engine=engine,
-            )
-            with pytest.raises(ValueError, match=f"{engine} engine"):
-                cell.validate()
-        SweepCell(
-            protocol="witness", n=7, t=2, epsilon=1e-3,
-            adversary="none", workload="uniform", seed=0, engine="event",
-        ).validate()
+            ).validate()
 
 
 class TestRegistries:
@@ -128,19 +134,29 @@ class TestOutcomes:
     def test_batch_cells_cover_all_batch_protocols(self):
         for protocol in BATCH_PROTOCOLS:
             n, t = (11, 2) if protocol == "async-byzantine" else (7, 2)
+            # Mid-multicast crash prefixes have no witness round form; the
+            # witness cell exercises iteration-boundary crashes instead.
+            adversary = "crash-initial" if protocol == "witness" else "crash-staggered"
             cell = SweepCell(
                 protocol=protocol, n=n, t=t, epsilon=1e-2,
-                adversary="crash-staggered", workload="two-cluster", seed=5,
+                adversary=adversary, workload="two-cluster", seed=5,
                 engine="batch",
             )
             outcome = run_cell(cell)
             assert outcome.ok, f"{protocol}: {outcome.violations}"
+            assert outcome.engine_used == "batch"
 
     def test_workers_argument_validated(self):
         with pytest.raises(ValueError, match="workers"):
             run_sweep(SPEC, workers=0)
 
 
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="the vectorised engine requires numpy"
+)
+
+
+@needs_numpy
 class TestNdbatchEngine:
     def test_ndbatch_sweep_agrees_with_batch_sweep(self):
         batch = run_sweep(SPEC, workers=1)
@@ -153,8 +169,8 @@ class TestNdbatchEngine:
             )
             assert left.output_spread == pytest.approx(right.output_spread, abs=1e-9)
 
-    def test_ndbatch_cells_cover_all_batch_protocols(self):
-        for protocol in BATCH_PROTOCOLS:
+    def test_ndbatch_cells_cover_all_ndbatch_protocols(self):
+        for protocol in NDBATCH_PROTOCOLS:
             n, t = (11, 2) if protocol == "async-byzantine" else (7, 2)
             cell = SweepCell(
                 protocol=protocol, n=n, t=t, epsilon=1e-2,
@@ -163,6 +179,7 @@ class TestNdbatchEngine:
             )
             outcome = run_cell(cell)
             assert outcome.ok, f"{protocol}: {outcome.violations}"
+            assert outcome.engine_used == "ndbatch"
 
     def test_blocks_group_by_shape_and_round_count(self):
         spec = dataclasses.replace(
@@ -180,6 +197,88 @@ class TestNdbatchEngine:
             assert all(len(row) == cells[indices[0]].n for row in inputs_block)
 
 
+class TestBlockSplitting:
+    def test_split_blocks_caps_sizes_and_covers_every_cell(self):
+        spec = dataclasses.replace(SPEC, engine="ndbatch", seeds=tuple(range(6)))
+        cells = list(spec.cells())
+        blocks = _group_ndbatch_blocks(cells)
+        chunks = _split_blocks(blocks, max_block_size=4)
+        assert max(len(indices) for _, indices, _ in chunks) <= 4
+        covered = sorted(i for _, indices, _ in chunks for i in indices)
+        assert covered == list(range(len(cells)))
+        assert len(chunks) > len(blocks)  # something actually split
+
+    def test_chunks_round_robin_across_source_blocks(self):
+        spec = dataclasses.replace(SPEC, engine="ndbatch", seeds=tuple(range(6)))
+        blocks = _group_ndbatch_blocks(list(spec.cells()))
+        chunks = _split_blocks(blocks, max_block_size=4)
+        # With >= 2 source blocks the first two chunks must come from
+        # different blocks (interleaved), not the same block back to back.
+        first_sources = [tuple(indices[:1]) for _, indices, _ in chunks[:2]]
+        owner = []
+        for probe in first_sources:
+            for b, (_, indices, _) in enumerate(blocks):
+                if probe[0] in indices:
+                    owner.append(b)
+        assert owner[0] != owner[1]
+
+    @needs_numpy
+    def test_splitting_preserves_outcomes_and_pool_determinism(self):
+        spec = dataclasses.replace(SPEC, engine="ndbatch", seeds=tuple(range(4)))
+        unsplit = run_sweep(spec, workers=1, max_block_size=10_000)
+        split_serial = run_sweep(spec, workers=1, max_block_size=3)
+        split_pool = run_sweep(spec, workers=4, max_block_size=3)
+        assert unsplit == split_serial == split_pool
+
+    @needs_numpy
+    def test_invalid_cap_rejected(self):
+        spec = dataclasses.replace(SPEC, engine="ndbatch")
+        with pytest.raises(ValueError, match="max_block_size"):
+            run_sweep(spec, workers=1, max_block_size=0)
+
+
+class TestAutoEngine:
+    def test_auto_sweep_matches_explicit_engines(self):
+        auto = run_sweep(dataclasses.replace(SPEC, engine="auto"), workers=1)
+        batch = run_sweep(SPEC, workers=1)
+        assert len(auto) == len(batch)
+        for left, right in zip(auto, batch):
+            assert left.cell == dataclasses.replace(right.cell, engine="auto")
+            assert (left.ok, left.rounds, left.messages, left.bits) == (
+                right.ok, right.rounds, right.messages, right.bits
+            )
+
+    def test_auto_sweep_records_engine_used(self):
+        spec = SweepSpec(
+            protocols=("async-crash", "witness"),
+            system_sizes=((7, 2),),
+            adversaries=("none", "crash-initial", "crash-staggered"),
+            workloads=("uniform",),
+            seeds=(0,),
+            engine="auto",
+        )
+        outcomes = run_sweep(spec, workers=1)
+        used = {
+            (o.cell.protocol, o.cell.adversary): o.engine_used for o in outcomes
+        }
+        import repro.sim.sweep as sweep_module
+
+        expected_direct = (
+            "ndbatch" if sweep_module.run_ndbatch_block is not None else "batch"
+        )
+        assert used[("async-crash", "none")] == expected_direct
+        assert used[("async-crash", "crash-staggered")] == expected_direct
+        assert used[("witness", "none")] == "batch"
+        assert used[("witness", "crash-initial")] == "batch"
+        # Mid-multicast crash prefixes have no witness round form.
+        assert used[("witness", "crash-staggered")] == "event"
+        assert all(o.ok for o in outcomes)
+
+    def test_auto_pool_equals_serial(self):
+        spec = dataclasses.replace(SPEC, engine="auto", seeds=(0, 1, 2))
+        assert run_sweep(spec, workers=1) == run_sweep(spec, workers=4)
+
+
 class TestJsonlStreaming:
     def test_roundtrip_preserves_outcomes(self, tmp_path):
         path = tmp_path / "sweep.jsonl"
@@ -188,6 +287,7 @@ class TestJsonlStreaming:
         assert written == SPEC.cell_count
         assert read_sweep_jsonl(str(path)) == outcomes
 
+    @needs_numpy
     def test_ndbatch_streaming_roundtrip(self, tmp_path):
         path = tmp_path / "nd.jsonl"
         spec = dataclasses.replace(SPEC, engine="ndbatch")
