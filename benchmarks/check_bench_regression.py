@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""CI gate: fail when fresh benchmark speedups regress past the tolerance.
+
+Compares freshly emitted ``BENCH_*.json`` documents against the committed
+baselines (snapshotted before the benchmark suite overwrites the repo-root
+files) on their speedup ratios — see :mod:`repro.analysis.benchguard` for
+the comparison semantics.  Exit status 1 on any regression beyond the
+tolerance (default 30 %).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_bench_regression.py \
+        --baseline-dir bench_baselines --fresh-dir . --tolerance 0.30
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.benchguard import DEFAULT_TOLERANCE, compare_directories
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline-dir", type=Path, required=True,
+        help="directory holding the committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--fresh-dir", type=Path, required=True,
+        help="directory holding the freshly emitted BENCH_*.json documents",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional drop below the baseline (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    comparisons = compare_directories(args.baseline_dir, args.fresh_dir)
+    if not comparisons:
+        print("bench-regression: no comparable BENCH_*.json speedup metrics found")
+        return 0
+
+    regressions = [c for c in comparisons if c.regressed(args.tolerance)]
+    for comparison in comparisons:
+        marker = "REGRESSED" if comparison in regressions else "ok"
+        print(f"bench-regression: [{marker}] {comparison.describe()}")
+    if regressions:
+        print(
+            f"bench-regression: {len(regressions)} of {len(comparisons)} speedup "
+            f"metrics fell more than {args.tolerance:.0%} below their committed "
+            f"baselines"
+        )
+        return 1
+    print(
+        f"bench-regression: all {len(comparisons)} speedup metrics within "
+        f"{args.tolerance:.0%} of their committed baselines"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

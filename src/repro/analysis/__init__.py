@@ -1,11 +1,21 @@
-"""Analysis utilities: convergence comparisons and report tables."""
+"""Analysis utilities: convergence comparisons, report tables, bench guard."""
 
+from repro.analysis.benchguard import (
+    BenchComparison,
+    compare_directories,
+    compare_documents,
+    extract_speedups,
+)
 from repro.analysis.convergence import ConvergenceComparison, compare_to_bound, predicted_rounds
 from repro.analysis.tables import format_cell, render_records, render_table
 
 __all__ = [
+    "BenchComparison",
     "ConvergenceComparison",
+    "compare_directories",
+    "compare_documents",
     "compare_to_bound",
+    "extract_speedups",
     "format_cell",
     "predicted_rounds",
     "render_records",

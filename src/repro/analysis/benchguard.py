@@ -1,0 +1,134 @@
+"""Benchmark-regression guard over the committed ``BENCH_*.json`` baselines.
+
+Every benchmark run leaves machine-readable ``BENCH_<name>.json`` documents
+at the repository root (``benchmarks/conftest.write_bench_json``), and the
+headline files are committed.  This module compares a freshly emitted set of
+documents against those baselines on their *speedup ratios* — the
+scale-free quantities (``ndbatch_speedup_vs_batch``, ``...x_over_event`` and
+friends) that are comparable across machines, unlike raw wall times — and
+flags any ratio that fell more than a tolerance below its committed value.
+
+CI wires this up as a gate (``benchmarks/check_bench_regression.py``): the
+committed baselines are snapshotted before the benchmark suite overwrites
+the repo-root files, then the fresh documents are compared with the default
+30 % tolerance, failing the build on a regression.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "BenchComparison",
+    "compare_documents",
+    "compare_directories",
+    "extract_speedups",
+    "load_bench_document",
+]
+
+#: A speedup may fall this fraction below its committed baseline before the
+#: guard fails (shared-runner noise is real; a >30 % drop is a regression).
+DEFAULT_TOLERANCE = 0.30
+
+#: Metric-name fragments identifying speedup ratios.  Keys stating the
+#: *required* floor (e.g. ``required_ndbatch_speedup_vs_batch``) are
+#: thresholds, not measurements, and are excluded.
+_SPEEDUP_FRAGMENT = "speedup"
+_EXCLUDED_PREFIX = "required"
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """One compared metric: dotted path, baseline and fresh values."""
+
+    document: str
+    metric: str
+    baseline: float
+    fresh: float
+
+    @property
+    def ratio(self) -> float:
+        return self.fresh / self.baseline if self.baseline else float("inf")
+
+    def regressed(self, tolerance: float) -> bool:
+        return self.fresh < self.baseline * (1.0 - tolerance)
+
+    def describe(self) -> str:
+        return (
+            f"{self.document}:{self.metric}: baseline {self.baseline:.2f}x "
+            f"-> fresh {self.fresh:.2f}x ({self.ratio:.0%} of baseline)"
+        )
+
+
+def load_bench_document(path: Path) -> Dict:
+    """Load one ``BENCH_*.json`` document (the ``write_bench_json`` envelope)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _walk(payload, prefix: str) -> Iterator[Tuple[str, float]]:
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            dotted = f"{prefix}.{key}" if prefix else str(key)
+            yield from _walk(value, dotted)
+    elif isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        yield prefix, float(payload)
+
+
+def extract_speedups(document: Dict) -> Dict[str, float]:
+    """Dotted metric path → value, for every speedup ratio in a document.
+
+    Walks the nested ``results`` payload; a metric qualifies when its leaf
+    key contains ``"speedup"`` and does not state a required floor.
+    """
+    speedups: Dict[str, float] = {}
+    for path, value in _walk(document.get("results", {}), ""):
+        leaf = path.rsplit(".", 1)[-1]
+        if _SPEEDUP_FRAGMENT in leaf and not leaf.startswith(_EXCLUDED_PREFIX):
+            speedups[path] = value
+    return speedups
+
+
+def compare_documents(
+    name: str, baseline: Dict, fresh: Dict
+) -> List[BenchComparison]:
+    """Pair up the speedup metrics two documents share.
+
+    Metrics present in only one document are ignored: a renamed or retired
+    metric is a benchmark change, not a performance regression (the baseline
+    refresh lands in the same commit).
+    """
+    baseline_speedups = extract_speedups(baseline)
+    fresh_speedups = extract_speedups(fresh)
+    return [
+        BenchComparison(
+            document=name,
+            metric=metric,
+            baseline=baseline_speedups[metric],
+            fresh=fresh_speedups[metric],
+        )
+        for metric in sorted(baseline_speedups.keys() & fresh_speedups.keys())
+    ]
+
+
+def compare_directories(
+    baseline_dir: Path, fresh_dir: Path
+) -> List[BenchComparison]:
+    """Compare every ``BENCH_*.json`` present in both directories."""
+    comparisons: List[BenchComparison] = []
+    for baseline_path in sorted(Path(baseline_dir).glob("BENCH_*.json")):
+        fresh_path = Path(fresh_dir) / baseline_path.name
+        if not fresh_path.exists():
+            continue
+        comparisons.extend(
+            compare_documents(
+                baseline_path.name,
+                load_bench_document(baseline_path),
+                load_bench_document(fresh_path),
+            )
+        )
+    return comparisons

@@ -47,6 +47,7 @@ __all__ = [
     "RoundEchoByzantine",
     "HonestWithCorruptedInput",
     "PartitionDelay",
+    "PartitionReportDelay",
     "LaggardDelay",
     "StaggeredExclusionDelay",
     "TargetedDelay",
@@ -179,6 +180,42 @@ class ByzantineValueStrategy(abc.ABC):
         seen so far (the adversary is full-information).
         """
 
+    def tensor_key(self) -> Optional[tuple]:
+        """Hashable fault-program identity of this strategy, or ``None``.
+
+        Two strategies with equal keys realise the *same* injection program:
+        any per-execution variation is carried entirely by the PRF seed
+        (:meth:`tensor_seed`), so one representative instance may answer
+        :meth:`value_tensor` for a whole block of executions at once.  This
+        is the grouping key of the vectorised engine
+        (:mod:`repro.sim.ndbatch`) and the sweep's block grouper: cells whose
+        strategies share a program advance with *one* Python call per round,
+        not one per execution.  ``None`` (the default) means the strategy has
+        no tensor form; stateless strategies then fall back to per-execution
+        :meth:`value_block` / :meth:`value` calls.
+        """
+        return None
+
+    def tensor_seed(self) -> int:
+        """Per-execution pre-mixed PRF seed consumed by :meth:`value_tensor`."""
+        return 0
+
+    def value_tensor(self, round_number: int, n: int, observed, seed_mix):
+        """Whole-block form of :meth:`value`: ``reports[e, recipient]``.
+
+        ``observed`` is an ``(E, k)`` float64 array of the values each
+        execution's adversary has observed, padded with NaN (the vectorised
+        engine passes the holder-value rows of the block, NaN at non-holder
+        slots); ``seed_mix`` is a length-``E`` uint64 vector of per-execution
+        pre-mixed seeds (:meth:`tensor_seed`).  Returns an ``(E, n)`` array
+        whose row ``e`` equals ``[value(round, 0, observed_e), …]`` bit for
+        bit, where ``observed_e`` is row ``e``'s non-NaN values — non-finite
+        reports degrade to omissions at the engine boundary.  Strategies with
+        a non-``None`` :meth:`tensor_key` must answer; others return
+        ``None``.  Requires numpy (only bulk callers use it).
+        """
+        return None
+
     def value_block(
         self, round_number: int, n: int, observed: Sequence[float]
     ) -> Optional[Sequence[float]]:
@@ -186,15 +223,33 @@ class ByzantineValueStrategy(abc.ABC):
 
         Returns the length-``n`` sequence ``[value(round, 0, observed), …,
         value(round, n − 1, observed)]`` — one bulk query answering every
-        recipient of the round, which is what lets the vectorised batch
-        engine (:mod:`repro.sim.ndbatch`) inject Byzantine reports without a
-        per-recipient Python loop.  The contract ties the two forms together:
-        element ``q`` must equal ``value(round_number, q, observed)`` bit for
-        bit.  Strategies that cannot answer in bulk return ``None``; the
-        engine then falls back to per-recipient :meth:`value` calls (possible
+        recipient of the round.  Since the tensor refactor this is *derived*
+        from :meth:`value_tensor`: a one-execution block is evaluated and its
+        only row sliced out, so the scalar engines and the vectorised engine
+        share a single implementation and the draws stay bit-identical by
+        construction (on interpreters without numpy, stateless strategies
+        fall back to per-recipient :meth:`value` calls — the same pure
+        function).  Strategies with no tensor form return ``None``; the
+        engines then fall back to per-recipient :meth:`value` calls (possible
         only for ``stateless`` strategies).
         """
-        return None
+        if self.tensor_key() is None:
+            return None
+        try:
+            import numpy as np
+        except ImportError:
+            # Tensor-programmed strategies are pure functions; the scalar
+            # path evaluates the same function per recipient.
+            return [self.value(round_number, q, observed) for q in range(n)]
+        if len(observed):
+            observed_row = np.asarray(list(observed), dtype=np.float64).reshape(1, -1)
+        else:
+            observed_row = np.full((1, 1), np.nan)
+        seeds = np.asarray([self.tensor_seed()], dtype=np.uint64)
+        reports = self.value_tensor(round_number, n, observed_row, seeds)
+        if reports is None:
+            return None
+        return np.asarray(reports, dtype=np.float64)[0]
 
     def describe(self) -> str:
         return type(self).__name__
@@ -211,10 +266,15 @@ class FixedValueStrategy(ByzantineValueStrategy):
     def value(self, round_number: int, recipient: int, observed: Sequence[float]) -> float:
         return self.reported_value
 
-    def value_block(
-        self, round_number: int, n: int, observed: Sequence[float]
-    ) -> Sequence[float]:
-        return [self.reported_value] * n
+    def tensor_key(self) -> tuple:
+        return ("fixed", self.reported_value)
+
+    def value_tensor(self, round_number: int, n: int, observed, seed_mix):
+        import numpy as np
+
+        return np.broadcast_to(
+            np.float64(self.reported_value), (len(seed_mix), n)
+        )
 
     def describe(self) -> str:
         return f"FixedValueStrategy({self.reported_value})"
@@ -238,10 +298,14 @@ class EquivocatingStrategy(ByzantineValueStrategy):
     def value(self, round_number: int, recipient: int, observed: Sequence[float]) -> float:
         return self.low if recipient % 2 == 0 else self.high
 
-    def value_block(
-        self, round_number: int, n: int, observed: Sequence[float]
-    ) -> Sequence[float]:
-        return [self.low if recipient % 2 == 0 else self.high for recipient in range(n)]
+    def tensor_key(self) -> tuple:
+        return ("equivocate", self.low, self.high)
+
+    def value_tensor(self, round_number: int, n: int, observed, seed_mix):
+        import numpy as np
+
+        row = np.where(np.arange(n) % 2 == 0, self.low, self.high)
+        return np.broadcast_to(row, (len(seed_mix), n))
 
     def describe(self) -> str:
         return f"EquivocatingStrategy({self.low}, {self.high})"
@@ -278,27 +342,20 @@ class RandomValueStrategy(ByzantineValueStrategy):
     def value(self, round_number: int, recipient: int, observed: Sequence[float]) -> float:
         return self.low + (self.high - self.low) * self._unit(round_number, recipient)
 
-    def value_block(
-        self, round_number: int, n: int, observed: Sequence[float]
-    ) -> Sequence[float]:
-        try:
-            import numpy as np
-        except ImportError:
-            return [
-                self.value(round_number, recipient, observed) for recipient in range(n)
-            ]
-        shift = np.uint64(33)
+    def tensor_key(self) -> tuple:
+        return ("random", self.low, self.high)
 
-        def mix(x):
-            x = (x ^ (x >> shift)) * np.uint64(MIX64_MULT1)
-            x = (x ^ (x >> shift)) * np.uint64(MIX64_MULT2)
-            return x ^ (x >> shift)
+    def tensor_seed(self) -> int:
+        return self._seed_mix
+
+    def value_tensor(self, round_number: int, n: int, observed, seed_mix):
+        import numpy as np
 
         recipients = np.arange(n, dtype=np.uint64) * np.uint64(KEY_RECIPIENT)
-        keys = mix(
-            np.uint64(self._seed_mix)
+        keys = _np_mix64(
+            np.asarray(seed_mix, dtype=np.uint64)[:, None]
             ^ np.uint64((round_number * KEY_ROUND) & MASK64)
-            ^ recipients
+            ^ recipients[None, :]
         )
         # uint64 → float64 rounds to nearest, exactly like Python's float(int),
         # and the scaling applies operations in the scalar path's order, so the
@@ -334,12 +391,28 @@ class AntiConvergenceStrategy(ByzantineValueStrategy):
         high = max(observed) + self.stretch
         return low if recipient % 2 == 0 else high
 
-    def value_block(
-        self, round_number: int, n: int, observed: Sequence[float]
-    ) -> Sequence[float]:
-        return [
-            self.value(round_number, recipient, observed) for recipient in range(n)
-        ]
+    def tensor_key(self) -> tuple:
+        return ("anti-convergence", self.stretch)
+
+    def value_tensor(self, round_number: int, n: int, observed, seed_mix):
+        import numpy as np
+
+        count = len(seed_mix)
+        obs = np.asarray(observed, dtype=np.float64)
+        if obs.ndim != 2 or obs.shape[1] == 0:
+            return np.zeros((count, n))
+        # Observed values are finite by invariant, so masked min/max over an
+        # inf fill equals Python's min()/max() over the non-NaN entries bit
+        # for bit; all-NaN rows (nothing observed) report 0.0 like the
+        # scalar path.
+        valid = ~np.isnan(obs)
+        low = np.where(valid, obs, np.inf).min(axis=1)
+        high = np.where(valid, obs, -np.inf).max(axis=1)
+        has_observed = np.isfinite(low)
+        low = np.where(has_observed, low - self.stretch, 0.0)
+        high = np.where(has_observed, high + self.stretch, 0.0)
+        even = np.arange(n) % 2 == 0
+        return np.where(even[None, :], low[:, None], high[:, None])
 
     def describe(self) -> str:
         return f"AntiConvergenceStrategy(stretch={self.stretch})"
@@ -529,6 +602,9 @@ class PartitionDelay(DelayModel):
         same_camp = (sender in self.camp_a) == (recipient in self.camp_a)
         return self.fast if same_camp else self.slow
 
+    def tensor_key(self) -> tuple:
+        return ("partition", tuple(sorted(self.camp_a)), self.fast, self.slow)
+
 
 class LaggardDelay(DelayModel):
     """Messages from the given senders are always slow.
@@ -549,6 +625,9 @@ class LaggardDelay(DelayModel):
 
     def delay(self, sender: int, recipient: int, message: Message, now: float) -> float:
         return self.slow if sender in self.slow_senders else self.fast
+
+    def tensor_key(self) -> tuple:
+        return ("laggard", tuple(sorted(self.slow_senders)), self.fast, self.slow)
 
 
 class StaggeredExclusionDelay(DelayModel):
@@ -586,6 +665,9 @@ class StaggeredExclusionDelay(DelayModel):
         offset = (sender - start) % self.n
         return self.slow if offset < self.exclude else self.fast
 
+    def tensor_key(self) -> tuple:
+        return ("staggered-exclusion", self.n, self.exclude, self.fast, self.slow)
+
 
 class TargetedDelay(DelayModel):
     """Slow down specific (sender, recipient) pairs; everything else is fast.
@@ -610,6 +692,73 @@ class TargetedDelay(DelayModel):
 
     def delay(self, sender: int, recipient: int, message: Message, now: float) -> float:
         return self.slow if (sender, recipient) in self.slow_pairs else self.fast
+
+    def tensor_key(self) -> tuple:
+        return ("targeted", tuple(sorted(self.slow_pairs)), self.fast, self.slow)
+
+
+class PartitionReportDelay(DelayModel):
+    """Partition-aware witness *report* schedule: slow cross-camp reports.
+
+    The witness protocol's report exchange is the only traffic whose timing
+    the schedule touches: a ``REPORT`` message crossing the camp boundary
+    arrives after ``slow`` time units, everything else (the reliable-broadcast
+    machinery, the direct protocols' ``VALUE`` rounds) after ``fast``.  With
+    ``slow`` far beyond the reliable-broadcast completion time, every process
+    fills its report/witness thresholds from its own camp first and stalls on
+    the cross-camp reports — the partition shapes *when* each witness wait
+    completes, maximally staggering decision times across the cut.
+
+    Because a witness sample is the set of reliably-delivered values at the
+    moment the witness condition fires — a set that only grows, and that is
+    complete long before any cross-camp report lands — the schedule provably
+    does *not* shape which values are sampled (``shapes_witness_samples`` is
+    ``False``): the round-level witness form keeps its full-delivery
+    schedule, and the event simulator under this model agrees with it
+    exactly (``tests/sim/test_witness_partition.py``).  This is the
+    delay-model-shaped witness adversary family the sweep exposes as
+    ``"witness-partition"``.
+    """
+
+    stateless = True
+
+    def __init__(
+        self,
+        camp_a: Iterable[int],
+        fast: float = 1.0,
+        slow: float = 200.0,
+        report_kinds: Sequence[str] = ("REPORT",),
+    ) -> None:
+        if fast <= 0 or slow <= 0:
+            raise ValueError("delays must be positive")
+        self.camp_a = frozenset(camp_a)
+        self.fast = fast
+        self.slow = slow
+        self.report_kinds = tuple(report_kinds)
+        # The sample-invariance proof in the class docstring holds only when
+        # nothing but the report exchange is slowed; a model configured to
+        # delay sample-bearing kinds (RBC sub-messages, VALUE rounds) shapes
+        # witness samples like any other delay model.
+        self.shapes_witness_samples = not set(self.report_kinds) <= {"REPORT"}
+
+    def delay(self, sender: int, recipient: int, message: Message, now: float) -> float:
+        if message.kind not in self.report_kinds:
+            return self.fast
+        same_camp = (sender in self.camp_a) == (recipient in self.camp_a)
+        return self.fast if same_camp else self.slow
+
+    def tensor_key(self) -> tuple:
+        # The full parameter set: two instances are one program only when
+        # every delay they can produce agrees.  (With the default REPORT-only
+        # kinds the round-level VALUE ranking is constant-fast regardless of
+        # camps, but the grouping contract must hold for every configuration.)
+        return (
+            "partition-report",
+            tuple(sorted(self.camp_a)),
+            self.fast,
+            self.slow,
+            self.report_kinds,
+        )
 
 
 class SeededDelay(DelayModel):
@@ -657,11 +806,37 @@ class SeededDelay(DelayModel):
         )
         return self.low + (self.high - self.low) * (key * 2.0**-64)
 
+    def tensor_key(self) -> tuple:
+        return ("seeded-delay", self.low, self.high)
+
+    def tensor_seed(self) -> int:
+        return self._seed_mix
+
+    def delay_tensor(self, round_number: int, n: int, seed_mix):
+        """Whole-block delay tensor ``delays[e, recipient, sender]`` (numpy).
+
+        Vectorised over the per-execution seed axis; every row is
+        bit-identical to probing :meth:`delay` pair by pair.
+        """
+        import numpy as np
+
+        recipients = np.arange(n, dtype=np.uint64) * np.uint64(KEY_RECIPIENT)
+        senders = np.arange(n, dtype=np.uint64) * np.uint64(KEY_SENDER)
+        keys = _np_mix64(
+            np.asarray(seed_mix, dtype=np.uint64)[:, None, None]
+            ^ np.uint64((round_number * KEY_ROUND) & MASK64)
+            ^ recipients[None, :, None]
+            ^ senders[None, None, :]
+        )
+        return self.low + (self.high - self.low) * (keys.astype(np.float64) * 2.0**-64)
+
     def delay_block(self, round_number: int, n: int):
         """The round's full delay matrix ``delays[recipient][sender]``.
 
-        Bit-identical to probing :meth:`delay` per pair (numpy when
-        importable, scalar Python otherwise); consumed by
+        Derived from :meth:`delay_tensor` — a one-execution block, its only
+        row sliced out — so the scalar and block paths share one
+        implementation; bit-identical to probing :meth:`delay` per pair
+        (scalar Python fallback when numpy is unavailable).  Consumed by
         :meth:`DelayRankOmission.rank_block` for the vectorised engine.
         """
         try:
@@ -673,22 +848,8 @@ class SeededDelay(DelayModel):
                 [self.delay(sender, recipient, probe, now) for sender in range(n)]
                 for recipient in range(n)
             ]
-        shift = np.uint64(33)
-
-        def mix(x):
-            x = (x ^ (x >> shift)) * np.uint64(MIX64_MULT1)
-            x = (x ^ (x >> shift)) * np.uint64(MIX64_MULT2)
-            return x ^ (x >> shift)
-
-        recipients = np.arange(n, dtype=np.uint64) * np.uint64(KEY_RECIPIENT)
-        senders = np.arange(n, dtype=np.uint64) * np.uint64(KEY_SENDER)
-        keys = mix(
-            np.uint64(self._seed_mix)
-            ^ np.uint64((round_number * KEY_ROUND) & MASK64)
-            ^ recipients[:, None]
-            ^ senders[None, :]
-        )
-        return self.low + (self.high - self.low) * (keys.astype(np.float64) * 2.0**-64)
+        seeds = np.asarray([self._seed_mix], dtype=np.uint64)
+        return self.delay_tensor(round_number, n, seeds)[0]
 
 
 # ----------------------------------------------------------------------
@@ -748,6 +909,33 @@ class OmissionPolicy(abc.ABC):
         """
         return None
 
+    def tensor_key(self) -> Optional[tuple]:
+        """Hashable fault-program identity of this policy, or ``None``.
+
+        Mirrors :meth:`ByzantineValueStrategy.tensor_key`: policies sharing a
+        key realise the same quorum program, with per-execution variation
+        carried entirely by the PRF seed (:meth:`tensor_seed`), so one
+        representative answers :meth:`rank_tensor` for a whole execution
+        block.  ``None`` (the default) means no tensor form.
+        """
+        return None
+
+    def tensor_seed(self) -> int:
+        """Per-execution pre-mixed PRF seed consumed by :meth:`rank_tensor`."""
+        return 0
+
+    def rank_tensor(self, round_number: int, n: int, seed_mix):
+        """Whole-block rank tensor ``rank[e, recipient, sender]``.
+
+        ``seed_mix`` is a length-``E`` uint64 vector of per-execution seeds
+        (:meth:`tensor_seed`); the result has shape ``(E, n, n)`` and each
+        row must satisfy the :meth:`rank_block` contract for the execution it
+        describes — the quorum of every recipient is the ``m`` candidates
+        with the smallest ``(rank, sender)`` pairs.  Returns ``None`` when
+        the policy has no tensor form.  Requires numpy.
+        """
+        return None
+
     def reset(self) -> None:
         """Reset internal state before a fresh execution (optional)."""
 
@@ -781,6 +969,18 @@ def mix64(x: int) -> int:
     x = ((x ^ (x >> 33)) * MIX64_MULT1) & MASK64
     x = ((x ^ (x >> 33)) * MIX64_MULT2) & MASK64
     return x ^ (x >> 33)
+
+
+def _np_mix64(x):
+    """Vectorised :func:`mix64` over uint64 arrays — the single numpy
+    implementation behind every PRF tensor (rank keys, value draws, delay
+    draws), bit-identical to the scalar mixer by construction."""
+    import numpy as np
+
+    shift = np.uint64(33)
+    x = (x ^ (x >> shift)) * np.uint64(MIX64_MULT1)
+    x = (x ^ (x >> shift)) * np.uint64(MIX64_MULT2)
+    return x ^ (x >> shift)
 
 
 #: The low bits of every rank key hold the sender id (see below).
@@ -831,19 +1031,12 @@ def seeded_rank_key_block(seed_mix, round_number: int, n: int):
             f"quorum rank keys embed the sender id in {SENDER_BITS} bits; "
             f"n={n} processes exceed that"
         )
-    shift = np.uint64(33)
-
-    def mix(x):
-        x = (x ^ (x >> shift)) * np.uint64(MIX64_MULT1)
-        x = (x ^ (x >> shift)) * np.uint64(MIX64_MULT2)
-        return x ^ (x >> shift)
-
     seed = np.asarray(seed_mix, dtype=np.uint64)
     round_part = np.uint64((round_number * KEY_ROUND) & MASK64)
     recipients = np.arange(n, dtype=np.uint64) * np.uint64(KEY_RECIPIENT)
     senders = np.arange(n, dtype=np.uint64) * np.uint64(KEY_SENDER)
-    slot = mix(seed[..., None] ^ round_part ^ recipients)
-    mixed = mix(slot[..., :, None] ^ senders)
+    slot = _np_mix64(seed[..., None] ^ round_part ^ recipients)
+    mixed = _np_mix64(slot[..., :, None] ^ senders)
     return (mixed & np.uint64(MASK64 ^ SENDER_MASK)) | np.arange(n, dtype=np.uint64)
 
 
@@ -918,7 +1111,11 @@ class SeededOmission(OmissionPolicy):
                 ]
                 for recipient in range(size)
             ]
-        return seeded_rank_key_block(self._seed_mix, round_number, size).tolist()
+        # Derived from the tensor path — a one-execution block, its only row
+        # sliced out — so this cache and the ndbatch engine share one PRF
+        # implementation and stay bit-identical by construction.
+        seeds = np.asarray([self._seed_mix], dtype=np.uint64)
+        return self.rank_tensor(round_number, size, seeds)[0].tolist()
 
     def quorum(
         self, round_number: int, recipient: int, candidates: Sequence[int], m: int
@@ -933,6 +1130,20 @@ class SeededOmission(OmissionPolicy):
     def rank_block(self, round_number: int, n: int) -> List[List[int]]:
         """All rank keys of one round (exact integers; see :func:`seeded_rank_key`)."""
         return [row[:n] for row in self._round_keys(round_number, n)[:n]]
+
+    def tensor_key(self) -> tuple:
+        return ("seeded-omission",)
+
+    def tensor_seed(self) -> int:
+        return self._seed_mix
+
+    def rank_tensor(self, round_number: int, n: int, seed_mix):
+        """Whole-block uint64 rank keys (see :func:`seeded_rank_key_block`).
+
+        Keys embed the sender id in their low :data:`SENDER_BITS` bits, so
+        rows are tie-free and sorting key values alone is quorum selection.
+        """
+        return seeded_rank_key_block(seed_mix, round_number, n)
 
     def reset(self) -> None:
         return None
@@ -969,22 +1180,52 @@ class DelayRankOmission(OmissionPolicy):
         )
         return ranked[:m]
 
+    def tensor_key(self) -> Optional[tuple]:
+        key = self.delay_model.tensor_key()
+        return None if key is None else ("delay-rank",) + key
+
+    def tensor_seed(self) -> int:
+        return self.delay_model.tensor_seed()
+
+    def rank_tensor(self, round_number: int, n: int, seed_mix):
+        """Whole-block delay tensor as ranks (see :meth:`DelayModel.delay_tensor`).
+
+        One bulk query answers every quorum of the round for a whole block of
+        executions: deterministic models probe their ``n × n`` matrix once
+        and broadcast, PRF models (:class:`SeededDelay`) vectorise over the
+        seed axis.
+        """
+        return self.delay_model.delay_tensor(round_number, n, seed_mix)
+
     def rank_block(self, round_number: int, n: int) -> Optional[List[List[float]]]:
         """The round's full delay matrix, for stateless delay models.
 
         A stateless model (``delay_model.stateless``) answers every
         ``(sender, recipient)`` probe of the round independently of query
         order, so one bulk evaluation is exactly equivalent to the
-        per-recipient ranking of :meth:`quorum`.  Stateful models (e.g.
-        :class:`~repro.net.network.UniformRandomDelay`, which draws from an
-        RNG stream per call) return ``None`` and keep the per-recipient path.
+        per-recipient ranking of :meth:`quorum`.  Tensor-programmed models
+        answer through :meth:`rank_tensor` (a one-execution block, its only
+        row sliced out — one shared implementation with the vectorised
+        engine); bulk-queryable models (``delay_block``) answer the round
+        natively; everything else is probed pair by pair.  Stateful models
+        (e.g. :class:`~repro.net.network.UniformRandomDelay`, which draws
+        from an RNG stream per call) return ``None`` and keep the
+        per-recipient path.
         """
         if not getattr(self.delay_model, "stateless", False):
             return None
+        if self.tensor_key() is not None:
+            try:
+                import numpy as np
+            except ImportError:
+                np = None
+            if np is not None:
+                seeds = np.asarray([self.tensor_seed()], dtype=np.uint64)
+                return self.rank_tensor(round_number, n, seeds)[0]
         block = getattr(self.delay_model, "delay_block", None)
         if block is not None:
-            # Bulk-queryable models (e.g. SeededDelay) answer the whole round
-            # natively — bit-identical to the per-pair probing below.
+            # Bulk-queryable models answer the whole round natively —
+            # bit-identical to the per-pair probing below.
             return block(round_number, n)
         probe = Message(kind="VALUE", round=round_number, value=0.0)
         now = float(round_number)

@@ -80,9 +80,71 @@ class DelayModel(abc.ABC):
     #: Defaults to ``False``; concrete pure models opt in.
     stateless: bool = False
 
+    #: Whether the model shapes *which values* a witness-protocol process
+    #: samples, or only *when* they arrive.  The witness wait makes a
+    #: process's sample the set of reliably-delivered values at the moment
+    #: the witness condition fires, a set that only grows — so a model that
+    #: delays nothing the sample depends on (e.g. report-exchange timing
+    #: only, :class:`~repro.net.adversary.PartitionReportDelay`) leaves the
+    #: round-level witness form on its full-delivery schedule, which is
+    #: exactly what the event simulator realises.  Defaults to ``True``
+    #: (conservative: an arbitrary delay model may shape samples).
+    shapes_witness_samples: bool = True
+
     @abc.abstractmethod
     def delay(self, sender: int, recipient: int, message: Message, now: float) -> float:
         """Return the delivery delay for this message (must be > 0)."""
+
+    def tensor_key(self) -> Optional[tuple]:
+        """Hashable fault-program identity of this model, or ``None``.
+
+        Two models with equal keys realise the *same* delay program: any
+        per-execution variation is carried entirely by the PRF seed
+        (:meth:`tensor_seed`), so one representative instance may answer
+        :meth:`delay_tensor` for a whole block of executions at once — this
+        is what lets the vectorised engine (:mod:`repro.sim.ndbatch`) and the
+        sweep grouper treat per-cell model instances as one program.
+        Deterministic stateless models return a parameter tuple; stateful
+        models return ``None`` (no tensor form).
+        """
+        return None
+
+    def tensor_seed(self) -> int:
+        """Per-execution pre-mixed PRF seed consumed by :meth:`delay_tensor`.
+
+        Deterministic (seed-free) programs return 0; PRF-driven models (e.g.
+        :class:`~repro.net.adversary.SeededDelay`) return their pre-mixed
+        seed, the only thing that distinguishes two instances of one program.
+        """
+        return 0
+
+    def delay_tensor(self, round_number: int, n: int, seed_mix):
+        """Whole-block delay tensor ``delays[e, recipient, sender]``.
+
+        ``seed_mix`` is a length-``E`` uint64 vector of per-execution
+        pre-mixed seeds (:meth:`tensor_seed`); the result has shape
+        ``(E, n, n)`` and every row must equal probing :meth:`delay` pair by
+        pair, bit for bit.  The default implementation covers every
+        deterministic program (non-``None`` :meth:`tensor_key`): the round's
+        ``n × n`` matrix is probed *once* and broadcast across the block —
+        seed-driven models override with a truly vectorised computation.
+        Returns ``None`` when the model has no tensor form.  Requires numpy
+        (only the vectorised engine calls it).
+        """
+        if self.tensor_key() is None:
+            return None
+        import numpy as np
+
+        probe = Message(kind="VALUE", round=round_number, value=0.0)
+        now = float(round_number)
+        matrix = np.array(
+            [
+                [self.delay(sender, recipient, probe, now) for sender in range(n)]
+                for recipient in range(n)
+            ],
+            dtype=np.float64,
+        )
+        return np.broadcast_to(matrix, (len(seed_mix), n, n))
 
     def reset(self) -> None:
         """Reset internal state before a fresh execution (optional)."""
@@ -100,6 +162,9 @@ class ConstantDelay(DelayModel):
 
     def delay(self, sender: int, recipient: int, message: Message, now: float) -> float:
         return self._delay
+
+    def tensor_key(self) -> tuple:
+        return ("constant", self._delay)
 
 
 class UniformRandomDelay(DelayModel):

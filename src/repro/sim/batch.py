@@ -303,8 +303,15 @@ def run_batch_protocol(
         fault_model = round_fault_model(fault_plan, n)
     # Whether the caller shaped quorum composition explicitly; the witness
     # round form distinguishes the default uniform schedule (full delivery,
-    # matching the event simulator) from adversarial sub-sampling.
-    explicit_quorum_adversary = omission_policy is not None or delay_model is not None
+    # matching the event simulator) from adversarial sub-sampling.  Delay
+    # models that only move message *timing* the witness sample cannot see
+    # (shapes_witness_samples=False, e.g. PartitionReportDelay's cross-camp
+    # report delays) keep the full-delivery schedule — which is exactly what
+    # the event simulator realises under them.
+    explicit_quorum_adversary = omission_policy is not None or (
+        delay_model is not None
+        and getattr(delay_model, "shapes_witness_samples", True)
+    )
     if omission_policy is None:
         omission_policy = (
             DelayRankOmission(delay_model) if delay_model is not None else SeededOmission(seed)

@@ -47,6 +47,14 @@ relative speed         ~50×     ~10×    1×
 (a) supported through a per-recipient fallback; auto-selection prefers the
 batch engine for such scenarios, because the fallback gives up the
 vectorisation that makes ndbatch worth choosing.
+
+The ndbatch engine is additionally marked *tensorisable*: it advances whole
+execution blocks through tensor fault programs (grouped
+``value_tensor``/``rank_tensor`` calls, see :mod:`repro.net.adversary`), at a
+per-block setup cost.  Auto-selection therefore runs a small cost model —
+estimated work ``cells × rounds × n`` against :data:`NDBATCH_MIN_WORK` — and
+keeps tiny grids (a single small execution, a one-cell sweep group) on the
+pure-Python batch engine, where block setup would dominate.
 """
 
 from __future__ import annotations
@@ -58,13 +66,17 @@ __all__ = [
     "DIRECT_PROTOCOLS",
     "ENGINES",
     "ENGINE_CAPABILITIES",
+    "NDBATCH_MIN_WORK",
     "EngineCapabilities",
     "EngineCapabilityError",
     "capable_engines",
+    "engine_rejections",
+    "estimated_upfront_rounds",
     "numpy_available",
     "run",
     "scenario_features",
     "select_engine",
+    "vectorises",
 ]
 
 
@@ -101,6 +113,12 @@ class EngineCapabilities:
     features: FrozenSet[str]
     speed_rank: int
     summary: str
+    #: Whether the engine advances whole execution blocks through tensor
+    #: fault programs (grouped ``value_tensor``/``rank_tensor`` calls).  A
+    #: tensorisable engine pays a per-block setup cost, so auto-selection
+    #: only picks it when the scenario actually vectorises *and* the
+    #: estimated work (cells × rounds × n) exceeds :data:`NDBATCH_MIN_WORK`.
+    tensorisable: bool = False
 
     def feature_set(self) -> FrozenSet[str]:
         return self.features | frozenset(f"protocol:{p}" for p in self.protocols)
@@ -121,6 +139,7 @@ ENGINE_CAPABILITIES: Dict[str, EngineCapabilities] = {
         features=frozenset({FEATURE_ROUND_LEVEL, FEATURE_STATEFUL_QUORUM}),
         speed_rank=0,
         summary="numpy-vectorised block engine (whole executions advance as matrices)",
+        tensorisable=True,
     ),
     "batch": EngineCapabilities(
         name="batch",
@@ -168,26 +187,55 @@ class EngineCapabilityError(ValueError):
     """An engine was asked to run a scenario outside its capability set.
 
     Every engine rejection goes through this one error type, and the message
-    always names the engine(s) that *can* run the scenario (with their module
-    paths), so callers hitting an override mismatch learn the fix directly
-    from the exception.  Subclasses :class:`ValueError` so pre-existing
-    ``except ValueError`` call sites keep working.
+    states *why each engine rejected* (per-engine reason strings, see
+    ``rejections``) and names the engine(s) that *can* run the scenario (with
+    their module paths), so callers hitting an override mismatch learn the
+    fix directly from the exception.  Subclasses :class:`ValueError` so
+    pre-existing ``except ValueError`` call sites keep working.
+
+    Attributes
+    ----------
+    engine:
+        The engine (or ``"auto"``) that rejected the scenario.
+    reason:
+        Why ``engine`` rejected it.
+    capable:
+        The engines that can run the scenario, fastest first.
+    rejections:
+        Engine name → that engine's rejection reason, for every engine that
+        cannot run the scenario (at minimum the rejecting engine itself).
     """
 
-    def __init__(self, engine: str, reason: str, capable: Sequence[str] = ()) -> None:
+    def __init__(
+        self,
+        engine: str,
+        reason: str,
+        capable: Sequence[str] = (),
+        rejections: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.engine = engine
         self.reason = reason
         self.capable = tuple(capable)
+        self.rejections = dict(rejections) if rejections is not None else {engine: reason}
+        parts = [f"the {engine} engine does not support {reason}"]
+        others = {
+            name: why for name, why in self.rejections.items() if name != engine
+        }
+        if others:
+            parts.append(
+                "also rejected: "
+                + "; ".join(f"{name} — {why}" for name, why in others.items())
+            )
         if self.capable:
             alternatives = ", ".join(
                 f"{name} ({ENGINE_CAPABILITIES[name].module})"
                 for name in self.capable
                 if name in ENGINE_CAPABILITIES
             )
-            hint = f"capable engine(s): {alternatives}"
+            parts.append(f"capable engine(s): {alternatives}")
         else:
-            hint = "no engine supports this scenario"
-        super().__init__(f"the {engine} engine does not support {reason}; {hint}")
+            parts.append("no engine supports this scenario")
+        super().__init__("; ".join(parts))
 
 
 def numpy_available() -> bool:
@@ -359,25 +407,92 @@ def capable_engines(features: Iterable[str]) -> Tuple[str, ...]:
     )
 
 
-def select_engine(features: Iterable[str], vectorised: bool = True) -> str:
+def engine_rejections(features: Iterable[str]) -> Dict[str, str]:
+    """Engine name → rejection reason, for every engine the scenario defeats.
+
+    Engines that support the feature set are absent from the result; this is
+    what :class:`EngineCapabilityError` messages carry so callers see *why*
+    each engine rejected, not just which engines are capable.
+    """
+    required = set(features)
+    rejections: Dict[str, str] = {}
+    for name in ENGINES:
+        missing = ENGINE_CAPABILITIES[name].missing(required)
+        if missing:
+            rejections[name] = _describe_missing(missing)
+    return rejections
+
+
+#: Minimum estimated work — sweep cells × rounds × n — below which
+#: auto-selection prefers the pure-Python batch engine over a tensorised
+#: (block) engine.  Calibrated empirically: the ndbatch block setup (scenario
+#: masks, crash/candidate tensors, result assembly) costs roughly as much as
+#: ~60 scalar quorum updates, so tiny grids — a single n=7 execution, a
+#: one-cell sweep group — run faster without the vectorised detour, while
+#: anything from a few executions up clears the bar comfortably.
+NDBATCH_MIN_WORK = 64
+
+
+def select_engine(
+    features: Iterable[str],
+    vectorised: bool = True,
+    work: Optional[int] = None,
+) -> str:
     """The fastest capable engine for a scenario (auto-selection policy).
 
     ``vectorised`` reports whether the scenario would actually vectorise on
-    the ndbatch engine (see :func:`vectorises`); when it would not, selection
-    skips ndbatch in favour of the batch engine, whose pure-Python loop beats
-    the fallback path's per-recipient round trips through numpy.
+    a tensorised engine (see :func:`vectorises`); when it would not,
+    selection skips such engines in favour of the batch engine, whose
+    pure-Python loop beats the fallback path's per-recipient round trips
+    through numpy.  ``work`` is the scenario's estimated size — cells ×
+    rounds × n — fed to the block-setup cost model: a tensorised engine is
+    only worth its per-block setup when ``work`` reaches
+    :data:`NDBATCH_MIN_WORK` (``None`` skips the cost model, e.g. when the
+    round count is not computable upfront).
     """
     required = set(features)
     capable = capable_engines(required)
     if not capable:
         raise EngineCapabilityError(
-            "auto", f"this scenario (requires: {', '.join(sorted(required))})", ()
+            "auto",
+            f"this scenario (requires: {', '.join(sorted(required))})",
+            (),
+            rejections=engine_rejections(required),
         )
     for name in capable:
-        if name == "ndbatch" and not vectorised:
+        caps = ENGINE_CAPABILITIES[name]
+        if caps.tensorisable and not vectorised:
+            continue
+        if caps.tensorisable and work is not None and work < NDBATCH_MIN_WORK:
             continue
         return name
     return capable[-1]
+
+
+def estimated_upfront_rounds(
+    protocol: str,
+    inputs: Sequence[float],
+    t: int,
+    epsilon: float,
+    round_policy=None,
+) -> Optional[int]:
+    """The scenario's round count, when computable before round 1.
+
+    Feeds the block-setup cost model (``work = cells × rounds × n``); returns
+    ``None`` for adaptive policies or protocols without closed-form bounds.
+    Mirrors the round-count derivation of the engines themselves
+    (:func:`repro.core.termination.default_round_policy` over the input
+    spread), so the estimate equals what an upfront-policy execution runs.
+    """
+    from repro.core.termination import default_round_policy
+    from repro.sim.batch import BATCH_PROTOCOL_BOUNDS, _upfront_rounds
+
+    factory = BATCH_PROTOCOL_BOUNDS.get(protocol)
+    if factory is None:
+        return None
+    bounds = factory(len(inputs), t)
+    policy = round_policy or default_round_policy(bounds, inputs, epsilon)
+    return _upfront_rounds(policy, bounds, epsilon)
 
 
 def _describe_missing(missing: Sequence[str]) -> str:
@@ -434,7 +549,10 @@ def require_capability(engine: str, features: Iterable[str]) -> None:
     missing = ENGINE_CAPABILITIES[engine].missing(required)
     if missing:
         raise EngineCapabilityError(
-            engine, _describe_missing(missing), capable_engines(required)
+            engine,
+            _describe_missing(missing),
+            capable_engines(required),
+            rejections=engine_rejections(required),
         )
 
 
@@ -462,7 +580,9 @@ def run(
     engine:
         ``"auto"`` (default) selects the fastest engine whose capability set
         covers the scenario — ndbatch for vectorisable direct-protocol
-        scenarios, batch for round-level scenarios ndbatch cannot (or should
+        scenarios big enough to repay the block setup (the
+        :data:`NDBATCH_MIN_WORK` cost model; tiny single executions stay on
+        batch), batch for round-level scenarios ndbatch cannot (or should
         not) take, the event simulator for message-level-only scenarios.
         ``"ndbatch"``, ``"batch"`` and ``"event"`` force a specific engine;
         an override outside the engine's capabilities raises
@@ -504,6 +624,9 @@ def run(
         # request must not be silently dropped by a faster engine.
         features.add(FEATURE_EVENT_RUNTIME)
     if engine == "auto":
+        rounds_estimate = estimated_upfront_rounds(
+            protocol, inputs, t, epsilon, round_policy
+        )
         chosen = select_engine(
             features,
             vectorised=vectorises(
@@ -512,6 +635,9 @@ def run(
                 omission_policy=omission_policy,
                 delay_model=delay_model,
             ),
+            # One execution: work = 1 × rounds × n for the block-setup cost
+            # model (tiny single runs are faster on the pure-Python engine).
+            work=None if rounds_estimate is None else rounds_estimate * n,
         )
     else:
         require_capability(engine, features)

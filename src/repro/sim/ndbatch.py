@@ -31,11 +31,17 @@ adversary *bit-identical* across engines:
   (:func:`~repro.net.adversary.seeded_rank_key`) is re-evaluated here over
   whole ``(executions, recipients, senders)`` uint64 tensors, reproducing the
   scalar keys exactly;
-* policies with a vector-friendly per-round ranking
-  (:meth:`~repro.net.adversary.OmissionPolicy.rank_block`, e.g.
-  :class:`~repro.net.adversary.DelayRankOmission` over stateless delay
-  models) — one bulk query per round, ranked with a stable lexicographic
-  sort matching the scalar tie-breaking;
+* policies sharing a tensor fault program
+  (:meth:`~repro.net.adversary.OmissionPolicy.rank_tensor`, e.g.
+  :class:`~repro.net.adversary.DelayRankOmission` over tensor-programmed
+  delay models) — executions are grouped by
+  :meth:`~repro.net.adversary.OmissionPolicy.tensor_key` and each group is
+  ranked with *one* bulk call per round, per-execution variation carried by
+  the PRF seed vector;
+* policies with only a per-execution vector-friendly ranking
+  (:meth:`~repro.net.adversary.OmissionPolicy.rank_block`) — one bulk query
+  per execution per round, ranked with a stable lexicographic sort matching
+  the scalar tie-breaking;
 * everything else falls back to per-recipient
   :meth:`~repro.net.adversary.OmissionPolicy.quorum` calls issued in the
   exact order the pure-Python engine would issue them (rounds ascending,
@@ -43,8 +49,15 @@ adversary *bit-identical* across engines:
 
 Byzantine value strategies must be ``stateless`` (pure functions of
 ``(round, recipient, observed)``); the engine evaluates them eagerly for
-every recipient.  Stateful strategies and adaptive round policies raise a
-documented error pointing at the pure-Python engine, which supports both.
+every recipient.  Strategies declaring a tensor program
+(:meth:`~repro.net.adversary.ByzantineValueStrategy.tensor_key`) are grouped
+by ``(sender, program)`` and answered with one
+:meth:`~repro.net.adversary.ByzantineValueStrategy.value_tensor` call per
+round per group — Byzantine and anti-convergence rounds issue **zero**
+per-execution Python strategy calls (asserted by
+``tests/sim/test_fault_tensor_engine.py``).  Stateful strategies and
+adaptive round policies raise a documented error pointing at the pure-Python
+engine, which supports both.
 
 Results are full :class:`~repro.sim.runner.ExecutionResult` objects (runtime
 tag ``"ndbatch"``) with the same schema as the other engines, so the metrics,
@@ -193,6 +206,14 @@ class _Block:
         self.strategy_ids: List[Tuple[int, ...]] = []
 
         starting = self.inputs_matrix.copy()
+        # Strategies grouped by (sender pid, tensor program): every group is
+        # answered by ONE value_tensor call per round on a representative
+        # instance, with per-execution variation carried by the PRF seed
+        # vector — zero per-execution Python strategy calls.  Stateless
+        # strategies without a tensor form keep the per-execution
+        # value_block/value path.
+        strategy_groups: Dict[Tuple[int, tuple], List[int]] = {}
+        self.strategy_scalar: List[Tuple[int, int, object]] = []
         for e, model in enumerate(self.fault_models):
             for pid, strategy in model.strategies.items():
                 if not getattr(strategy, "stateless", False):
@@ -205,6 +226,11 @@ class _Block:
                     )
                 if pid < n:
                     self.strategy_mask[e, pid] = True
+                    key = strategy.tensor_key()
+                    if key is not None:
+                        strategy_groups.setdefault((pid, key), []).append(e)
+                    else:
+                        self.strategy_scalar.append((e, pid, strategy))
             for pid in model.silent:
                 if pid < n:
                     self.silent_mask[e, pid] = True
@@ -218,6 +244,18 @@ class _Block:
                     self.crash_deliveries[e, pid] = deliveries
             for pid in self.problems[e].faulty:
                 self.honest_mask[e, pid] = False
+        self.strategy_tensor_groups: List[Tuple[int, object, np.ndarray, np.ndarray]] = [
+            (
+                pid,
+                self.fault_models[members[0]].strategies[pid],
+                np.asarray(members, dtype=np.intp),
+                np.asarray(
+                    [self.fault_models[e].strategies[pid].tensor_seed() for e in members],
+                    dtype=np.uint64,
+                ),
+            )
+            for (pid, _key), members in strategy_groups.items()
+        ]
         self.holder_mask = ~self.strategy_mask & ~self.silent_mask
         # Crash schedules only apply to value holders (a Byzantine replacement
         # supersedes a crash point, as in the round_fault_model adapter).
@@ -228,10 +266,12 @@ class _Block:
 
         # --- quorum-selection mode partition ---------------------------
         # "seeded": every policy is a SeededOmission — keys computed natively
-        # in numpy for the whole block.  "ranked": the policy answers
-        # rank_block() — one bulk float ranking per execution per round.
-        # "generic": per-recipient Python fallback, in the batch engine's
-        # exact query order.
+        # in numpy for the whole block.  "tensor": policies sharing a tensor
+        # program (rank_tensor) — one bulk ranking per *group* per round,
+        # per-execution variation carried by the PRF seed vector.  "ranked":
+        # the policy answers rank_block() — one bulk float ranking per
+        # execution per round.  "generic": per-recipient Python fallback, in
+        # the batch engine's exact query order.
         if n > SENDER_MASK:
             raise ValueError(
                 f"quorum rank keys embed the sender id in 16 bits; "
@@ -240,10 +280,15 @@ class _Block:
         self.seeded_idx: List[int] = []
         self.ranked_idx: List[int] = []
         self.generic_idx: List[int] = []
+        policy_groups: Dict[tuple, List[int]] = {}
         probes: List[List[List[float]]] = []
         for e, policy in enumerate(self.policies):
             if type(policy) is SeededOmission:
                 self.seeded_idx.append(e)
+                continue
+            key = policy.tensor_key()
+            if key is not None:
+                policy_groups.setdefault(key, []).append(e)
                 continue
             probe = policy.rank_block(1, n)
             if probe is not None:
@@ -251,6 +296,16 @@ class _Block:
                 probes.append(probe)
             else:
                 self.generic_idx.append(e)
+        self.policy_tensor_groups: List[Tuple[object, np.ndarray, np.ndarray]] = [
+            (
+                self.policies[members[0]],
+                np.asarray(members, dtype=np.intp),
+                np.asarray(
+                    [self.policies[e].tensor_seed() for e in members], dtype=np.uint64
+                ),
+            )
+            for members in policy_groups.values()
+        ]
         #: Round-1 rank matrices gathered during classification, reused by
         #: the first round instead of re-querying every ranked policy.
         self.rank_probe: Optional[np.ndarray] = (
@@ -482,6 +537,11 @@ def _advance_block(block: _Block) -> List[ExecutionResult]:
 def _injected_values(block: _Block, round_number: int) -> np.ndarray:
     """Eagerly evaluated strategy reports: ``injected[e, sender, recipient]``.
 
+    Tensor-programmed strategies (:meth:`~repro.net.adversary.
+    ByzantineValueStrategy.value_tensor`) answer whole ``(pid, program)``
+    groups with one Python call per round — zero per-execution strategy
+    calls; stateless strategies without a tensor form keep the per-execution
+    ``value_block``/``value`` path, issued in the batch engine's order.
     Non-finite reports are stored as NaN, which the sampling paths treat as
     omissions (mirroring the message boundary of the protocol skeletons).
     Only stateless strategies reach this point, so eager evaluation for every
@@ -489,17 +549,26 @@ def _injected_values(block: _Block, round_number: int) -> np.ndarray:
     """
     count, n = block.count, block.n
     injected = np.full((count, n, n), np.nan, dtype=np.float64)
-    for e, ids in enumerate(block.strategy_ids):
-        if not ids:
-            continue
-        row = block.values[e]
-        observed = np.sort(row[block.holder_mask[e]]).tolist()
-        strategies = block.fault_models[e].strategies
-        for sender in ids:
-            strategy = strategies[sender]
-            # Bulk-queryable strategies (value_block) answer the whole round
-            # in one call — the PRF-based strategies return numpy arrays
-            # natively; per-recipient value() stays as the fallback.
+    for pid, representative, rows, seeds in block.strategy_tensor_groups:
+        # Full-information adversary: each execution observes its holder
+        # values (NaN at non-holder slots); one bulk call covers every
+        # member execution of the group.
+        observed = np.where(block.holder_mask[rows], block.values[rows], np.nan)
+        reports = representative.value_tensor(round_number, n, observed, seeds)
+        if reports is None:
+            raise ValueError(
+                f"strategy {representative.describe()} declares tensor program "
+                f"{representative.tensor_key()!r} but value_tensor returned None"
+            )
+        injected[rows, pid, :] = np.asarray(reports, dtype=np.float64)
+    if block.strategy_scalar:
+        observed_lists: Dict[int, List[float]] = {}
+        for e, sender, strategy in block.strategy_scalar:
+            observed = observed_lists.get(e)
+            if observed is None:
+                row = block.values[e]
+                observed = np.sort(row[block.holder_mask[e]]).tolist()
+                observed_lists[e] = observed
             reports = strategy.value_block(round_number, n, observed)
             if reports is not None:
                 injected[e, sender, :] = np.asarray(reports, dtype=np.float64)
@@ -508,7 +577,7 @@ def _injected_values(block: _Block, round_number: int) -> np.ndarray:
                 value = strategy.value(round_number, recipient, observed)
                 if isinstance(value, (int, float)):
                     injected[e, sender, recipient] = float(value)  # inf -> isfinite no
-        # Normalise ±inf to NaN so one mask covers every non-finite report.
+    # Normalise ±inf to NaN so one mask covers every non-finite report.
     np.copyto(injected, np.nan, where=~np.isfinite(injected))
     return injected
 
@@ -610,6 +679,31 @@ def _choose_quorums(
         # bits; clamp so the gather stays in bounds — those rows fail the
         # execution before their samples are ever used.
         chosen[idx] = np.minimum(picked, n - 1)
+
+    for representative, members, seeds in block.policy_tensor_groups:
+        ranks = representative.rank_tensor(round_number, n, seeds)
+        if ranks is None:
+            # Same contract as the strategy path: a non-None tensor_key is a
+            # promise to answer (silently proceeding would turn the default
+            # None into NaN ranks and pick wrong quorums).
+            raise ValueError(
+                f"omission policy {representative.describe()} declares tensor "
+                f"program {representative.tensor_key()!r} but rank_tensor "
+                f"returned None"
+            )
+        ranks = np.asarray(ranks)
+        sub_cand = cand[members]
+        if ranks.dtype.kind in "iu":
+            # PRF rank keys (tie-free by construction): mask non-candidates
+            # with the maximal key, then a stable argsort is selection.
+            masked = np.where(sub_cand, ranks, np.iinfo(ranks.dtype).max)
+        else:
+            # NaN sorts after every number including +inf, so a legitimately
+            # infinite rank still outranks a non-candidate; stable argsort
+            # reproduces the scalar path's by-sender tie-breaking.
+            masked = np.where(sub_cand, ranks.astype(np.float64, copy=False), np.nan)
+        order = np.argsort(masked, axis=2, kind="stable")
+        chosen[members] = order[:, :, :m]
 
     if block.ranked_idx:
         idx = block.ranked_idx

@@ -68,6 +68,7 @@ from repro.net.adversary import (
     FixedValueStrategy,
     LaggardDelay,
     PartitionDelay,
+    PartitionReportDelay,
     RandomValueStrategy,
     RoundEchoByzantine,
     SeededDelay,
@@ -77,6 +78,7 @@ from repro.net.adversary import (
 )
 from repro.net.network import DelayModel, FaultPlan
 from repro.sim.engine import (
+    NDBATCH_MIN_WORK,
     require_capability,
     scenario_features,
     select_engine,
@@ -191,6 +193,16 @@ def _random_delays(protocol: str, n: int, t: int, seed: int) -> AdversaryBundle:
     return AdversaryBundle(None, SeededDelay(low=0.1, high=2.0, seed=seed))
 
 
+def _witness_partition(protocol: str, n: int, t: int, seed: int) -> AdversaryBundle:
+    # Partition-aware witness report schedule: cross-camp REPORT messages are
+    # slow, everything else fast.  On witness cells this maximally staggers
+    # the witness waits across the cut without shaping the sampled values
+    # (shapes_witness_samples=False), so the round-level form agrees with the
+    # event simulator exactly (tests/sim/test_witness_partition.py); on the
+    # direct protocols the schedule leaves VALUE rounds uniform.
+    return AdversaryBundle(None, PartitionReportDelay(camp_a=range((n + 1) // 2)))
+
+
 #: Adversary name → builder(protocol, n, t, seed) → :class:`AdversaryBundle`.
 ADVERSARY_SPECS: Dict[str, Callable[[str, int, int, int], AdversaryBundle]] = {
     "none": _no_adversary,
@@ -204,6 +216,7 @@ ADVERSARY_SPECS: Dict[str, Callable[[str, int, int, int], AdversaryBundle]] = {
     "laggard": _laggard,
     "staggered": _staggered,
     "random-delays": _random_delays,
+    "witness-partition": _witness_partition,
 }
 
 #: Adversaries that replace processes with Byzantine behaviours.
@@ -451,19 +464,61 @@ def _resolve_workers(workers: Optional[int], cell_count: int) -> int:
     return max(1, min(os.cpu_count() or 1, cell_count))
 
 
+def _fault_program_key(cell: SweepCell) -> Tuple:
+    """Tensor fault-program identity of one cell's adversary.
+
+    Cells sharing a program — same strategy *programs* (class + parameters,
+    :meth:`~repro.net.adversary.ByzantineValueStrategy.tensor_key`) at the
+    same sender ids, same quorum program — advance through one grouped
+    tensor call per round on the vectorised engine, so blocks group by
+    program rather than splitting on strategy instance identity: the
+    per-cell seed variation lives entirely in the PRF seed vectors.  Crash
+    schedules, silent sets and corrupted inputs are deliberately excluded —
+    they are plain mask tensors, vectorised for any mix.  Components without
+    a tensor form fall back to their type name, which still merges
+    same-named adversaries into one (per-execution-path) block.
+    """
+    bundle = ADVERSARY_SPECS[cell.adversary](cell.protocol, cell.n, cell.t, cell.seed)
+    try:
+        model = round_fault_model(bundle.fault_plan, cell.n)
+    except ValueError:
+        return ("message-level", cell.adversary)
+    strategies = tuple(  # tensor keys are seed-invariant (programs, not draws)
+        (pid, strategy.tensor_key() or ("scalar", type(strategy).__name__))
+        for pid, strategy in sorted(model.strategies.items())
+    )
+    if bundle.delay_model is not None:
+        quorum: Tuple = bundle.delay_model.tensor_key() or (
+            "scalar-delay",
+            type(bundle.delay_model).__name__,
+        )
+    else:
+        quorum = ("seeded-omission",)
+    return (strategies, quorum)
+
+
 def _group_ndbatch_blocks(
     cells: Sequence[SweepCell],
 ) -> List[Tuple[int, List[int], List[List[float]]]]:
     """Group cells into shape-compatible ndbatch blocks.
 
-    Cells sharing ``(protocol, n, t, epsilon, round count)`` advance together
-    as one value matrix.  Returns ``(rounds, cell_indices, inputs_block)``
-    per block, in first-appearance order, so reassembly into grid order is
+    Cells sharing ``(protocol, n, t, epsilon, round count)`` and a tensor
+    fault program (:func:`_fault_program_key`) advance together as one value
+    matrix — whole-block adversary tensors, one grouped strategy/quorum call
+    per round.  Returns ``(rounds, cell_indices, inputs_block)`` per block,
+    in first-appearance order, so reassembly into grid order is
     deterministic; inputs are generated once here and carried into the block
     (workers would otherwise regenerate every workload).
     """
     blocks: Dict[Tuple, Tuple[int, List[int], List[List[float]]]] = {}
     bounds_cache: Dict[Tuple[str, int, int], AlgorithmBounds] = {}
+    # Program keys are seed-invariant (tensor_key identifies the program;
+    # draws vary by PRF seed), so one bundle build per (adversary, shape)
+    # serves every seed of the grid.  A custom adversary whose program *did*
+    # vary by seed would merely over-merge blocks — the engine regroups by
+    # the true per-execution tensor keys inside each block, so outcomes
+    # cannot change.
+    program_cache: Dict[Tuple[str, str, int, int], Tuple] = {}
     for index, cell in enumerate(cells):
         inputs = WORKLOAD_SPECS[cell.workload](cell.n, cell.seed)
         shape = (cell.protocol, cell.n, cell.t)
@@ -471,6 +526,11 @@ def _group_ndbatch_blocks(
         if bounds is None:
             bounds = PROTOCOL_BOUNDS[cell.protocol](cell.n, cell.t)
             bounds_cache[shape] = bounds
+        program_slot = (cell.adversary,) + shape
+        program_key = program_cache.get(program_slot)
+        if program_key is None:
+            program_key = _fault_program_key(cell)
+            program_cache[program_slot] = program_key
         if bounds.resilience_ok:
             # Fast path for the common case; identical to the engines'
             # default_round_policy (FixedRounds over the input spread).
@@ -481,7 +541,7 @@ def _group_ndbatch_blocks(
             rounds = default_round_policy(bounds, inputs, cell.epsilon).required_rounds(
                 bounds.contraction, cell.epsilon, None
             )
-        key = (cell.protocol, cell.n, cell.t, cell.epsilon, rounds)
+        key = (cell.protocol, cell.n, cell.t, cell.epsilon, rounds, program_key)
         entry = blocks.setdefault(key, (rounds, [], []))
         entry[1].append(index)
         entry[2].append(inputs)
@@ -569,9 +629,17 @@ def _run_ndbatch_cells(
     cells: List[SweepCell],
     workers: Optional[int],
     max_block_size: int = DEFAULT_MAX_BLOCK_SIZE,
-) -> List[CellOutcome]:
-    """Run an ndbatch sweep: group into blocks, split, dispatch, restore order."""
-    blocks = _split_blocks(_group_ndbatch_blocks(cells), max_block_size)
+    blocks: Optional[List[Tuple[int, List[int], List[List[float]]]]] = None,
+) -> List[Optional[CellOutcome]]:
+    """Run an ndbatch sweep: group into blocks, split, dispatch, restore order.
+
+    ``blocks`` lets the auto dispatcher hand over its cost-model grouping
+    pass instead of regrouping (and regenerating every workload); cells not
+    covered by the given blocks come back as ``None``.
+    """
+    if blocks is None:
+        blocks = _group_ndbatch_blocks(cells)
+    blocks = _split_blocks(blocks, max_block_size)
     chunks = [
         (rounds, [cells[i] for i in indices], inputs_block)
         for rounds, indices, inputs_block in blocks
@@ -591,7 +659,7 @@ def _run_ndbatch_cells(
     for (rounds, indices, _), block in zip(blocks, block_outcomes):
         for index, outcome in zip(indices, block):
             outcomes[index] = outcome
-    return outcomes  # type: ignore[return-value]
+    return outcomes
 
 
 def _auto_engine_for(cell: SweepCell) -> str:
@@ -631,15 +699,27 @@ def _run_auto_cells(
 ) -> List[CellOutcome]:
     """Capability-dispatch a mixed grid: ndbatch blocks + per-cell engines."""
     nd_indices = [i for i, cell in enumerate(cells) if _auto_engine_for(cell) == "ndbatch"]
-    nd_set = set(nd_indices)
-    other_indices = [i for i in range(len(cells)) if i not in nd_set]
     outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
     if nd_indices:
-        nd_outcomes = _run_ndbatch_cells(
-            [cells[i] for i in nd_indices], workers, max_block_size
-        )
-        for index, outcome in zip(nd_indices, nd_outcomes):
-            outcomes[index] = outcome
+        # Block-setup cost model: group the candidate cells into tensor
+        # blocks once, keep only groups whose work — cells × rounds × n —
+        # repays the vectorised engine's per-block setup, and hand the
+        # surviving blocks (inputs already generated) straight to dispatch;
+        # tiny groups run on the pure-Python batch engine instead.
+        nd_cells = [cells[i] for i in nd_indices]
+        kept_blocks = [
+            block
+            for block in _group_ndbatch_blocks(nd_cells)
+            if len(block[1]) * block[0] * nd_cells[block[1][0]].n >= NDBATCH_MIN_WORK
+        ]
+        if kept_blocks:
+            nd_outcomes = _run_ndbatch_cells(
+                nd_cells, workers, max_block_size, blocks=kept_blocks
+            )
+            for index, outcome in zip(nd_indices, nd_outcomes):
+                if outcome is not None:
+                    outcomes[index] = outcome
+    other_indices = [i for i in range(len(cells)) if outcomes[i] is None]
     if other_indices:
         for index, outcome in zip(
             other_indices,

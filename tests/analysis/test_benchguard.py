@@ -1,0 +1,109 @@
+"""Tests for the benchmark-regression guard (:mod:`repro.analysis.benchguard`)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.benchguard import (
+    BenchComparison,
+    compare_directories,
+    compare_documents,
+    extract_speedups,
+)
+
+
+def _document(speedup: float, extra=None) -> dict:
+    results = {
+        "grid": {
+            "cells": 512,
+            "batch_seconds": 10.0,
+            "ndbatch_speedup_vs_batch": speedup,
+            "python_fallback_quorum_calls": 0,
+        },
+        "required_ndbatch_speedup_vs_batch": 2.0,
+    }
+    if extra:
+        results.update(extra)
+    return {"benchmark": "x", "results": results}
+
+
+class TestExtraction:
+    def test_finds_nested_speedups_and_skips_required_floors(self):
+        speedups = extract_speedups(_document(8.5))
+        assert speedups == {"grid.ndbatch_speedup_vs_batch": 8.5}
+
+    def test_non_numeric_and_bool_leaves_ignored(self):
+        doc = _document(3.0, extra={"meta_speedup": "fast", "speedup_ok": True})
+        assert extract_speedups(doc) == {"grid.ndbatch_speedup_vs_batch": 3.0}
+
+
+class TestComparison:
+    def test_within_tolerance_passes(self):
+        comparisons = compare_documents("b.json", _document(10.0), _document(7.5))
+        assert len(comparisons) == 1
+        assert not comparisons[0].regressed(0.30)
+
+    def test_beyond_tolerance_regresses(self):
+        comparisons = compare_documents("b.json", _document(10.0), _document(6.9))
+        assert comparisons[0].regressed(0.30)
+
+    def test_improvement_never_regresses(self):
+        comparisons = compare_documents("b.json", _document(10.0), _document(50.0))
+        assert not comparisons[0].regressed(0.30)
+
+    def test_renamed_metrics_are_not_compared(self):
+        fresh = {"benchmark": "x", "results": {"grid": {"new_speedup": 1.0}}}
+        assert compare_documents("b.json", _document(10.0), fresh) == []
+
+    def test_describe_mentions_document_and_metric(self):
+        comparison = BenchComparison("b.json", "grid.s_speedup", 10.0, 5.0)
+        text = comparison.describe()
+        assert "b.json" in text and "grid.s_speedup" in text
+
+
+class TestDirectories:
+    def test_compares_only_files_present_in_both(self, tmp_path):
+        baseline = tmp_path / "baseline"
+        fresh = tmp_path / "fresh"
+        baseline.mkdir()
+        fresh.mkdir()
+        (baseline / "BENCH_a.json").write_text(json.dumps(_document(10.0)))
+        (fresh / "BENCH_a.json").write_text(json.dumps(_document(9.0)))
+        (baseline / "BENCH_gone.json").write_text(json.dumps(_document(4.0)))
+        comparisons = compare_directories(baseline, fresh)
+        assert [c.document for c in comparisons] == ["BENCH_a.json"]
+        assert comparisons[0].fresh == 9.0
+
+
+class TestCliGate:
+    def test_main_exit_codes(self, tmp_path, capsys):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        baseline = tmp_path / "baseline"
+        fresh = tmp_path / "fresh"
+        baseline.mkdir()
+        fresh.mkdir()
+        (baseline / "BENCH_a.json").write_text(json.dumps(_document(10.0)))
+        (fresh / "BENCH_a.json").write_text(json.dumps(_document(2.0)))
+
+        repo = Path(__file__).resolve().parents[2]
+        command = [
+            sys.executable,
+            str(repo / "benchmarks" / "check_bench_regression.py"),
+            "--baseline-dir", str(baseline), "--fresh-dir", str(fresh),
+        ]
+        env_src = str(repo / "src")
+        failing = subprocess.run(
+            command, capture_output=True, text=True, env={"PYTHONPATH": env_src}
+        )
+        assert failing.returncode == 1
+        assert "REGRESSED" in failing.stdout
+
+        (fresh / "BENCH_a.json").write_text(json.dumps(_document(9.5)))
+        passing = subprocess.run(
+            command, capture_output=True, text=True, env={"PYTHONPATH": env_src}
+        )
+        assert passing.returncode == 0, passing.stdout + passing.stderr
+        assert "all 1 speedup metrics" in passing.stdout

@@ -166,9 +166,17 @@ class TestRunFrontDoor:
         with pytest.raises(ValueError, match="unknown engine"):
             run("async-crash", INPUTS, t=2, epsilon=1e-2, engine="warp")
 
-    @needs_numpy
-    def test_auto_selects_ndbatch_for_plain_crash_grid(self):
+    def test_auto_keeps_tiny_single_run_on_batch(self):
+        # One n=7 execution is below the block-setup cost-model threshold
+        # (NDBATCH_MIN_WORK): the pure-Python engine wins, so auto picks it.
         result = run("async-crash", INPUTS, t=2, epsilon=1e-2)
+        assert result.runtime == "batch"
+        assert result.ok
+
+    @needs_numpy
+    def test_auto_selects_ndbatch_above_cost_model_threshold(self):
+        inputs = [0.04 * i for i in range(25)]
+        result = run("async-crash", inputs, t=4, epsilon=1e-3)
         assert result.runtime == "ndbatch"
         assert result.ok
 

@@ -1,0 +1,224 @@
+"""Differential validation: the partition-aware witness report schedule.
+
+``PartitionReportDelay`` — the delay-model-shaped adversary family behind the
+sweep's ``"witness-partition"`` adversary — slows only the witness protocol's
+cross-camp ``REPORT`` traffic.  A witness sample is the set of
+reliably-delivered values at the moment the witness condition fires, a set
+that only grows and that is complete long before any cross-camp report lands
+(``slow`` far exceeds the reliable-broadcast completion time), so the
+schedule shapes *when* each witness wait completes but provably not *which*
+values are sampled (``shapes_witness_samples = False``).  The round-level
+witness form therefore keeps its full-delivery schedule, and the event
+simulator under this model must agree with it:
+
+* identical rounds, message counts, per-kind counts and per-process sends;
+* outputs and value histories within ``1e-9`` (in practice equal);
+* bit counts agree up to the one schedule-dependent quantity: a ``REPORT``
+  payload lists the sender's delivered originators *at send time*, and the
+  staggered iteration starts the partition induces can only grow that list —
+  from the ``n − t`` ids the quiescence form charges up to all participants.
+  The divergence is therefore non-negative and bounded by the per-report
+  payload growth, which the test computes from the wire format itself.
+
+The schedule's bite is on *time*, not values: the test also pins that the
+partitioned execution reaches quiescence far later than the uniform one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.termination import FixedRounds
+from repro.core.witness import REPORT_KIND, make_witness_processes
+from repro.net.adversary import (
+    CrashFaultPlan,
+    CrashPoint,
+    PartitionReportDelay,
+    SilentProcess,
+    ByzantineFaultPlan,
+)
+from repro.net.message import Message, message_bits
+from repro.net.network import ConstantDelay, SimulatedNetwork
+from repro.sim.batch import run_batch_protocol
+from repro.sim.workloads import linear_inputs, two_cluster_inputs, uniform_inputs
+
+EPSILON = 1e-3
+TOLERANCE = 1e-9
+ROUNDS = 4
+
+
+def _camp(n: int) -> range:
+    return range((n + 1) // 2)
+
+
+def _scenarios():
+    cells = []
+    for n, t, workload in [
+        (5, 1, linear_inputs(5, 0.0, 1.0)),
+        (7, 2, two_cluster_inputs(7, 0.0, 1.0, jitter=0.1, seed=7)),
+        (10, 3, uniform_inputs(10, -1.0, 1.0, seed=10)),
+    ]:
+
+        def dead(n=n, t=t):
+            return CrashFaultPlan(
+                {n - 1 - i: CrashPoint(after_sends=0) for i in range(t)}
+            )
+
+        def silent(n=n):
+            return ByzantineFaultPlan({n - 1: SilentProcess()})
+
+        cells.append((f"fault-free-n{n}", n, t, workload, None))
+        cells.append((f"initially-dead-n{n}", n, t, workload, dead))
+        cells.append((f"silent-byz-n{n}", n, t, workload, silent))
+    return cells
+
+
+GRID = _scenarios()
+
+
+def _run_event(n, t, inputs, fault_plan, delay_model):
+    processes = make_witness_processes(
+        inputs, t, EPSILON, round_policy=FixedRounds(ROUNDS)
+    )
+    network = SimulatedNetwork(
+        processes, delay_model=delay_model, fault_plan=fault_plan
+    )
+    network.start()
+    network.run(stop_when_outputs=False)
+    return network
+
+
+def _max_report_payload_growth(n, t, participants: int) -> int:
+    """Per-report wire-size slack: ids grow from ``n − t`` up to all participants."""
+    minimal = message_bits(
+        Message(kind=REPORT_KIND, round=1, value=tuple(range(n - t)))
+    )
+    maximal = message_bits(
+        Message(kind=REPORT_KIND, round=ROUNDS, value=tuple(range(participants)))
+    )
+    return max(0, maximal - minimal)
+
+
+@pytest.mark.parametrize("cell", GRID, ids=[cell[0] for cell in GRID])
+def test_partition_report_schedule_agrees_with_event_engine(cell):
+    name, n, t, inputs, plan_builder = cell
+    fault_plan = plan_builder() if plan_builder is not None else None
+    network = _run_event(
+        n, t, inputs, fault_plan, PartitionReportDelay(camp_a=_camp(n))
+    )
+    result = run_batch_protocol(
+        "witness",
+        inputs,
+        t=t,
+        epsilon=EPSILON,
+        round_policy=FixedRounds(ROUNDS),
+        fault_plan=plan_builder() if plan_builder is not None else None,
+        delay_model=PartitionReportDelay(camp_a=_camp(n)),
+    )
+
+    event, batch = network.stats, result.stats
+    assert batch.messages_sent == event.messages_sent, name
+    assert batch.messages_by_kind == event.messages_by_kind, name
+    assert batch.sends_by_process == event.sends_by_process, name
+
+    # Bits: exact up to REPORT payload growth (see module docstring).
+    reports = event.messages_by_kind.get(REPORT_KIND, 0)
+    slack = reports * _max_report_payload_growth(n, t, n - len(network.faulty))
+    assert 0 <= event.bits_sent - batch.bits_sent <= slack, name
+
+    faulty = set(network.faulty)
+    for pid, process in enumerate(network.processes):
+        if pid in faulty:
+            continue
+        assert process.has_output, f"{name}: event process {pid} undecided"
+        assert result.outputs[pid] is not None, f"{name}: batch process {pid} undecided"
+        assert abs(result.outputs[pid] - process.output_value) <= TOLERANCE, name
+        event_history = process.value_history
+        batch_history = result.value_histories[pid]
+        assert len(batch_history) == len(event_history), name
+        for left, right in zip(batch_history, event_history):
+            assert abs(left - right) <= TOLERANCE, name
+        assert process.rounds_completed == result.rounds_used == ROUNDS, name
+    assert result.ok, f"{name}: {result.report.violations}"
+
+
+def test_partition_report_schedule_staggers_decision_time():
+    """The schedule's bite: quiescence is dominated by the slow cross reports."""
+    n, t = 7, 2
+    inputs = two_cluster_inputs(n, 0.0, 1.0, jitter=0.1, seed=7)
+    uniform = _run_event(n, t, inputs, None, ConstantDelay(1.0))
+    partitioned = _run_event(
+        n, t, inputs, None, PartitionReportDelay(camp_a=_camp(n), slow=200.0)
+    )
+    # Same traffic, radically different completion times: every witness wait
+    # stalls on a cross-camp report each iteration (ROUNDS × slow dominates).
+    assert partitioned.stats.messages_sent == uniform.stats.messages_sent
+    assert partitioned.scheduler.now >= ROUNDS * 200.0
+    assert partitioned.scheduler.now > 10 * uniform.scheduler.now
+
+
+def test_round_form_keeps_full_delivery_under_report_only_delays():
+    """shapes_witness_samples=False: outputs equal the uniform-schedule run."""
+    n, t = 7, 2
+    inputs = two_cluster_inputs(n, 0.0, 1.0, jitter=0.1, seed=7)
+    default = run_batch_protocol(
+        "witness", inputs, t=t, epsilon=EPSILON, round_policy=FixedRounds(ROUNDS)
+    )
+    partitioned = run_batch_protocol(
+        "witness", inputs, t=t, epsilon=EPSILON, round_policy=FixedRounds(ROUNDS),
+        delay_model=PartitionReportDelay(camp_a=_camp(n)),
+    )
+    assert partitioned.outputs == default.outputs
+    assert partitioned.stats.messages_sent == default.stats.messages_sent
+
+
+class TestPartitionReportDelayProgramContract:
+    def test_tensor_key_distinguishes_different_programs(self):
+        # Equal keys must mean equal delay programs: camps, tiers and the
+        # slowed kinds all participate in the identity.
+        base = PartitionReportDelay(camp_a=[0, 1])
+        assert base.tensor_key() == PartitionReportDelay(camp_a=[0, 1]).tensor_key()
+        for other in [
+            PartitionReportDelay(camp_a=[0, 1, 2]),
+            PartitionReportDelay(camp_a=[0, 1], slow=50.0),
+            PartitionReportDelay(camp_a=[0, 1], report_kinds=("VALUE",)),
+        ]:
+            assert other.tensor_key() != base.tensor_key()
+
+    def test_value_slowing_configuration_ranks_by_camp(self):
+        np = pytest.importorskip("numpy")
+        # With VALUE in report_kinds the round-level ranking is the partition
+        # matrix, not constant-fast — and the tensor must reflect it.
+        model = PartitionReportDelay(camp_a=[0, 1], report_kinds=("VALUE",))
+        tensor = np.asarray(model.delay_tensor(1, 4, np.zeros(1, dtype=np.uint64)))[0]
+        probe = Message(kind="VALUE", round=1, value=0.0)
+        expected = [[model.delay(s, r, probe, 1.0) for s in range(4)] for r in range(4)]
+        assert np.array_equal(tensor, np.asarray(expected))
+        assert tensor[0][2] == model.slow  # cross-camp VALUE is slow
+
+    def test_sample_invariance_flag_tracks_configuration(self):
+        assert not PartitionReportDelay(camp_a=[0, 1]).shapes_witness_samples
+        assert PartitionReportDelay(
+            camp_a=[0, 1], report_kinds=("REPORT", "RBC_READY")
+        ).shapes_witness_samples
+        assert PartitionReportDelay(
+            camp_a=[0, 1], report_kinds=("VALUE",)
+        ).shapes_witness_samples
+
+
+def test_witness_partition_sweep_adversary_runs_everywhere():
+    from repro.sim.sweep import SweepCell, run_cell
+
+    for protocol, engine in [
+        ("witness", "batch"),
+        ("witness", "event"),
+        ("async-crash", "batch"),
+        ("async-crash", "auto"),
+    ]:
+        cell = SweepCell(
+            protocol=protocol, n=7, t=2, epsilon=1e-2,
+            adversary="witness-partition", workload="uniform", seed=0,
+            engine=engine,
+        )
+        outcome = run_cell(cell)
+        assert outcome.ok, (protocol, engine, outcome.violations)
