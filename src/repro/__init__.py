@@ -79,7 +79,10 @@ from repro.sim import (
     EngineCapabilityError,
     ExecutionResult,
     SweepCell,
+    SweepJob,
+    SweepJobResult,
     SweepSpec,
+    SweepSummaryFold,
     VectorExecutionResult,
     read_sweep_jsonl,
     run,
@@ -127,7 +130,10 @@ __all__ = [
     "SimulatedNetwork",
     "SpreadEstimateRounds",
     "SweepCell",
+    "SweepJob",
+    "SweepJobResult",
     "SweepSpec",
+    "SweepSummaryFold",
     "SyncByzantineProcess",
     "SyncCrashProcess",
     "UniformRandomDelay",

@@ -7,9 +7,9 @@ No third-party dependency is used; the output is aligned monospace text.
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence
+from typing import Any, Iterable, List, Sequence
 
-__all__ = ["format_cell", "render_table", "render_records"]
+__all__ = ["format_cell", "render_table", "render_records", "render_fold"]
 
 
 def format_cell(value: Any) -> str:
@@ -50,7 +50,23 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: s
     return "\n".join(lines)
 
 
-def render_records(records: Sequence["ExperimentRecord"], columns: Sequence[str], title: str = "") -> str:
-    """Render a list of :class:`~repro.sim.experiments.ExperimentRecord` rows."""
+def render_records(records: Iterable["ExperimentRecord"], columns: Sequence[str], title: str = "") -> str:
+    """Render :class:`~repro.sim.experiments.ExperimentRecord` rows.
+
+    Accepts any iterable of records — including a generator streamed off a
+    JSONL store — since rendering only needs one pass.
+    """
     rows = [record.as_row(columns) for record in records]
     return render_table(columns, rows, title=title)
+
+
+def render_fold(fold: Any, columns: Sequence[str], title: str = "") -> str:
+    """Render an incremental aggregation (anything with ``.records()``).
+
+    The streaming companion of :func:`render_records` for folds like
+    :class:`repro.sim.sweep.SweepSummaryFold`: aggregate one or many sweep
+    stores in constant memory, then render the group rows — the table for a
+    million-cell sharded sweep never materialises the cells.  Duck-typed on
+    ``records()`` so this rendering layer needs no import of the sim layer.
+    """
+    return render_records(fold.records(), columns, title=title)

@@ -30,7 +30,22 @@ except ImportError:  # numpy unavailable — the vectorised engine is optional
             "the ndbatch engine requires numpy; install numpy or use the "
             "pure-Python batch engine (repro.sim.batch.run_batch_protocol)"
         )
-from repro.sim.experiments import ExperimentRecord, aggregate, parameter_grid, summarize_results
+from repro.sim.experiments import (
+    ExperimentRecord,
+    RunningStats,
+    aggregate,
+    parameter_grid,
+    summarize_results,
+)
+from repro.sim.job import (
+    SweepJob,
+    SweepJobError,
+    SweepJobResult,
+    cell_id,
+    cell_shard,
+    fold_sweep_jsonl,
+    scan_sweep_store,
+)
 from repro.sim.metrics import (
     CostSummary,
     contraction_factors,
@@ -55,6 +70,8 @@ from repro.sim.sweep import (
     CellOutcome,
     SweepCell,
     SweepSpec,
+    SweepStoreWarning,
+    SweepSummaryFold,
     adversary_fits_protocol,
     iter_sweep_jsonl,
     read_sweep_jsonl,
@@ -85,14 +102,24 @@ __all__ = [
     "ExperimentRecord",
     "NDBATCH_PROTOCOLS",
     "PROTOCOL_FACTORIES",
+    "RunningStats",
     "SYNCHRONOUS_PROTOCOLS",
     "SweepCell",
+    "SweepJob",
+    "SweepJobError",
+    "SweepJobResult",
     "SweepSpec",
+    "SweepStoreWarning",
+    "SweepSummaryFold",
     "VectorExecutionResult",
     "WORKLOAD_SPECS",
     "adversary_fits_protocol",
     "aggregate",
+    "cell_id",
+    "cell_shard",
     "clock_offsets",
+    "fold_sweep_jsonl",
+    "scan_sweep_store",
     "contraction_factors",
     "extremes_inputs",
     "geometric_mean_contraction",

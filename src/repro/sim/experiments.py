@@ -16,7 +16,58 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optio
 
 from repro.sim.runner import ExecutionResult
 
-__all__ = ["ExperimentRecord", "parameter_grid", "aggregate", "summarize_results"]
+__all__ = [
+    "ExperimentRecord",
+    "RunningStats",
+    "parameter_grid",
+    "aggregate",
+    "summarize_results",
+]
+
+
+@dataclass
+class RunningStats:
+    """Streaming count/mean/min/max over a sequence of measurements.
+
+    The constant-memory, mergeable counterpart of :func:`aggregate`: feed
+    values one at a time with :meth:`update`, or combine per-shard partials
+    with :meth:`merge` — the incremental aggregation primitive the sweep
+    job layer folds millions of streamed cell outcomes through without
+    holding them.  Over integer-valued measurements (rounds, messages) the
+    running sum is exact, so merge order cannot change the mean.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def merge(self, other: "RunningStats") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def summary(self) -> Dict[str, float]:
+        """The same shape :func:`aggregate` returns (NaNs when empty)."""
+        if not self.count:
+            return {"mean": float("nan"), "min": float("nan"), "max": float("nan")}
+        return {"mean": self.mean, "min": self.minimum, "max": self.maximum}
 
 
 @dataclass

@@ -1,0 +1,463 @@
+"""Resumable, sharded sweep *jobs* over the JSONL outcome store.
+
+:func:`repro.sim.sweep.run_sweep` executes one grid in one process and
+streams outcomes to one file — fine for a workstation run, fragile at fleet
+scale: a killed million-cell sweep used to mean starting over (and, worse,
+re-opening the store with mode ``"w"`` silently discarded what had finished).
+This module wraps the same execution core in a production *job* abstraction:
+
+* **Manifest** — a :class:`SweepJob` owns a directory holding
+  ``manifest.json`` (schema version, the full grid spec, seed/engine policy,
+  cell count, cell-ID algorithm) next to the outcome stores, so any host —
+  or any later session — can validate it is appending to the grid it thinks
+  it is.  A spec mismatch fails loudly (:class:`SweepJobError`).
+* **Content-addressed cells** — every cell has a stable ID,
+  :func:`cell_id`: a SHA-256 digest of its canonical JSON form
+  ``(protocol, n, t, epsilon, adversary, workload, seed, engine)``.  IDs are
+  identical across processes, hosts and ``PYTHONHASHSEED`` values, which is
+  what makes resume and sharding coordination-free.
+* **Resume** — ``job.run(resume=True)`` scans the existing store
+  (:func:`scan_sweep_store`), *repairs* a truncated trailing line — the
+  normal end state of a killed run — by truncating the store back to its
+  last complete line, then executes and appends only the missing cells.
+  Outcomes are deterministic per cell and job stores carry no wall times,
+  so an interrupted-then-resumed store is bit-identical (modulo line order)
+  to an uninterrupted one for explicit engines; under ``engine="auto"`` the
+  block-setup cost model may demote differently-sized pending sets, so only
+  :attr:`~repro.sim.sweep.CellOutcome.engine_used` may differ (never the
+  measurements).
+* **Sharding** — ``job.run(shard=(i, k))`` hash-partitions the grid by
+  :func:`cell_shard`: k independent hosts (or CI matrix jobs) each take a
+  disjoint slice whose union is exactly the full grid, no coordinator, no
+  cell executed twice.  Each shard appends to its own store file in the job
+  directory (or its own copy of the directory — merge by copying files).
+* **Incremental aggregation** — :meth:`SweepJob.fold` /
+  :func:`fold_sweep_jsonl` stream outcomes from one or many shard stores
+  through a :class:`~repro.sim.sweep.SweepSummaryFold`, so summary tables
+  over million-cell stores never hold the cells.
+
+Typical fleet use (one shard per CI matrix job)::
+
+    spec = SweepSpec(protocols=("async-crash",), system_sizes=((13, 4),),
+                     adversaries=("none", "crash-staggered"),
+                     seeds=tuple(range(1000)), engine="auto")
+    job = SweepJob(spec, "sweep-out")
+    result = job.run(shard=(index, total))    # this host's disjoint slice
+    # ... later, any host with all the shard files:
+    print(render_records(job.summary(), SUMMARY_COLUMNS))
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+from repro.sim.experiments import ExperimentRecord
+from repro.sim.sweep import (
+    DEFAULT_MAX_BLOCK_SIZE,
+    CellOutcome,
+    SweepCell,
+    SweepSpec,
+    SweepSummaryFold,
+    _iter_indexed_outcomes,
+    _outcome_from_payload,
+    _outcome_to_json_line,
+    iter_sweep_jsonl,
+)
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "CELL_ID_ALGORITHM",
+    "SweepJobError",
+    "SweepJobResult",
+    "StoreScan",
+    "cell_id",
+    "cell_shard",
+    "scan_sweep_store",
+    "fold_sweep_jsonl",
+    "SweepJob",
+]
+
+#: Version of the on-disk layout (manifest shape + JSONL line schema).
+STORE_SCHEMA_VERSION = 1
+
+#: How cell IDs are derived — recorded in the manifest so a future algorithm
+#: change cannot silently mix incompatible IDs in one job directory.
+CELL_ID_ALGORITHM = "sha256-canonical-json/16"
+
+
+class SweepJobError(RuntimeError):
+    """A sweep job invariant was violated (manifest mismatch, clobber, …)."""
+
+
+def cell_id(cell: SweepCell) -> str:
+    """Content-addressed ID of one sweep cell: 16 hex chars, stable everywhere.
+
+    The digest is taken over the cell's canonical JSON form (sorted keys,
+    no whitespace), so it depends only on the cell's eight fields — never on
+    process identity, dict order or ``PYTHONHASHSEED``.  Floats serialise
+    via ``repr`` (shortest round-trip form), which is stable across the
+    supported Python versions.
+    """
+    payload = json.dumps(
+        {
+            "protocol": cell.protocol,
+            "n": cell.n,
+            "t": cell.t,
+            "epsilon": cell.epsilon,
+            "adversary": cell.adversary,
+            "workload": cell.workload,
+            "seed": cell.seed,
+            "engine": cell.engine,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def cell_shard(cell: SweepCell, shard_count: int) -> int:
+    """Which of ``shard_count`` disjoint slices this cell belongs to.
+
+    Hash partitioning over :func:`cell_id`: every cell lands in exactly one
+    shard, the union of all shards is exactly the grid, and the assignment
+    is identical on every host — no coordination needed.
+    """
+    if shard_count < 1:
+        raise ValueError("shard_count must be at least 1")
+    return int(cell_id(cell), 16) % shard_count
+
+
+class StoreScan(NamedTuple):
+    """Result of scanning one JSONL store for completed work.
+
+    ``valid_bytes`` is the offset just past the last decodable, fully
+    written line: everything beyond it (a truncated tail from a killed run,
+    or garbage) is unusable and safe to truncate away before appending.
+    """
+
+    completed_ids: Set[str]
+    valid_bytes: int
+    valid_lines: int
+    corrupt: bool
+
+
+def scan_sweep_store(path: str) -> StoreScan:
+    """Scan a sweep JSONL store, tolerating a truncated or corrupt tail.
+
+    Reads line by line in binary mode (byte offsets must be exact for the
+    repair truncation), collecting the :func:`cell_id` of every complete,
+    decodable outcome line.  The scan stops trusting the file at the first
+    line that is incomplete (no trailing newline — the normal end state of
+    a killed run) or undecodable; ``corrupt`` reports whether such a tail
+    exists beyond ``valid_bytes``.
+    """
+    completed: Set[str] = set()
+    valid_bytes = 0
+    valid_lines = 0
+    corrupt = False
+    with open(path, "rb") as handle:
+        while True:
+            line = handle.readline()
+            if not line:
+                break
+            if not line.endswith(b"\n"):
+                corrupt = True  # partial trailing line: write was interrupted
+                break
+            stripped = line.strip()
+            if stripped:
+                try:
+                    outcome = _outcome_from_payload(json.loads(stripped.decode("utf-8")))
+                except (ValueError, KeyError, TypeError):
+                    # An undecodable *complete* line means the tail of the
+                    # store can no longer be trusted; stop here so the repair
+                    # truncation re-executes everything past this point.
+                    corrupt = True
+                    break
+                completed.add(cell_id(outcome.cell))
+                valid_lines += 1
+            valid_bytes = handle.tell()
+    return StoreScan(completed, valid_bytes, valid_lines, corrupt)
+
+
+def fold_sweep_jsonl(
+    paths: Iterable[str],
+    fold: Optional[SweepSummaryFold] = None,
+) -> SweepSummaryFold:
+    """Stream one or many (shard) stores into a :class:`SweepSummaryFold`.
+
+    Outcomes are deduplicated by :func:`cell_id` across files (first
+    occurrence wins), so aggregating a directory that holds both an old
+    unsharded store and newer shard stores cannot double-count a cell.
+    Memory stays proportional to summary groups + one ID per cell seen.
+    """
+    fold = fold if fold is not None else SweepSummaryFold()
+    seen: Set[str] = set()
+    for path in paths:
+        for outcome in iter_sweep_jsonl(str(path)):
+            identity = cell_id(outcome.cell)
+            if identity in seen:
+                continue
+            seen.add(identity)
+            fold.update(outcome)
+    return fold
+
+
+@dataclass(frozen=True)
+class SweepJobResult:
+    """What one :meth:`SweepJob.run` call did."""
+
+    #: Cells in this run's slice of the grid (the whole grid when unsharded).
+    total: int
+    #: Cells skipped because a completed outcome was already in a store.
+    skipped: int
+    #: Cells executed and appended by this call.
+    executed: int
+    #: The store file this call appended to.
+    store_path: str
+    #: The ``(index, count)`` shard slice, or ``None`` for the full grid.
+    shard: Optional[Tuple[int, int]] = None
+    #: Whether a truncated/corrupt store tail was repaired before appending.
+    repaired: bool = False
+
+
+class SweepJob:
+    """A manifest-carrying, resumable, shardable sweep over one grid spec.
+
+    The job owns ``directory``: ``manifest.json`` plus one JSONL store per
+    slice (``cells.jsonl``, or ``cells.shard-00-of-04.jsonl`` …).  All
+    execution goes through the same engine core as
+    :func:`repro.sim.sweep.run_sweep`, so pool-versus-serial determinism and
+    the engine capability matrix carry over unchanged; job stores are
+    written in *canonical* line form (no wall times), making them a pure
+    function of the grid.
+    """
+
+    MANIFEST_NAME = "manifest.json"
+    STORE_STEM = "cells"
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        directory: str,
+        workers: Optional[int] = None,
+        max_block_size: int = DEFAULT_MAX_BLOCK_SIZE,
+    ) -> None:
+        self.spec = spec
+        self.directory = Path(directory)
+        self.workers = workers
+        self.max_block_size = max_block_size
+
+    # ---- layout ------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / self.MANIFEST_NAME
+
+    def store_path(self, shard: Optional[Tuple[int, int]] = None) -> Path:
+        """The JSONL store for one slice of the grid."""
+        if shard is None:
+            return self.directory / f"{self.STORE_STEM}.jsonl"
+        index, count = self._validate_shard(shard)
+        return self.directory / f"{self.STORE_STEM}.shard-{index:02d}-of-{count:02d}.jsonl"
+
+    def store_paths(self) -> List[Path]:
+        """Every existing store file of this job, in sorted order."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob(f"{self.STORE_STEM}*.jsonl"))
+
+    # ---- manifest ----------------------------------------------------
+
+    def manifest_payload(self) -> Dict:
+        """The manifest document this job's spec implies."""
+        spec = self.spec
+        return {
+            "schema_version": STORE_SCHEMA_VERSION,
+            "cell_id_algorithm": CELL_ID_ALGORITHM,
+            "spec": {
+                "protocols": list(spec.protocols),
+                "system_sizes": [list(pair) for pair in spec.system_sizes],
+                "adversaries": list(spec.adversaries),
+                "workloads": list(spec.workloads),
+                "seeds": list(spec.seeds),
+                "epsilon": spec.epsilon,
+                "engine": spec.engine,
+            },
+            # The seed axis *is* the seed policy: every cell derives all of
+            # its randomness (workload draws, adversary PRF streams) from its
+            # own seed value, so the manifest pins the full entropy source.
+            "seed_policy": "explicit-seed-axis",
+            "engine_policy": spec.engine,
+            "cell_count": spec.cell_count,
+        }
+
+    def write_manifest(self) -> Path:
+        """Atomically write (or validate against) the job manifest."""
+        existing = self.load_manifest()
+        expected = self.manifest_payload()
+        if existing is not None:
+            if existing != expected:
+                raise SweepJobError(
+                    f"manifest {self.manifest_path} does not match this job's "
+                    "grid spec — this directory belongs to a different sweep; "
+                    "use a fresh directory (stores are content-addressed to "
+                    "their manifest's grid)"
+                )
+            return self.manifest_path
+        self.directory.mkdir(parents=True, exist_ok=True)
+        temporary = self.manifest_path.with_suffix(".json.tmp")
+        temporary.write_text(
+            json.dumps(expected, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(temporary, self.manifest_path)
+        return self.manifest_path
+
+    def load_manifest(self) -> Optional[Dict]:
+        """The manifest on disk, or ``None`` if this job was never started."""
+        try:
+            text = self.manifest_path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        try:
+            return json.loads(text)
+        except ValueError as error:
+            raise SweepJobError(
+                f"manifest {self.manifest_path} is not valid JSON: {error}"
+            ) from error
+
+    # ---- grid slices -------------------------------------------------
+
+    @staticmethod
+    def _validate_shard(shard: Tuple[int, int]) -> Tuple[int, int]:
+        index, count = shard
+        if count < 1:
+            raise ValueError("shard count must be at least 1")
+        if not 0 <= index < count:
+            raise ValueError(f"shard index {index} outside 0..{count - 1}")
+        return index, count
+
+    def cells(self, shard: Optional[Tuple[int, int]] = None) -> List[SweepCell]:
+        """This run's slice of the grid, in grid order."""
+        grid = self.spec.cells()
+        if shard is None:
+            return list(grid)
+        index, count = self._validate_shard(shard)
+        return [cell for cell in grid if cell_shard(cell, count) == index]
+
+    def completed_ids(self) -> Set[str]:
+        """Cell IDs with a decodable outcome in any store of this job."""
+        completed: Set[str] = set()
+        for path in self.store_paths():
+            completed |= scan_sweep_store(str(path)).completed_ids
+        return completed
+
+    def is_complete(self) -> bool:
+        """Whether every grid cell has an outcome across the job's stores."""
+        completed = self.completed_ids()
+        return all(cell_id(cell) in completed for cell in self.spec.cells())
+
+    # ---- execution ---------------------------------------------------
+
+    def run(
+        self,
+        resume: bool = True,
+        shard: Optional[Tuple[int, int]] = None,
+        overwrite: bool = False,
+    ) -> SweepJobResult:
+        """Execute (the missing part of) this job's slice of the grid.
+
+        With ``resume=True`` (the default) every existing store in the job
+        directory is scanned for completed cells, the target store's
+        truncated/corrupt tail — the normal end state of a killed run — is
+        repaired by truncating back to the last complete line, and only the
+        cells without a stored outcome are executed and appended.  With
+        ``resume=False`` a non-empty target store is an error unless
+        ``overwrite=True`` truncates it (the other stores are never
+        touched).  Execution streams through the same engine core as
+        :func:`~repro.sim.sweep.run_sweep`, flushing each outcome (batch/
+        event) or finished chunk (ndbatch/auto) as the pool returns it.
+        """
+        self.write_manifest()
+        target = self.store_path(shard)
+        repaired = False
+        completed: Set[str] = set()
+        if target.exists() and target.stat().st_size > 0:
+            if overwrite:
+                target.write_text("", encoding="utf-8")
+            elif not resume:
+                raise SweepJobError(
+                    f"store {target} already holds outcomes; pass resume=True "
+                    "to append only missing cells or overwrite=True to discard it"
+                )
+            else:
+                scan = scan_sweep_store(str(target))
+                if scan.corrupt:
+                    # Truncate the unusable tail so the append below starts
+                    # on a clean line boundary (appending after a partial
+                    # line would corrupt the next outcome too).
+                    with open(target, "r+b") as handle:
+                        handle.truncate(scan.valid_bytes)
+                    repaired = True
+                completed |= scan.completed_ids
+        if resume and not overwrite:
+            for path in self.store_paths():
+                if path != target:
+                    completed |= scan_sweep_store(str(path)).completed_ids
+        grid = self.cells(shard)
+        pending = [cell for cell in grid if cell_id(cell) not in completed]
+        executed = 0
+        if pending:
+            with open(target, "a", encoding="utf-8") as handle:
+                for _, outcome in _iter_indexed_outcomes(
+                    pending, self.spec.engine, self.workers, self.max_block_size
+                ):
+                    # Canonical (wall-time-free) lines, one flush per line:
+                    # a kill loses at most the line being written, which the
+                    # next resume repairs.
+                    handle.write(_outcome_to_json_line(outcome, include_wall_time=False))
+                    handle.flush()
+                    executed += 1
+        return SweepJobResult(
+            total=len(grid),
+            skipped=len(grid) - len(pending),
+            executed=executed,
+            store_path=str(target),
+            shard=shard,
+            repaired=repaired,
+        )
+
+    # ---- reading & aggregation ----------------------------------------
+
+    def iter_outcomes(self) -> Iterator[CellOutcome]:
+        """Stream every stored outcome, deduplicated by cell ID across stores."""
+        seen: Set[str] = set()
+        for path in self.store_paths():
+            for outcome in iter_sweep_jsonl(str(path)):
+                identity = cell_id(outcome.cell)
+                if identity in seen:
+                    continue
+                seen.add(identity)
+                yield outcome
+
+    def outcomes(self) -> List[CellOutcome]:
+        """Every stored outcome, in grid order (missing cells are absent)."""
+        by_id = {cell_id(outcome.cell): outcome for outcome in self.iter_outcomes()}
+        ordered = []
+        for cell in self.spec.cells():
+            outcome = by_id.get(cell_id(cell))
+            if outcome is not None:
+                ordered.append(outcome)
+        return ordered
+
+    def fold(self) -> SweepSummaryFold:
+        """Incrementally aggregate every store without holding the cells."""
+        return fold_sweep_jsonl(str(path) for path in self.store_paths())
+
+    def summary(self) -> List[ExperimentRecord]:
+        """Per-configuration summary rows over all stored outcomes."""
+        return self.fold().records()

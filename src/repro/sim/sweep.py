@@ -44,8 +44,20 @@ import itertools
 import json
 import multiprocessing
 import os
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.analysis.convergence import compare_to_bound
 from repro.core.rounds import (
@@ -90,7 +102,7 @@ try:
     from repro.sim.ndbatch import run_ndbatch_block
 except ImportError:  # numpy unavailable — engine="ndbatch" raises at dispatch
     run_ndbatch_block = None
-from repro.sim.experiments import ExperimentRecord, aggregate
+from repro.sim.experiments import ExperimentRecord, RunningStats
 from repro.sim.metrics import CostSummary
 from repro.sim.runner import PROTOCOL_FACTORIES, ExecutionResult
 from repro.sim.workloads import (
@@ -113,6 +125,8 @@ __all__ = [
     "SweepCell",
     "SweepSpec",
     "CellOutcome",
+    "SweepStoreWarning",
+    "SweepSummaryFold",
     "adversary_fits_protocol",
     "run_cell",
     "run_sweep",
@@ -368,6 +382,9 @@ class CellOutcome:
                 "protocol": cell.protocol,
                 "n": cell.n,
                 "t": cell.t,
+                # epsilon is part of the cell identity: dropping it here made
+                # records from different-ε grids indistinguishable downstream.
+                "epsilon": cell.epsilon,
                 "adversary": cell.adversary,
                 "workload": cell.workload,
                 "seed": cell.seed,
@@ -389,12 +406,12 @@ class CellOutcome:
 
 #: Column sets for rendering per-cell and per-group tables.
 CELL_COLUMNS = [
-    "protocol", "n", "t", "adversary", "workload", "seed", "engine",
+    "protocol", "n", "t", "epsilon", "adversary", "workload", "seed", "engine",
     "rounds", "messages", "worst_contraction", "expected_contraction",
     "output_spread", "ok",
 ]
 SUMMARY_COLUMNS = [
-    "protocol", "n", "t", "adversary", "workload", "engine", "runs",
+    "protocol", "n", "t", "epsilon", "adversary", "workload", "engine", "runs",
     "ok_fraction", "rounds_mean", "messages_mean", "worst_contraction",
     "expected_contraction", "ok",
 ]
@@ -625,17 +642,24 @@ def _run_ndbatch_chunk(
     ]
 
 
-def _run_ndbatch_cells(
+def _iter_ndbatch_outcomes(
     cells: List[SweepCell],
     workers: Optional[int],
     max_block_size: int = DEFAULT_MAX_BLOCK_SIZE,
     blocks: Optional[List[Tuple[int, List[int], List[List[float]]]]] = None,
-) -> List[Optional[CellOutcome]]:
-    """Run an ndbatch sweep: group into blocks, split, dispatch, restore order.
+) -> Iterator[Tuple[int, CellOutcome]]:
+    """Yield ``(cell_index, outcome)`` pairs, streaming chunk by chunk.
+
+    Cells are grouped into shape-compatible blocks, split into capped chunks
+    and dispatched on the pool; each chunk's outcomes are yielded as soon as
+    the (ordered) pool iterator hands them back, so a consumer persisting
+    outcomes keeps every finished chunk even if the sweep is killed mid-run.
+    The pairs arrive in chunk order, not grid order — callers needing grid
+    order reassemble by index.
 
     ``blocks`` lets the auto dispatcher hand over its cost-model grouping
     pass instead of regrouping (and regenerating every workload); cells not
-    covered by the given blocks come back as ``None``.
+    covered by the given blocks are simply not yielded.
     """
     if blocks is None:
         blocks = _group_ndbatch_blocks(cells)
@@ -645,21 +669,18 @@ def _run_ndbatch_cells(
         for rounds, indices, inputs_block in blocks
     ]
     worker_count = _resolve_workers(workers, len(chunks))
-    if worker_count <= 1 or len(chunks) <= 1:
-        block_outcomes = [_run_ndbatch_chunk(chunk) for chunk in chunks]
-    else:
+    if worker_count > 1 and len(chunks) > 1:
         try:
             pool = multiprocessing.Pool(worker_count)
         except OSError:
-            block_outcomes = [_run_ndbatch_chunk(chunk) for chunk in chunks]
-        else:
+            pool = None
+        if pool is not None:
             with pool:
-                block_outcomes = pool.map(_run_ndbatch_chunk, chunks)
-    outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
-    for (rounds, indices, _), block in zip(blocks, block_outcomes):
-        for index, outcome in zip(indices, block):
-            outcomes[index] = outcome
-    return outcomes
+                for (_, indices, _), block in zip(blocks, pool.imap(_run_ndbatch_chunk, chunks)):
+                    yield from zip(indices, block)
+            return
+    for (_, indices, _), block in zip(blocks, map(_run_ndbatch_chunk, chunks)):
+        yield from zip(indices, block)
 
 
 def _auto_engine_for(cell: SweepCell) -> str:
@@ -692,14 +713,19 @@ def _auto_engine_for(cell: SweepCell) -> str:
     )
 
 
-def _run_auto_cells(
+def _iter_auto_outcomes(
     cells: List[SweepCell],
     workers: Optional[int],
     max_block_size: int,
-) -> List[CellOutcome]:
-    """Capability-dispatch a mixed grid: ndbatch blocks + per-cell engines."""
+) -> Iterator[Tuple[int, CellOutcome]]:
+    """Capability-dispatch a mixed grid: ndbatch blocks + per-cell engines.
+
+    Yields ``(cell_index, outcome)`` pairs: the vectorised blocks stream
+    first (chunk by chunk, as the pool returns them), then the remaining
+    cells stream per cell in grid order.
+    """
     nd_indices = [i for i, cell in enumerate(cells) if _auto_engine_for(cell) == "ndbatch"]
-    outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+    covered = set()
     if nd_indices:
         # Block-setup cost model: group the candidate cells into tensor
         # blocks once, keep only groups whose work — cells × rounds × n —
@@ -713,20 +739,18 @@ def _run_auto_cells(
             if len(block[1]) * block[0] * nd_cells[block[1][0]].n >= NDBATCH_MIN_WORK
         ]
         if kept_blocks:
-            nd_outcomes = _run_ndbatch_cells(
+            for sub_index, outcome in _iter_ndbatch_outcomes(
                 nd_cells, workers, max_block_size, blocks=kept_blocks
-            )
-            for index, outcome in zip(nd_indices, nd_outcomes):
-                if outcome is not None:
-                    outcomes[index] = outcome
-    other_indices = [i for i in range(len(cells)) if outcomes[i] is None]
+            ):
+                index = nd_indices[sub_index]
+                covered.add(index)
+                yield index, outcome
+    other_indices = [i for i in range(len(cells)) if i not in covered]
     if other_indices:
-        for index, outcome in zip(
+        yield from zip(
             other_indices,
             _iter_outcomes([cells[i] for i in other_indices], workers),
-        ):
-            outcomes[index] = outcome
-    return outcomes  # type: ignore[return-value]
+        )
 
 
 def _iter_outcomes(cells: List[SweepCell], workers: Optional[int]) -> Iterator[CellOutcome]:
@@ -751,11 +775,50 @@ def _iter_outcomes(cells: List[SweepCell], workers: Optional[int]) -> Iterator[C
         yield from pool.imap(run_cell, cells, chunksize=chunk)
 
 
+def _iter_indexed_outcomes(
+    cells: List[SweepCell],
+    engine: str,
+    workers: Optional[int],
+    max_block_size: int,
+) -> Iterator[Tuple[int, CellOutcome]]:
+    """Yield ``(cell_index, outcome)`` for an explicit cell list, streaming.
+
+    The single execution core shared by :func:`run_sweep` and the job layer
+    (:mod:`repro.sim.job`): every engine path streams outcomes as the pool
+    hands them back — per cell for batch/event, per chunk for ndbatch/auto —
+    so persistence layers can flush completed work incrementally.  The yield
+    order is engine-dependent but deterministic; indices restore grid order.
+    """
+    if engine == "ndbatch":
+        yield from _iter_ndbatch_outcomes(cells, workers, max_block_size)
+    elif engine == "auto":
+        yield from _iter_auto_outcomes(cells, workers, max_block_size)
+    else:
+        yield from enumerate(_iter_outcomes(cells, workers))
+
+
+def _check_store_clobber(jsonl_path: str, overwrite: bool) -> None:
+    """Refuse to truncate a non-empty store unless explicitly overwriting."""
+    if overwrite:
+        return
+    try:
+        existing = os.path.getsize(jsonl_path)
+    except OSError:
+        return
+    if existing > 0:
+        raise FileExistsError(
+            f"refusing to overwrite existing sweep store {jsonl_path!r} "
+            f"({existing} bytes); pass overwrite=True to truncate it, or use "
+            "repro.sim.job.SweepJob(resume=True) to append only missing cells"
+        )
+
+
 def run_sweep(
     spec: SweepSpec,
     workers: Optional[int] = None,
     jsonl_path: Optional[str] = None,
     max_block_size: int = DEFAULT_MAX_BLOCK_SIZE,
+    overwrite: bool = False,
 ) -> Union[List[CellOutcome], int]:
     """Run every cell of ``spec``, in grid order.
 
@@ -783,31 +846,36 @@ def run_sweep(
     the engine that ran it in :attr:`CellOutcome.engine_used`.
 
     When ``jsonl_path`` is given, outcomes stream to that file as JSON lines
-    (one :class:`CellOutcome` per line, grid order) instead of accumulating
-    in memory, and the function returns the number of cells written; read
-    them back with :func:`read_sweep_jsonl` / :func:`iter_sweep_jsonl`.  The
-    batch/event engines write each outcome as it completes; the
-    ndbatch/auto engines compute whole blocks, then write.  Without
+    (one :class:`CellOutcome` per line) instead of accumulating in memory,
+    and the function returns the number of cells written; read them back
+    with :func:`read_sweep_jsonl` / :func:`iter_sweep_jsonl`.  Every engine
+    writes and flushes as work completes — per outcome on the batch/event
+    engines (grid order), per finished chunk on ndbatch/auto (chunk order) —
+    so a killed sweep keeps everything that had been handed back by then.
+    An existing non-empty store is never silently truncated: the call fails
+    with :class:`FileExistsError` unless ``overwrite=True`` (the legacy
+    escape hatch) — to *continue* an interrupted sweep instead, use the
+    resumable job layer, :class:`repro.sim.job.SweepJob`.  Without
     ``jsonl_path`` the outcomes are returned as a list.
     """
     cells = list(spec.cells())
-    if spec.engine in ("ndbatch", "auto"):
-        if spec.engine == "ndbatch":
-            outcomes = _run_ndbatch_cells(cells, workers, max_block_size)
-        else:
-            outcomes = _run_auto_cells(cells, workers, max_block_size)
-        if jsonl_path is None:
-            return outcomes
-        with open(jsonl_path, "w", encoding="utf-8") as handle:
-            for outcome in outcomes:
-                handle.write(_outcome_to_json_line(outcome))
-        return len(outcomes)
     if jsonl_path is None:
+        if spec.engine in ("ndbatch", "auto"):
+            outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+            for index, outcome in _iter_indexed_outcomes(
+                cells, spec.engine, workers, max_block_size
+            ):
+                outcomes[index] = outcome
+            return outcomes  # type: ignore[return-value]
         return list(_iter_outcomes(cells, workers))
+    _check_store_clobber(jsonl_path, overwrite)
     written = 0
     with open(jsonl_path, "w", encoding="utf-8") as handle:
-        for outcome in _iter_outcomes(cells, workers):
+        for _, outcome in _iter_indexed_outcomes(
+            cells, spec.engine, workers, max_block_size
+        ):
             handle.write(_outcome_to_json_line(outcome))
+            handle.flush()
             written += 1
     return written
 
@@ -817,12 +885,25 @@ def run_sweep(
 # ----------------------------------------------------------------------
 
 
-def _outcome_to_json_line(outcome: CellOutcome) -> str:
+class SweepStoreWarning(RuntimeWarning):
+    """A sweep JSONL store held lines that could not be decoded.
+
+    Emitted (never raised) by :func:`iter_sweep_jsonl` when it skips a
+    truncated or corrupt line — the normal end state of a killed sweep is a
+    partial trailing line, and readers must survive it.  The job layer
+    (:mod:`repro.sim.job`) goes further and *repairs* the store on resume.
+    """
+
+
+def _outcome_to_json_line(outcome: CellOutcome, include_wall_time: bool = True) -> str:
     """One JSON line for a :class:`CellOutcome` (non-finite floats included).
 
     Uses Python's JSON dialect for ``NaN``/``Infinity`` (``allow_nan``), which
     :func:`json.loads` parses back; ``output_spread`` is NaN for cells where
-    no process decided.
+    no process decided.  ``include_wall_time=False`` omits the (observational,
+    run-to-run varying) wall time so the line is a pure function of the cell
+    — the canonical form the job layer writes, making resumed stores
+    bit-identical to uninterrupted ones.
     """
     cell = outcome.cell
     payload = {
@@ -850,33 +931,66 @@ def _outcome_to_json_line(outcome: CellOutcome) -> str:
         "violations": list(outcome.violations),
         "engine_used": outcome.engine_used,
     }
+    if not include_wall_time:
+        del payload["wall_time_seconds"]
     return json.dumps(payload) + "\n"
 
 
-def iter_sweep_jsonl(path: str) -> Iterator[CellOutcome]:
-    """Lazily read :class:`CellOutcome` records written by ``run_sweep(..., jsonl_path=...)``."""
+def _outcome_from_payload(payload: Dict) -> CellOutcome:
+    """Rebuild a :class:`CellOutcome` from one decoded JSONL payload."""
+    return CellOutcome(
+        cell=SweepCell(**payload["cell"]),
+        ok=payload["ok"],
+        all_decided=payload["all_decided"],
+        rounds=payload["rounds"],
+        messages=payload["messages"],
+        bits=payload["bits"],
+        output_spread=payload["output_spread"],
+        theoretical_contraction=payload["theoretical_contraction"],
+        worst_contraction=payload["worst_contraction"],
+        mean_contraction=payload["mean_contraction"],
+        bound_respected=payload["bound_respected"],
+        wall_time_seconds=payload.get("wall_time_seconds", 0.0),
+        violations=tuple(payload["violations"]),
+        engine_used=payload.get("engine_used", ""),
+    )
+
+
+def iter_sweep_jsonl(path: str, strict: bool = False) -> Iterator[CellOutcome]:
+    """Lazily read :class:`CellOutcome` records written by ``run_sweep(..., jsonl_path=...)``.
+
+    A sweep killed mid-write leaves a truncated trailing line — the *normal*
+    end state of an interrupted run, not an exceptional one — so undecodable
+    lines are skipped with a :class:`SweepStoreWarning` naming the line
+    number instead of blowing up the whole iteration.  Pass ``strict=True``
+    to restore the old fail-fast behaviour (``ValueError`` on the first bad
+    line).  To repair a store (truncate the partial tail) and re-execute the
+    missing cells, use :class:`repro.sim.job.SweepJob` with ``resume=True``.
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+        for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
-            payload = json.loads(line)
-            yield CellOutcome(
-                cell=SweepCell(**payload["cell"]),
-                ok=payload["ok"],
-                all_decided=payload["all_decided"],
-                rounds=payload["rounds"],
-                messages=payload["messages"],
-                bits=payload["bits"],
-                output_spread=payload["output_spread"],
-                theoretical_contraction=payload["theoretical_contraction"],
-                worst_contraction=payload["worst_contraction"],
-                mean_contraction=payload["mean_contraction"],
-                bound_respected=payload["bound_respected"],
-                wall_time_seconds=payload["wall_time_seconds"],
-                violations=tuple(payload["violations"]),
-                engine_used=payload.get("engine_used", ""),
-            )
+            try:
+                payload = json.loads(line)
+                outcome = _outcome_from_payload(payload)
+            except (ValueError, KeyError, TypeError) as error:
+                # ValueError covers json.JSONDecodeError; KeyError/TypeError
+                # cover structurally valid JSON that is not an outcome line.
+                if strict:
+                    raise ValueError(
+                        f"{path}:{line_number}: undecodable sweep store line: {error}"
+                    ) from error
+                warnings.warn(
+                    f"{path}:{line_number}: skipping undecodable sweep store "
+                    f"line ({error}); a truncated trailing line is the normal "
+                    "end state of a killed sweep — resume the job to repair it",
+                    SweepStoreWarning,
+                    stacklevel=2,
+                )
+                continue
+            yield outcome
 
 
 def read_sweep_jsonl(path: str) -> List[CellOutcome]:
@@ -889,46 +1003,132 @@ def records_from_sweep(outcomes: Sequence[CellOutcome]) -> List[ExperimentRecord
     return [outcome.as_record() for outcome in outcomes]
 
 
-def summarize_sweep(outcomes: Sequence[CellOutcome]) -> List[ExperimentRecord]:
+@dataclass
+class _GroupFold:
+    """Streaming aggregate of one summary group (constant memory per group)."""
+
+    rounds: RunningStats = field(default_factory=RunningStats)
+    messages: RunningStats = field(default_factory=RunningStats)
+    ok_count: int = 0
+    worst_contraction: Optional[float] = None
+    theoretical_contraction: float = 0.0
+    all_ok: bool = True
+
+    def update(self, outcome: CellOutcome) -> None:
+        self.rounds.update(outcome.rounds)
+        self.messages.update(outcome.messages)
+        if outcome.ok:
+            self.ok_count += 1
+        if outcome.worst_contraction is not None:
+            if self.worst_contraction is None or outcome.worst_contraction > self.worst_contraction:
+                self.worst_contraction = outcome.worst_contraction
+        if self.rounds.count == 1:
+            self.theoretical_contraction = outcome.theoretical_contraction
+        self.all_ok = self.all_ok and outcome.ok and outcome.bound_respected
+
+    def merge(self, other: "_GroupFold") -> None:
+        if self.rounds.count == 0:
+            self.theoretical_contraction = other.theoretical_contraction
+        self.rounds.merge(other.rounds)
+        self.messages.merge(other.messages)
+        self.ok_count += other.ok_count
+        if other.worst_contraction is not None:
+            if self.worst_contraction is None or other.worst_contraction > self.worst_contraction:
+                self.worst_contraction = other.worst_contraction
+        self.all_ok = self.all_ok and other.all_ok
+
+
+class SweepSummaryFold:
+    """Incremental, mergeable form of :func:`summarize_sweep`.
+
+    Folds streamed :class:`CellOutcome` records — from a live sweep, from
+    :func:`iter_sweep_jsonl`, or from many shard stores — into the same
+    per-configuration summary rows without ever holding the outcomes
+    themselves: memory is proportional to the number of summary *groups*,
+    not the number of cells, so million-cell stores aggregate in constant
+    space.  Folds over disjoint shards :meth:`merge` associatively into
+    exactly the record set a single-pass fold over the union produces (the
+    running sums are over integers, so float addition order cannot drift).
+    """
+
+    def __init__(self) -> None:
+        self._groups: Dict[Tuple, _GroupFold] = {}
+        self._total = 0
+
+    @property
+    def total_outcomes(self) -> int:
+        """Number of outcomes folded in so far."""
+        return self._total
+
+    def update(self, outcome: CellOutcome) -> None:
+        """Fold one outcome into its summary group."""
+        cell = outcome.cell
+        key = (
+            cell.protocol, cell.n, cell.t, cell.epsilon,
+            cell.adversary, cell.workload, cell.engine,
+        )
+        self._groups.setdefault(key, _GroupFold()).update(outcome)
+        self._total += 1
+
+    def update_many(self, outcomes: Iterable[CellOutcome]) -> "SweepSummaryFold":
+        """Fold a stream of outcomes; returns ``self`` for chaining."""
+        for outcome in outcomes:
+            self.update(outcome)
+        return self
+
+    def merge(self, other: "SweepSummaryFold") -> "SweepSummaryFold":
+        """Fold another (e.g. per-shard) fold into this one; returns ``self``."""
+        for key, group in other._groups.items():
+            mine = self._groups.get(key)
+            if mine is None:
+                mine = self._groups[key] = _GroupFold()
+            mine.merge(group)
+        self._total += other._total
+        return self
+
+    def records(self) -> List[ExperimentRecord]:
+        """The per-configuration summary rows accumulated so far."""
+        records: List[ExperimentRecord] = []
+        for key in sorted(self._groups):
+            protocol, n, t, epsilon, adversary, workload, engine = key
+            group = self._groups[key]
+            records.append(
+                ExperimentRecord(
+                    experiment="sweep-summary",
+                    params={
+                        "protocol": protocol,
+                        "n": n,
+                        "t": t,
+                        "epsilon": epsilon,
+                        "adversary": adversary,
+                        "workload": workload,
+                        "engine": engine,
+                    },
+                    measured={
+                        "runs": group.rounds.count,
+                        "ok_fraction": group.ok_count / group.rounds.count,
+                        "rounds_mean": group.rounds.mean,
+                        "messages_mean": group.messages.mean,
+                        "worst_contraction": group.worst_contraction,
+                    },
+                    expected={"contraction": group.theoretical_contraction},
+                    ok=group.all_ok,
+                )
+            )
+        return records
+
+
+def summarize_sweep(outcomes: Iterable[CellOutcome]) -> List[ExperimentRecord]:
     """Aggregate outcomes across seeds into per-configuration records.
 
-    Groups by (protocol, n, t, adversary, workload, engine) and reports the
-    fraction of correct runs, mean rounds/messages, and the worst observed
-    contraction against the theoretical bound — the columns of
+    Groups by (protocol, n, t, epsilon, adversary, workload, engine) and
+    reports the fraction of correct runs, mean rounds/messages, and the worst
+    observed contraction against the theoretical bound — the columns of
     :data:`SUMMARY_COLUMNS`, renderable with
-    :func:`repro.analysis.tables.render_records`.
+    :func:`repro.analysis.tables.render_records`.  ``epsilon`` is part of the
+    grouping key: outcomes from different-ε grids summarise to separate rows
+    (they used to merge silently).  Accepts any iterable — including the lazy
+    :func:`iter_sweep_jsonl` reader — and streams through it in constant
+    memory per group (:class:`SweepSummaryFold` is the reusable form).
     """
-    grouped: Dict[Tuple, List[CellOutcome]] = {}
-    for outcome in outcomes:
-        cell = outcome.cell
-        key = (cell.protocol, cell.n, cell.t, cell.adversary, cell.workload, cell.engine)
-        grouped.setdefault(key, []).append(outcome)
-
-    records: List[ExperimentRecord] = []
-    for key in sorted(grouped):
-        protocol, n, t, adversary, workload, engine = key
-        group = grouped[key]
-        worsts = [o.worst_contraction for o in group if o.worst_contraction is not None]
-        records.append(
-            ExperimentRecord(
-                experiment="sweep-summary",
-                params={
-                    "protocol": protocol,
-                    "n": n,
-                    "t": t,
-                    "adversary": adversary,
-                    "workload": workload,
-                    "engine": engine,
-                },
-                measured={
-                    "runs": len(group),
-                    "ok_fraction": sum(1 for o in group if o.ok) / len(group),
-                    "rounds_mean": aggregate(o.rounds for o in group)["mean"],
-                    "messages_mean": aggregate(o.messages for o in group)["mean"],
-                    "worst_contraction": max(worsts) if worsts else None,
-                },
-                expected={"contraction": group[0].theoretical_contraction},
-                ok=all(o.ok and o.bound_respected for o in group),
-            )
-        )
-    return records
+    return SweepSummaryFold().update_many(outcomes).records()

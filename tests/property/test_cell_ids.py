@@ -1,0 +1,83 @@
+"""Property tests: content-addressed cell IDs and shard partitioning.
+
+The job layer's resume and sharding guarantees rest on three properties of
+:func:`repro.sim.job.cell_id` / :func:`repro.sim.job.cell_shard`:
+
+* IDs are a pure function of the cell's eight fields — no process state,
+  dict order or hash randomisation leaks in (cross-process stability is
+  pinned separately in ``tests/sim/test_job.py`` via subprocesses with
+  varying ``PYTHONHASHSEED``);
+* distinct cells get distinct IDs (SHA-256 over the canonical JSON form —
+  any collision in these grids would be astronomical);
+* for every shard count ``k``, each cell lands in exactly one shard, so the
+  union of the ``k`` slices is exactly the grid and no cell runs twice.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.job import cell_id, cell_shard
+from repro.sim.sweep import ADVERSARY_SPECS, WORKLOAD_SPECS, SweepCell
+from repro.sim.runner import PROTOCOL_FACTORIES
+
+protocols = st.sampled_from(sorted(PROTOCOL_FACTORIES))
+adversaries = st.sampled_from(sorted(ADVERSARY_SPECS))
+workloads = st.sampled_from(sorted(WORKLOAD_SPECS))
+engines = st.sampled_from(["auto", "batch", "ndbatch", "event"])
+epsilons = st.sampled_from([1e-1, 1e-2, 1e-3, 1e-4, 0.05, 0.125])
+
+
+@st.composite
+def cells(draw):
+    return SweepCell(
+        protocol=draw(protocols),
+        n=draw(st.integers(min_value=1, max_value=64)),
+        t=draw(st.integers(min_value=0, max_value=20)),
+        epsilon=draw(epsilons),
+        adversary=draw(adversaries),
+        workload=draw(workloads),
+        seed=draw(st.integers(min_value=0, max_value=2**63)),
+        engine=draw(engines),
+    )
+
+
+class TestCellIdProperties:
+    @given(cell=cells())
+    @settings(max_examples=80, deadline=None)
+    def test_id_is_deterministic_and_well_formed(self, cell):
+        first = cell_id(cell)
+        assert first == cell_id(cell)
+        assert len(first) == 16
+        assert set(first) <= set("0123456789abcdef")
+
+    @given(cell=cells(), other=cells())
+    @settings(max_examples=80, deadline=None)
+    def test_distinct_cells_get_distinct_ids(self, cell, other):
+        if cell != other:
+            assert cell_id(cell) != cell_id(other)
+        else:
+            assert cell_id(cell) == cell_id(other)
+
+    @given(cell=cells(), delta=st.integers(min_value=1, max_value=2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_seed_axis_always_separates_ids(self, cell, delta):
+        import dataclasses
+
+        bumped = dataclasses.replace(cell, seed=cell.seed + delta)
+        assert cell_id(bumped) != cell_id(cell)
+
+
+class TestShardProperties:
+    @given(cell=cells(), k=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=80, deadline=None)
+    def test_every_cell_lands_in_exactly_one_shard(self, cell, k):
+        assignment = cell_shard(cell, k)
+        assert 0 <= assignment < k
+        memberships = [cell_shard(cell, k) == index for index in range(k)]
+        assert memberships.count(True) == 1
+
+    @given(cell=cells())
+    @settings(max_examples=40, deadline=None)
+    def test_single_shard_takes_everything(self, cell):
+        assert cell_shard(cell, 1) == 0

@@ -1,0 +1,329 @@
+"""Tests for the resumable, sharded sweep job layer (:mod:`repro.sim.job`)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.sim.engine import numpy_available
+from repro.sim.job import (
+    CELL_ID_ALGORITHM,
+    STORE_SCHEMA_VERSION,
+    SweepJob,
+    SweepJobError,
+    cell_id,
+    cell_shard,
+    fold_sweep_jsonl,
+    scan_sweep_store,
+)
+from repro.sim.sweep import (
+    SweepCell,
+    SweepSpec,
+    SweepStoreWarning,
+    iter_sweep_jsonl,
+    run_sweep,
+    summarize_sweep,
+)
+
+SPEC = SweepSpec(
+    protocols=("async-crash",),
+    system_sizes=((7, 2), (10, 3)),
+    adversaries=("none", "crash-initial"),
+    workloads=("uniform",),
+    seeds=(0, 1, 2, 3),
+)  # 16 cells, batch engine: runs on numpy-free hosts too
+
+A_CELL = SweepCell(
+    protocol="async-crash", n=7, t=2, epsilon=1e-3,
+    adversary="crash-initial", workload="uniform", seed=11, engine="batch",
+)
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="the vectorised engine requires numpy"
+)
+
+
+def store_lines(job: SweepJob, shard=None):
+    return job.store_path(shard).read_text(encoding="utf-8").splitlines()
+
+
+class TestCellIds:
+    def test_pinned_value(self):
+        # Content-addressed IDs are part of the on-disk contract: this
+        # literal pins them across processes, hosts, Python versions and
+        # hash randomisation.  If it ever changes, bump STORE_SCHEMA_VERSION
+        # and CELL_ID_ALGORITHM — old stores can no longer be resumed.
+        assert cell_id(A_CELL) == "f1add43e3fb0b6af"
+
+    def test_ids_distinct_across_grid_and_sensitive_to_every_field(self):
+        ids = {cell_id(cell) for cell in SPEC.cells()}
+        assert len(ids) == SPEC.cell_count
+        for field, value in [
+            ("protocol", "sync-crash"), ("n", 8), ("t", 1), ("epsilon", 1e-2),
+            ("adversary", "none"), ("workload", "extremes"), ("seed", 12),
+            ("engine", "event"),
+        ]:
+            assert cell_id(dataclasses.replace(A_CELL, **{field: value})) != cell_id(A_CELL)
+
+    def test_stable_across_processes_and_hash_randomisation(self):
+        cells = list(SPEC.cells())[:4] + [A_CELL]
+        expected = [cell_id(cell) for cell in cells]
+        script = (
+            "import dataclasses, json, sys\n"
+            "from repro.sim.sweep import SweepCell\n"
+            "from repro.sim.job import cell_id\n"
+            "cells = [SweepCell(**payload) for payload in json.loads(sys.argv[1])]\n"
+            "print(json.dumps([cell_id(cell) for cell in cells]))\n"
+        )
+        payload = json.dumps([dataclasses.asdict(cell) for cell in cells])
+        for hashseed in ("0", "1", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in ("src", env.get("PYTHONPATH", "")) if p
+            )
+            output = subprocess.run(
+                [sys.executable, "-c", script, payload],
+                capture_output=True, text=True, check=True, env=env,
+            ).stdout
+            assert json.loads(output) == expected
+
+    def test_shard_assignment_partitions_the_grid(self):
+        for k in (1, 2, 3, 7):
+            assignments = [cell_shard(cell, k) for cell in SPEC.cells()]
+            assert all(0 <= shard < k for shard in assignments)
+        with pytest.raises(ValueError, match="shard_count"):
+            cell_shard(A_CELL, 0)
+
+
+class TestManifest:
+    def test_written_on_first_run_and_validated_after(self, tmp_path):
+        job = SweepJob(SPEC, tmp_path / "job", workers=1)
+        job.run()
+        manifest = job.load_manifest()
+        assert manifest["schema_version"] == STORE_SCHEMA_VERSION
+        assert manifest["cell_id_algorithm"] == CELL_ID_ALGORITHM
+        assert manifest["cell_count"] == SPEC.cell_count
+        assert manifest["spec"]["engine"] == "batch"
+        assert manifest["seed_policy"] == "explicit-seed-axis"
+
+    def test_mismatched_spec_in_same_directory_fails_loudly(self, tmp_path):
+        SweepJob(SPEC, tmp_path / "job", workers=1).run()
+        other = dataclasses.replace(SPEC, seeds=(0, 1))
+        with pytest.raises(SweepJobError, match="different sweep"):
+            SweepJob(other, tmp_path / "job", workers=1).run()
+
+    def test_corrupt_manifest_is_an_error_not_a_crash(self, tmp_path):
+        job = SweepJob(SPEC, tmp_path / "job", workers=1)
+        job.run()
+        job.manifest_path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SweepJobError, match="not valid JSON"):
+            job.run()
+
+
+class TestResume:
+    def test_second_run_skips_everything_and_leaves_bytes_unchanged(self, tmp_path):
+        job = SweepJob(SPEC, tmp_path / "job", workers=1)
+        first = job.run()
+        assert (first.total, first.skipped, first.executed) == (16, 0, 16)
+        before = job.store_path().read_bytes()
+        second = job.run()
+        assert (second.total, second.skipped, second.executed) == (16, 16, 0)
+        assert job.store_path().read_bytes() == before
+
+    def test_interrupted_run_resumes_to_bit_identical_store(self, tmp_path):
+        reference = SweepJob(SPEC, tmp_path / "uninterrupted", workers=1)
+        reference.run()
+        expected = sorted(store_lines(reference))
+
+        job = SweepJob(SPEC, tmp_path / "killed", workers=1)
+        job.run()
+        lines = job.store_path().read_text(encoding="utf-8").splitlines(keepends=True)
+        # Simulate a mid-write kill: 5 complete lines plus a truncated sixth.
+        job.store_path().write_text("".join(lines[:5]) + lines[5][:37], encoding="utf-8")
+        result = job.run(resume=True)
+        assert result.repaired
+        assert result.skipped == 5 and result.executed == 11
+        assert sorted(store_lines(job)) == expected
+        assert job.is_complete()
+
+    def test_mid_file_corruption_truncates_tail_and_recomputes(self, tmp_path):
+        job = SweepJob(SPEC, tmp_path / "job", workers=1)
+        job.run()
+        expected = sorted(store_lines(job))
+        lines = job.store_path().read_text(encoding="utf-8").splitlines(keepends=True)
+        # Garbage in the middle: everything after it is no longer trusted.
+        corrupted = "".join(lines[:3]) + "}}garbage{{\n" + "".join(lines[3:])
+        job.store_path().write_text(corrupted, encoding="utf-8")
+        result = job.run(resume=True)
+        assert result.repaired
+        assert result.skipped == 3 and result.executed == 13
+        assert sorted(store_lines(job)) == expected
+
+    def test_resume_false_refuses_to_clobber_unless_overwritten(self, tmp_path):
+        job = SweepJob(SPEC, tmp_path / "job", workers=1)
+        job.run()
+        with pytest.raises(SweepJobError, match="already holds outcomes"):
+            job.run(resume=False)
+        result = job.run(resume=False, overwrite=True)
+        assert result.executed == 16 and result.skipped == 0
+
+    def test_pool_and_serial_runs_write_identical_stores(self, tmp_path):
+        serial = SweepJob(SPEC, tmp_path / "serial", workers=1)
+        pooled = SweepJob(SPEC, tmp_path / "pooled", workers=4)
+        serial.run()
+        pooled.run()
+        # Batch-engine job stores are canonical (no wall times) and written
+        # in grid order, so pool == serial is byte-for-byte.
+        assert serial.store_path().read_bytes() == pooled.store_path().read_bytes()
+
+    @needs_numpy
+    def test_ndbatch_job_resumes_bit_identical(self, tmp_path):
+        spec = dataclasses.replace(SPEC, engine="ndbatch")
+        reference = SweepJob(spec, tmp_path / "uninterrupted", workers=1)
+        reference.run()
+        expected = sorted(store_lines(reference))
+        job = SweepJob(spec, tmp_path / "killed", workers=2)
+        job.run()
+        lines = job.store_path().read_text(encoding="utf-8").splitlines(keepends=True)
+        job.store_path().write_text("".join(lines[:7]) + lines[7][:20], encoding="utf-8")
+        result = job.run(resume=True)
+        assert result.repaired and result.skipped == 7 and result.executed == 9
+        assert sorted(store_lines(job)) == expected
+
+    def test_auto_engine_job_resumes_to_equal_measurements(self, tmp_path):
+        # Under engine="auto" the block-setup cost model may demote a small
+        # pending remainder to a different engine, so engine_used can differ
+        # between an uninterrupted and a resumed store; every measurement is
+        # engine-independent (differentially pinned) and must be identical.
+        spec = dataclasses.replace(SPEC, engine="auto")
+        reference = SweepJob(spec, tmp_path / "uninterrupted", workers=1)
+        reference.run()
+        job = SweepJob(spec, tmp_path / "killed", workers=1)
+        job.run()
+        lines = job.store_path().read_text(encoding="utf-8").splitlines(keepends=True)
+        job.store_path().write_text("".join(lines[:4]) + lines[4][:25], encoding="utf-8")
+        job.run(resume=True)
+        want = {o.cell: o for o in reference.outcomes()}
+        got = {o.cell: o for o in job.outcomes()}
+        assert want.keys() == got.keys()
+        for cell, outcome in want.items():
+            other = got[cell]
+            assert (outcome.ok, outcome.rounds, outcome.messages, outcome.bits) == (
+                other.ok, other.rounds, other.messages, other.bits
+            )
+            assert outcome.output_spread == pytest.approx(other.output_spread, abs=1e-9)
+
+
+class TestSharding:
+    def test_shards_are_disjoint_and_union_to_the_grid(self, tmp_path):
+        job = SweepJob(SPEC, tmp_path / "job", workers=1)
+        k = 3
+        executed = 0
+        seen = set()
+        for index in range(k):
+            result = job.run(shard=(index, k))
+            assert result.shard == (index, k)
+            executed += result.executed
+            shard_ids = {
+                cell_id(outcome.cell)
+                for outcome in iter_sweep_jsonl(str(job.store_path((index, k))))
+            }
+            assert not (seen & shard_ids)  # no cell executed twice
+            seen |= shard_ids
+        assert executed == SPEC.cell_count
+        assert seen == {cell_id(cell) for cell in SPEC.cells()}
+        assert job.is_complete()
+
+    def test_sharded_union_equals_unsharded_outcomes(self, tmp_path):
+        unsharded = SweepJob(SPEC, tmp_path / "one", workers=1)
+        unsharded.run()
+        sharded = SweepJob(SPEC, tmp_path / "many", workers=1)
+        for index in range(4):
+            sharded.run(shard=(index, 4))
+        assert sharded.outcomes() == unsharded.outcomes()
+
+    def test_shard_arguments_validated(self, tmp_path):
+        job = SweepJob(SPEC, tmp_path / "job", workers=1)
+        with pytest.raises(ValueError, match="shard count"):
+            job.run(shard=(0, 0))
+        with pytest.raises(ValueError, match="shard index"):
+            job.run(shard=(4, 4))
+
+    def test_resume_skips_cells_already_stored_by_other_slices(self, tmp_path):
+        job = SweepJob(SPEC, tmp_path / "job", workers=1)
+        job.run(shard=(0, 2))
+        # The full-grid run must only execute what shard 0 did not cover.
+        result = job.run()
+        shard0 = len(job.cells(shard=(0, 2)))
+        assert result.skipped == shard0
+        assert result.executed == SPEC.cell_count - shard0
+        assert job.is_complete()
+
+
+class TestAggregation:
+    def test_fold_over_shard_stores_matches_summarize_sweep(self, tmp_path):
+        job = SweepJob(SPEC, tmp_path / "job", workers=1)
+        for index in range(3):
+            job.run(shard=(index, 3))
+        direct = summarize_sweep(run_sweep(SPEC, workers=1))
+        assert job.summary() == direct
+        fold = fold_sweep_jsonl(str(path) for path in job.store_paths())
+        assert fold.total_outcomes == SPEC.cell_count
+        assert fold.records() == direct
+
+    def test_shard_folds_merge_into_the_global_fold(self, tmp_path):
+        job = SweepJob(SPEC, tmp_path / "job", workers=1)
+        folds = []
+        for index in range(3):
+            job.run(shard=(index, 3))
+            folds.append(fold_sweep_jsonl([str(job.store_path((index, 3)))]))
+        merged = folds[0].merge(folds[1]).merge(folds[2])
+        assert merged.records() == job.summary()
+        assert merged.total_outcomes == SPEC.cell_count
+
+    def test_fold_deduplicates_across_overlapping_stores(self, tmp_path):
+        job = SweepJob(SPEC, tmp_path / "job", workers=1)
+        job.run()
+        # Duplicate the whole store under another slice name: every cell now
+        # appears twice across the directory's stores.
+        duplicate = job.store_path((0, 1))
+        duplicate.write_bytes(job.store_path().read_bytes())
+        fold = job.fold()
+        assert fold.total_outcomes == SPEC.cell_count
+        assert job.summary() == summarize_sweep(run_sweep(SPEC, workers=1))
+
+
+class TestStoreScan:
+    def test_scan_reports_partial_tail_and_valid_prefix(self, tmp_path):
+        job = SweepJob(SPEC, tmp_path / "job", workers=1)
+        job.run()
+        path = job.store_path()
+        clean = scan_sweep_store(str(path))
+        assert not clean.corrupt
+        assert clean.valid_lines == SPEC.cell_count
+        assert clean.valid_bytes == path.stat().st_size
+        lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+        prefix = "".join(lines[:6])
+        path.write_text(prefix + lines[6][:19], encoding="utf-8")
+        scan = scan_sweep_store(str(path))
+        assert scan.corrupt
+        assert scan.valid_lines == 6
+        assert scan.valid_bytes == len(prefix.encode("utf-8"))
+        assert len(scan.completed_ids) == 6
+
+    def test_tolerant_reader_skips_partial_tail_with_warning(self, tmp_path):
+        job = SweepJob(SPEC, tmp_path / "job", workers=1)
+        job.run()
+        path = job.store_path()
+        lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+        path.write_text("".join(lines[:3]) + lines[3][:30], encoding="utf-8")
+        with pytest.warns(SweepStoreWarning, match="truncated trailing line"):
+            outcomes = list(iter_sweep_jsonl(str(path)))
+        assert len(outcomes) == 3
+        with pytest.raises(ValueError, match="undecodable"):
+            list(iter_sweep_jsonl(str(path), strict=True))

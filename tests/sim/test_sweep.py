@@ -150,6 +150,32 @@ class TestOutcomes:
         with pytest.raises(ValueError, match="workers"):
             run_sweep(SPEC, workers=0)
 
+    def test_epsilon_survives_into_records_and_summaries(self):
+        # Regression: epsilon was dropped from both CellOutcome.as_record and
+        # the summarize_sweep grouping key, so outcomes from different-ε
+        # grids silently merged into one summary row.
+        tight = SweepSpec(
+            protocols=("async-crash",), system_sizes=((7, 2),),
+            adversaries=("none",), workloads=("uniform",),
+            seeds=(0, 1), epsilon=1e-4,
+        )
+        loose = dataclasses.replace(tight, epsilon=1e-1)
+        outcomes = run_sweep(tight, workers=1) + run_sweep(loose, workers=1)
+        for outcome in outcomes:
+            assert outcome.as_record().params["epsilon"] == outcome.cell.epsilon
+        summary = summarize_sweep(outcomes)
+        assert len(summary) == 2  # one row per ε, not one merged row
+        by_epsilon = {record.params["epsilon"]: record for record in summary}
+        assert set(by_epsilon) == {1e-4, 1e-1}
+        for record in summary:
+            assert record.measured["runs"] == 2
+        # Tighter ε must cost more rounds — distinguishable only because the
+        # groups no longer merge.
+        assert (
+            by_epsilon[1e-4].measured["rounds_mean"]
+            > by_epsilon[1e-1].measured["rounds_mean"]
+        )
+
 
 needs_numpy = pytest.mark.skipif(
     not numpy_available(), reason="the vectorised engine requires numpy"
@@ -294,7 +320,11 @@ class TestJsonlStreaming:
         outcomes = run_sweep(spec, workers=1)
         written = run_sweep(spec, workers=2, jsonl_path=str(path))
         assert written == spec.cell_count
-        assert read_sweep_jsonl(str(path)) == outcomes
+        # The ndbatch path streams each chunk as the pool returns it, so the
+        # store's line order is chunk order, not grid order; the *set* of
+        # outcomes is identical (each line is self-contained).
+        read_back = {outcome.cell: outcome for outcome in read_sweep_jsonl(str(path))}
+        assert read_back == {outcome.cell: outcome for outcome in outcomes}
 
     def test_iterator_is_lazy_and_line_oriented(self, tmp_path):
         path = tmp_path / "sweep.jsonl"
@@ -317,6 +347,31 @@ class TestJsonlStreaming:
         loaded = read_sweep_jsonl(str(path))[0]
         assert math.isnan(loaded.output_spread)
         assert not loaded.ok
+
+    def test_existing_store_is_not_clobbered(self, tmp_path):
+        # Regression: run_sweep(jsonl_path=...) used to open the store with
+        # mode "w" unconditionally, silently discarding previous results.
+        path = tmp_path / "sweep.jsonl"
+        run_sweep(SPEC, workers=1, jsonl_path=str(path))
+        before = path.read_bytes()
+        with pytest.raises(FileExistsError, match="overwrite=True"):
+            run_sweep(SPEC, workers=1, jsonl_path=str(path))
+        assert path.read_bytes() == before  # nothing was truncated
+        written = run_sweep(SPEC, workers=1, jsonl_path=str(path), overwrite=True)
+        assert written == SPEC.cell_count
+
+    def test_truncated_trailing_line_is_skipped_not_fatal(self, tmp_path):
+        # A killed run's normal end state: the reader must yield the complete
+        # lines and warn about the partial one, not raise mid-iteration.
+        path = tmp_path / "sweep.jsonl"
+        run_sweep(SPEC, workers=1, jsonl_path=str(path))
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:-1]) + lines[-1][:33])
+        from repro.sim.sweep import SweepStoreWarning
+
+        with pytest.warns(SweepStoreWarning):
+            outcomes = list(iter_sweep_jsonl(str(path)))
+        assert len(outcomes) == SPEC.cell_count - 1
 
     @pytest.mark.slow
     def test_large_grid_streams_to_disk(self, tmp_path):
