@@ -1,0 +1,157 @@
+"""E15 — Resilient sweeps: fault tolerance is (nearly) free when nothing fails.
+
+The resilient layer (:mod:`repro.sim.resilient`) wraps the sweep engine
+core in retries, per-cell wall-clock timeouts, worker-crash recovery and
+quarantine streaming.  Robustness machinery that taxes the fault-free
+path gets turned off in practice, so this benchmark pins two numbers:
+
+* **Fault-free overhead** — ``run_sweep(..., retry=RetryPolicy())``
+  versus the legacy path over the same grid, best-of-``REPEATS`` wall
+  time.  The acceptance bar is ``<= 5%`` overhead; the reciprocal is
+  also recorded as ``fault_free_speedup`` (~1.0) so the benchguard CI
+  gate flags a future slowdown of the resilient path automatically.
+* **Chaos recovery** — the same grid with a deterministically poisoned
+  cell and a transient worker kill (:mod:`repro.sim.chaos`): the run
+  must complete every healthy cell, quarantine exactly the poisoned
+  one, and the resumed store must be bit-identical (modulo line order)
+  to an undisturbed run of the healthy subgrid.
+
+Recorded in ``BENCH_resilient_sweep.json`` (committed, uploaded as a CI
+artifact): both wall times, the overhead fraction, the speedup ratio and
+the chaos-run bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.sim.chaos import FAULT_KILL_WORKER, FAULT_RAISE, ChaosPlan, ChaosRule
+from repro.sim.job import SweepJob, cell_id
+from repro.sim.resilient import RetryPolicy, iter_quarantine_jsonl
+from repro.sim.sweep import SweepCell, SweepSpec, iter_sweep_jsonl, run_sweep
+
+from conftest import write_bench_json
+
+#: Acceptance bar: retries/timeouts/quarantine must cost <= 5% when idle.
+MAX_FAULT_FREE_OVERHEAD = 0.05
+#: Best-of timing repeats (the grid is ~0.6 s; single runs are too noisy).
+REPEATS = 5
+
+SPEC = SweepSpec(
+    protocols=("async-crash",),
+    system_sizes=((13, 4),),
+    adversaries=("none", "crash-staggered"),
+    workloads=("uniform", "two-cluster"),
+    seeds=tuple(range(150)),
+    epsilon=1e-3,
+    engine="batch",  # runs everywhere; the resilient layer is engine-agnostic
+)  # 600 cells
+
+
+def _timed(run):
+    started = time.perf_counter()
+    run()
+    return time.perf_counter() - started
+
+
+def test_e15_fault_free_overhead_and_chaos_recovery(tmp_path):
+    # Fault-free overhead: identical grid, identical store format; the only
+    # difference is routing through the resilient dispatch loop.  The two
+    # paths are timed in *alternating* pairs (not two sequential groups) so
+    # slow machine drift — CPU frequency scaling, a background process —
+    # cancels out of the best-of comparison instead of biasing one side.
+    legacy_times, resilient_times = [], []
+    for i in range(REPEATS):
+        legacy_times.append(
+            _timed(
+                lambda: run_sweep(
+                    SPEC, workers=1, jsonl_path=str(tmp_path / f"legacy-{i}.jsonl")
+                )
+            )
+        )
+        resilient_times.append(
+            _timed(
+                lambda: run_sweep(
+                    SPEC,
+                    workers=1,
+                    jsonl_path=str(tmp_path / f"resilient-{i}.jsonl"),
+                    retry=RetryPolicy(),
+                )
+            )
+        )
+    legacy_seconds = min(legacy_times)
+    resilient_seconds = min(resilient_times)
+    overhead_fraction = max(0.0, resilient_seconds / legacy_seconds - 1.0)
+    fault_free_speedup = legacy_seconds / resilient_seconds
+
+    # The resilient run stores the same outcomes as the legacy run (wall
+    # times are observational and excluded from outcome equality) —
+    # resilience changes scheduling, never measurements.
+    assert list(iter_sweep_jsonl(str(tmp_path / "legacy-0.jsonl"))) == list(
+        iter_sweep_jsonl(str(tmp_path / "resilient-0.jsonl"))
+    )
+
+    # Chaos recovery: one deterministically poisoned cell plus a transient
+    # first-attempt worker kill on another.  Healthy cells all complete; the
+    # poisoned one is quarantined exactly once.
+    cells = list(SPEC.cells())
+    poisoned = cell_id(cells[3])
+    killed_once = cell_id(cells[40])
+    plan = ChaosPlan(
+        seed=15,
+        rules=(
+            ChaosRule(fault=FAULT_RAISE, cells=(poisoned,)),
+            ChaosRule(fault=FAULT_KILL_WORKER, cells=(killed_once,), attempts=(1,)),
+        ),
+    )
+    fast = RetryPolicy(max_attempts=2, backoff_base_seconds=0.001)
+    chaotic = SweepJob(SPEC, tmp_path / "chaotic", workers=2, retry=fast, chaos=plan)
+    started = time.perf_counter()
+    result = chaotic.run()
+    chaos_seconds = time.perf_counter() - started
+    assert result.executed == SPEC.cell_count - 1
+    assert result.quarantined == 1
+    quarantine = list(iter_quarantine_jsonl(str(chaotic.quarantine_path())))
+    assert [record.cell_id for record in quarantine] == [poisoned]
+
+    # Bit-identical (modulo line order) to an undisturbed run: job stores are
+    # canonical (wall-time-free) lines, so a clean job over the same grid is
+    # the byte-level reference, minus the poisoned cell's line.
+    clean = SweepJob(SPEC, tmp_path / "clean", workers=2)
+    clean.run()
+    chaotic_lines = sorted(
+        chaotic.store_path().read_text(encoding="utf-8").splitlines()
+    )
+    expected = sorted(
+        line
+        for line in clean.store_path().read_text(encoding="utf-8").splitlines()
+        if cell_id(SweepCell(**json.loads(line)["cell"])) != poisoned
+    )
+    assert chaotic_lines == expected
+
+    assert overhead_fraction <= MAX_FAULT_FREE_OVERHEAD, (
+        f"fault-free resilient sweep cost {overhead_fraction:.1%} over the "
+        f"legacy path (bar: {MAX_FAULT_FREE_OVERHEAD:.0%})"
+    )
+
+    write_bench_json(
+        "resilient_sweep",
+        {
+            "grid": {
+                "cells": SPEC.cell_count,
+                "protocol": "async-crash",
+                "engine": SPEC.engine,
+            },
+            "timing_repeats": REPEATS,
+            "legacy_seconds": round(legacy_seconds, 4),
+            "resilient_seconds": round(resilient_seconds, 4),
+            "fault_free_overhead_fraction": round(overhead_fraction, 4),
+            "max_fault_free_overhead": MAX_FAULT_FREE_OVERHEAD,
+            "fault_free_speedup": round(fault_free_speedup, 3),
+            "chaos_run_seconds": round(chaos_seconds, 4),
+            "chaos_quarantined_cells": result.quarantined,
+            "chaos_healthy_cells_completed": result.executed,
+            "chaos_store_bit_identical_to_healthy_subgrid": True,
+        },
+    )

@@ -5,8 +5,18 @@ from repro.sim.engine import (
     ENGINE_CAPABILITIES,
     EngineCapabilities,
     EngineCapabilityError,
+    demotion_target,
     run,
     select_engine,
+)
+from repro.sim.chaos import ChaosError, ChaosPlan, ChaosRule
+from repro.sim.resilient import (
+    CellFailure,
+    RetryPolicy,
+    default_quarantine_path,
+    iter_quarantine_jsonl,
+    iter_resilient_outcomes,
+    read_quarantine_map,
 )
 from repro.sim.batch import BATCH_PROTOCOLS, run_batch_protocol
 
@@ -40,6 +50,7 @@ from repro.sim.experiments import (
 from repro.sim.job import (
     SweepJob,
     SweepJobError,
+    SweepJobProgress,
     SweepJobResult,
     cell_id,
     cell_shard,
@@ -92,7 +103,11 @@ from repro.sim.workloads import (
 __all__ = [
     "ADVERSARY_SPECS",
     "BATCH_PROTOCOLS",
+    "CellFailure",
     "CellOutcome",
+    "ChaosError",
+    "ChaosPlan",
+    "ChaosRule",
     "CostSummary",
     "ENGINES",
     "ENGINE_CAPABILITIES",
@@ -102,11 +117,13 @@ __all__ = [
     "ExperimentRecord",
     "NDBATCH_PROTOCOLS",
     "PROTOCOL_FACTORIES",
+    "RetryPolicy",
     "RunningStats",
     "SYNCHRONOUS_PROTOCOLS",
     "SweepCell",
     "SweepJob",
     "SweepJobError",
+    "SweepJobProgress",
     "SweepJobResult",
     "SweepSpec",
     "SweepStoreWarning",
@@ -118,12 +135,17 @@ __all__ = [
     "cell_id",
     "cell_shard",
     "clock_offsets",
+    "default_quarantine_path",
+    "demotion_target",
     "fold_sweep_jsonl",
     "scan_sweep_store",
     "contraction_factors",
     "extremes_inputs",
     "geometric_mean_contraction",
+    "iter_quarantine_jsonl",
+    "iter_resilient_outcomes",
     "iter_sweep_jsonl",
+    "read_quarantine_map",
     "linear_inputs",
     "messages_per_round",
     "parameter_grid",

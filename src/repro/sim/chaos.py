@@ -1,0 +1,297 @@
+"""Deterministic chaos harness: seeded fault injection for the sweep runtime.
+
+The paper's protocols make progress while up to *t* participants misbehave;
+the resilient sweep runtime (:mod:`repro.sim.resilient`) claims the same for
+its own execution fabric — a raising cell, a hung cell, a SIGKILL'd pool
+worker or a write truncated mid-line must cost bounded rework, never the
+sweep.  Claims like that are only worth anything if they are *tested*, and
+testing them requires injecting exactly those faults, reproducibly.
+
+This module is that injector.  A :class:`ChaosPlan` is a seeded, purely
+declarative program: a tuple of :class:`ChaosRule` records, each naming a
+fault kind, an optional explicit cell-ID target set, an optional attempt
+filter and a fire probability.  Whether a rule fires for a given
+``(cell_id, attempt)`` pair is a pure function of ``(plan.seed, rule index,
+cell_id, attempt)`` through a SHA-256 counter PRF — no global state, no
+wall-clock, no ``random`` module — so a chaos run is bit-reproducible across
+processes, hosts and ``PYTHONHASHSEED`` values, and the *same* plan evaluated
+on a retry (``attempt + 1``) deterministically fires or spares the retry.
+
+Fault kinds
+-----------
+
+``raise-in-cell``
+    The worker raises :class:`ChaosError` instead of executing the cell —
+    the model of a poisoned cell (bad parameter combination, latent bug).
+``hang-cell``
+    The worker sleeps ``hang_seconds`` before executing — the model of a
+    wedged cell, used to prove the per-unit wall-clock timeout fires.
+``kill-worker``
+    The worker SIGKILLs itself before executing — the model of the OOM
+    killer; the parent must detect the dead worker, respawn it and
+    re-dispatch only the unfinished unit.
+``truncate-write``
+    The *parent* writes a partial outcome line, flushes it and raises
+    :class:`KeyboardInterrupt` — the model of a kill mid-write; the store
+    must be left repairable (tail truncation + resume).
+
+Execution-side faults are applied by the worker entry points of
+:mod:`repro.sim.resilient` (:func:`inject_execution_faults`); the write-side
+fault is applied by the persistence layers (:func:`maybe_truncate_write`).
+Plans thread through as an explicit ``chaos=`` kwarg, or via the
+``REPRO_CHAOS`` environment variable (:meth:`ChaosPlan.from_env`) so CI
+smoke jobs can inject faults without touching code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CHAOS_ENV_VAR",
+    "FAULT_HANG",
+    "FAULT_KILL_WORKER",
+    "FAULT_RAISE",
+    "FAULT_TRUNCATE_WRITE",
+    "FAULT_KINDS",
+    "ChaosError",
+    "ChaosRule",
+    "ChaosPlan",
+    "chaos_fraction",
+    "inject_execution_faults",
+    "maybe_truncate_write",
+]
+
+#: Environment variable holding a JSON-encoded plan (see :meth:`ChaosPlan.from_env`).
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+FAULT_RAISE = "raise-in-cell"
+FAULT_HANG = "hang-cell"
+FAULT_KILL_WORKER = "kill-worker"
+FAULT_TRUNCATE_WRITE = "truncate-write"
+
+#: Every fault kind a rule may inject.
+FAULT_KINDS = (FAULT_RAISE, FAULT_HANG, FAULT_KILL_WORKER, FAULT_TRUNCATE_WRITE)
+
+
+class ChaosError(RuntimeError):
+    """An injected (not organic) failure, raised by ``raise-in-cell`` rules.
+
+    Also stands in for process-level faults (``kill-worker``) when the sweep
+    runs serially in-process, where killing the worker would kill the sweep
+    itself; the retry layer then treats the cell as raising.
+    """
+
+
+def chaos_fraction(seed: int, rule_index: int, cell_id: str, attempt: int) -> float:
+    """Deterministic uniform fraction in ``[0, 1)`` for one fire decision.
+
+    A counter-PRF in the same spirit as the adversary PRFs
+    (:mod:`repro.net.adversary`): SHA-256 over the decision coordinates,
+    top 53 bits as a float.  Pure — identical everywhere, forever.
+    """
+    payload = f"{seed}:{rule_index}:{cell_id}:{attempt}".encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class ChaosRule:
+    """One declarative fault: what to inject, where, when, how often.
+
+    ``cells`` restricts the rule to explicit cell IDs (``None`` matches every
+    cell); ``attempts`` restricts it to specific 1-based attempt numbers
+    (``None`` matches every attempt) — ``attempts=(1,)`` is the canonical
+    "fail once, succeed on retry" transient fault; ``rate`` thins the rule
+    probabilistically through :func:`chaos_fraction`.
+    """
+
+    fault: str
+    cells: Optional[Tuple[str, ...]] = None
+    attempts: Optional[Tuple[int, ...]] = None
+    rate: float = 1.0
+    #: How long a ``hang-cell`` fault sleeps (must exceed the retry policy's
+    #: timeout for the hang to be detected rather than merely slow).
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.fault not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown chaos fault {self.fault!r}; known: {', '.join(FAULT_KINDS)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.hang_seconds < 0:
+            raise ValueError("hang_seconds must be non-negative")
+
+    def as_payload(self) -> Dict:
+        return {
+            "fault": self.fault,
+            "cells": None if self.cells is None else list(self.cells),
+            "attempts": None if self.attempts is None else list(self.attempts),
+            "rate": self.rate,
+            "hang_seconds": self.hang_seconds,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "ChaosRule":
+        return cls(
+            fault=payload["fault"],
+            cells=None if payload.get("cells") is None else tuple(payload["cells"]),
+            attempts=(
+                None
+                if payload.get("attempts") is None
+                else tuple(int(a) for a in payload["attempts"])
+            ),
+            rate=float(payload.get("rate", 1.0)),
+            hang_seconds=float(payload.get("hang_seconds", 3600.0)),
+        )
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded program of fault injections (picklable, JSON-serialisable).
+
+    Evaluation is pure: :meth:`faults_for` depends only on the plan itself
+    and the ``(cell_id, attempt)`` coordinates, so re-running a chaos sweep
+    injects exactly the same faults at exactly the same points.
+    """
+
+    seed: int = 0
+    rules: Tuple[ChaosRule, ...] = ()
+
+    def fires(self, rule_index: int, cell_id: str, attempt: int) -> bool:
+        """Whether rule ``rule_index`` fires for this ``(cell, attempt)``."""
+        rule = self.rules[rule_index]
+        if rule.cells is not None and cell_id not in rule.cells:
+            return False
+        if rule.attempts is not None and attempt not in rule.attempts:
+            return False
+        if rule.rate >= 1.0:
+            return True
+        if rule.rate <= 0.0:
+            return False
+        return chaos_fraction(self.seed, rule_index, cell_id, attempt) < rule.rate
+
+    def faults_for(self, cell_id: str, attempt: int) -> Tuple[ChaosRule, ...]:
+        """Every rule that fires for this ``(cell, attempt)``, in rule order."""
+        return tuple(
+            rule
+            for index, rule in enumerate(self.rules)
+            if self.fires(index, cell_id, attempt)
+        )
+
+    # ---- serialisation (kwargs, pickles and the env flag) -------------
+
+    def as_payload(self) -> Dict:
+        return {"seed": self.seed, "rules": [rule.as_payload() for rule in self.rules]}
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "ChaosPlan":
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            rules=tuple(ChaosRule.from_payload(r) for r in payload.get("rules", ())),
+        )
+
+    def to_env(self) -> str:
+        """The ``REPRO_CHAOS`` value that reproduces this plan."""
+        return json.dumps(self.as_payload(), sort_keys=True)
+
+    @classmethod
+    def from_env(cls, environ: Optional[Dict[str, str]] = None) -> Optional["ChaosPlan"]:
+        """The plan named by ``$REPRO_CHAOS``, or ``None`` when unset/empty.
+
+        Lets CI inject faults into any sweep entry point without code
+        changes: ``REPRO_CHAOS='{"seed": 7, "rules": [...]}'``.  A malformed
+        value is an error (a chaos run that silently runs fault-free would
+        *pass* the very guarantees it was meant to test).
+        """
+        raw = (environ if environ is not None else os.environ).get(CHAOS_ENV_VAR, "")
+        if not raw.strip():
+            return None
+        try:
+            return cls.from_payload(json.loads(raw))
+        except (ValueError, KeyError, TypeError) as error:
+            raise ValueError(
+                f"malformed {CHAOS_ENV_VAR} value {raw!r}: {error}"
+            ) from error
+
+
+def inject_execution_faults(
+    plan: Optional[ChaosPlan],
+    cell_ids: Sequence[str],
+    attempt: int,
+    allow_process_faults: bool = True,
+) -> None:
+    """Apply a plan's execution-side faults for one work unit, pre-execution.
+
+    Called by the worker entry points with the IDs of every cell in the unit
+    (a single cell, a batch chunk, an ndbatch block) and the unit's 1-based
+    attempt number.  Precedence mirrors severity: ``kill-worker`` (the whole
+    process dies — SIGKILL, no cleanup, exactly what the OOM killer does),
+    then ``hang-cell`` (sleep the longest matched hang), then
+    ``raise-in-cell``.  With ``allow_process_faults=False`` (the serial
+    in-process path, where SIGKILL would kill the sweep itself) a matched
+    kill degrades to :class:`ChaosError`.
+    """
+    if plan is None or not plan.rules:
+        return
+    hangs: List[float] = []
+    raising: List[str] = []
+    killing: List[str] = []
+    for cell_id in cell_ids:
+        for rule in plan.faults_for(cell_id, attempt):
+            if rule.fault == FAULT_KILL_WORKER:
+                killing.append(cell_id)
+            elif rule.fault == FAULT_HANG:
+                hangs.append(rule.hang_seconds)
+            elif rule.fault == FAULT_RAISE:
+                raising.append(cell_id)
+    if killing:
+        if allow_process_faults:
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise ChaosError(
+            f"injected kill-worker for cell {killing[0]} attempt {attempt} "
+            "(degraded to an exception: the serial path cannot kill a worker)"
+        )
+    if hangs:
+        time.sleep(max(hangs))
+    if raising:
+        raise ChaosError(
+            f"injected failure for cell {raising[0]} attempt {attempt}"
+        )
+
+
+def maybe_truncate_write(
+    plan: Optional[ChaosPlan],
+    cell_id: str,
+    handle,
+    line: str,
+    attempt: int = 1,
+) -> bool:
+    """Apply ``truncate-write`` for one outcome line, if the plan says so.
+
+    When a rule fires, roughly half the line is written and flushed — a
+    partial trailing line with no newline, byte-for-byte the signature of a
+    process killed mid-``write`` — and :class:`KeyboardInterrupt` is raised
+    so the sweep unwinds exactly like an interrupted one.  Returns ``False``
+    (caller writes the full line) when no rule fires.  ``attempt`` is the
+    caller's store generation (fresh run vs resume), letting a plan truncate
+    the first write but spare the re-write after repair.
+    """
+    if plan is None or not plan.rules:
+        return False
+    for rule in plan.faults_for(cell_id, attempt):
+        if rule.fault == FAULT_TRUNCATE_WRITE:
+            handle.write(line[: max(1, len(line) // 2)])
+            handle.flush()
+            raise KeyboardInterrupt(
+                f"injected truncated write for cell {cell_id} (store generation {attempt})"
+            )
+    return False

@@ -70,6 +70,7 @@ __all__ = [
     "EngineCapabilities",
     "EngineCapabilityError",
     "capable_engines",
+    "demotion_target",
     "engine_rejections",
     "estimated_upfront_rounds",
     "numpy_available",
@@ -119,6 +120,13 @@ class EngineCapabilities:
     #: only picks it when the scenario actually vectorises *and* the
     #: estimated work (cells × rounds × n) exceeds :data:`NDBATCH_MIN_WORK`.
     tensorisable: bool = False
+    #: The engine the resilient sweep layer (:mod:`repro.sim.resilient`)
+    #: falls back to when work keeps failing on this one — a slower, simpler
+    #: engine covering at least the same scenarios (ndbatch → batch: a
+    #: whole-block numpy failure is often block-shaped, and the scalar
+    #: engine both isolates the faulty cell and sidesteps the block path).
+    #: ``None`` means there is nothing to demote to.
+    demotes_to: Optional[str] = None
 
     def feature_set(self) -> FrozenSet[str]:
         return self.features | frozenset(f"protocol:{p}" for p in self.protocols)
@@ -140,6 +148,7 @@ ENGINE_CAPABILITIES: Dict[str, EngineCapabilities] = {
         speed_rank=0,
         summary="numpy-vectorised block engine (whole executions advance as matrices)",
         tensorisable=True,
+        demotes_to="batch",
     ),
     "batch": EngineCapabilities(
         name="batch",
@@ -181,6 +190,20 @@ ENGINE_CAPABILITIES: Dict[str, EngineCapabilities] = {
 ENGINES = tuple(
     sorted(ENGINE_CAPABILITIES, key=lambda name: ENGINE_CAPABILITIES[name].speed_rank)
 )
+
+
+def demotion_target(engine: str) -> Optional[str]:
+    """The engine failing work demotes to, or ``None`` if there is none.
+
+    ``"auto"`` cells carry no fixed engine, so there is nothing to demote
+    *from*; unknown names also map to ``None`` rather than raising, because
+    the caller (the retry state machine in :mod:`repro.sim.resilient`) treats
+    "no demotion target" as the terminal stage before quarantine.
+    """
+    capabilities = ENGINE_CAPABILITIES.get(engine)
+    if capabilities is None:
+        return None
+    return capabilities.demotes_to
 
 
 class EngineCapabilityError(ValueError):

@@ -52,11 +52,31 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
+from repro.sim.chaos import ChaosPlan, maybe_truncate_write
 from repro.sim.experiments import ExperimentRecord
+from repro.sim.resilient import (
+    CellFailure,
+    RetryPolicy,
+    read_quarantine_map,
+    write_quarantine_line,
+)
 from repro.sim.sweep import (
     DEFAULT_MAX_BLOCK_SIZE,
     CellOutcome,
@@ -74,6 +94,7 @@ __all__ = [
     "CELL_ID_ALGORITHM",
     "SweepJobError",
     "SweepJobResult",
+    "SweepJobProgress",
     "StoreScan",
     "cell_id",
     "cell_shard",
@@ -187,6 +208,7 @@ def scan_sweep_store(path: str) -> StoreScan:
 def fold_sweep_jsonl(
     paths: Iterable[str],
     fold: Optional[SweepSummaryFold] = None,
+    quarantine_paths: Iterable[str] = (),
 ) -> SweepSummaryFold:
     """Stream one or many (shard) stores into a :class:`SweepSummaryFold`.
 
@@ -194,6 +216,13 @@ def fold_sweep_jsonl(
     occurrence wins), so aggregating a directory that holds both an old
     unsharded store and newer shard stores cannot double-count a cell.
     Memory stays proportional to summary groups + one ID per cell seen.
+
+    ``quarantine_paths`` folds in quarantine stores written by the resilient
+    layer (:mod:`repro.sim.resilient`): cells with a failure record but no
+    stored outcome are counted as *excluded-with-reason* on the fold
+    (:attr:`~repro.sim.sweep.SweepSummaryFold.quarantined_count`), never as
+    silently missing.  A cell that was quarantined once but succeeded on a
+    later retry counts as its outcome, not as quarantined.
     """
     fold = fold if fold is not None else SweepSummaryFold()
     seen: Set[str] = set()
@@ -204,6 +233,11 @@ def fold_sweep_jsonl(
                 continue
             seen.add(identity)
             fold.update(outcome)
+    for identity, failure in read_quarantine_map(
+        str(path) for path in quarantine_paths
+    ).items():
+        if identity not in seen:
+            fold.note_quarantined(identity, failure.fault_class)
     return fold
 
 
@@ -223,6 +257,43 @@ class SweepJobResult:
     shard: Optional[Tuple[int, int]] = None
     #: Whether a truncated/corrupt store tail was repaired before appending.
     repaired: bool = False
+    #: Cells this call quarantined (gave up on after retries/demotion).
+    quarantined: int = 0
+    #: Pending cells excluded because an earlier run already quarantined
+    #: them (excluded-with-reason; pass ``retry_quarantined=True`` to
+    #: re-attempt them).
+    quarantined_excluded: int = 0
+    #: The quarantine store beside ``store_path`` (may not exist on disk if
+    #: the run was fault-free).
+    quarantine_path: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SweepJobProgress:
+    """A point-in-time progress snapshot of one job (see :meth:`SweepJob.progress`)."""
+
+    #: Cells in the whole grid (the manifest's ``cell_count``).
+    total_cells: int
+    #: Cells in the running slice (equals ``total_cells`` unsharded); the
+    #: whole grid when no run is active.
+    slice_cells: int
+    #: Slice cells with a stored outcome (pre-existing + this run's).
+    completed_cells: int
+    #: Slice cells excluded-with-reason (quarantined, no later success).
+    quarantined_cells: int
+    #: Cells executed and stored by the active run so far.
+    executed_this_run: int
+    #: Wall-clock seconds since the active run started (0.0 when idle).
+    elapsed_seconds: float
+    #: Throughput of the active run (executed / elapsed; 0.0 when idle).
+    cells_per_second: float
+    #: Estimated seconds to finish the slice at the current rate (``None``
+    #: when idle or before the first completed cell).
+    eta_seconds: Optional[float]
+
+    @property
+    def remaining_cells(self) -> int:
+        return max(0, self.slice_cells - self.completed_cells - self.quarantined_cells)
 
 
 class SweepJob:
@@ -239,6 +310,9 @@ class SweepJob:
 
     MANIFEST_NAME = "manifest.json"
     STORE_STEM = "cells"
+    #: Quarantine stores use their own stem so :meth:`store_paths`'s
+    #: ``cells*.jsonl`` glob can never pick a quarantine file up as a store.
+    QUARANTINE_STEM = "quarantine"
 
     def __init__(
         self,
@@ -246,11 +320,24 @@ class SweepJob:
         directory: str,
         workers: Optional[int] = None,
         max_block_size: int = DEFAULT_MAX_BLOCK_SIZE,
+        retry: Optional[RetryPolicy] = None,
+        chaos: Optional[ChaosPlan] = None,
     ) -> None:
         self.spec = spec
         self.directory = Path(directory)
         self.workers = workers
         self.max_block_size = max_block_size
+        #: Routing execution through the resilient layer is opt-in per job;
+        #: the policy is part of the manifest, so every resume of this job
+        #: directory must use the same one.
+        self.retry = retry
+        #: Deterministic fault injection for tests/CI (never set this in a
+        #: real run).  Chaos is deliberately *not* part of the manifest: the
+        #: injected faults must not change what the store is a record of.
+        #: ``None`` falls back to the ``REPRO_CHAOS`` env flag, so CI smoke
+        #: jobs can inject faults without touching code.
+        self.chaos = chaos if chaos is not None else ChaosPlan.from_env()
+        self._progress_state: Optional[Dict] = None
 
     # ---- layout ------------------------------------------------------
 
@@ -270,6 +357,22 @@ class SweepJob:
         if not self.directory.is_dir():
             return []
         return sorted(self.directory.glob(f"{self.STORE_STEM}*.jsonl"))
+
+    def quarantine_path(self, shard: Optional[Tuple[int, int]] = None) -> Path:
+        """The quarantine store for one slice of the grid."""
+        if shard is None:
+            return self.directory / f"{self.QUARANTINE_STEM}.jsonl"
+        index, count = self._validate_shard(shard)
+        return (
+            self.directory
+            / f"{self.QUARANTINE_STEM}.shard-{index:02d}-of-{count:02d}.jsonl"
+        )
+
+    def quarantine_paths(self) -> List[Path]:
+        """Every existing quarantine store of this job, in sorted order."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob(f"{self.QUARANTINE_STEM}*.jsonl"))
 
     # ---- manifest ----------------------------------------------------
 
@@ -294,6 +397,11 @@ class SweepJob:
             "seed_policy": "explicit-seed-axis",
             "engine_policy": spec.engine,
             "cell_count": spec.cell_count,
+            # The retry policy is part of the reproducibility contract: a
+            # resume that retried/quarantined differently from the run it
+            # continues would produce a different store.  None = the legacy
+            # fail-fast execution paths.
+            "retry_policy": None if self.retry is None else self.retry.as_payload(),
         }
 
     def write_manifest(self) -> Path:
@@ -301,6 +409,9 @@ class SweepJob:
         existing = self.load_manifest()
         expected = self.manifest_payload()
         if existing is not None:
+            # Manifests written before the resilient layer existed lack the
+            # retry_policy key; absent means None (legacy fail-fast runs).
+            existing.setdefault("retry_policy", None)
             if existing != expected:
                 raise SweepJobError(
                     f"manifest {self.manifest_path} does not match this job's "
@@ -368,6 +479,8 @@ class SweepJob:
         resume: bool = True,
         shard: Optional[Tuple[int, int]] = None,
         overwrite: bool = False,
+        retry_quarantined: bool = False,
+        on_progress: Optional[Callable[[SweepJobProgress], None]] = None,
     ) -> SweepJobResult:
         """Execute (the missing part of) this job's slice of the grid.
 
@@ -381,10 +494,21 @@ class SweepJob:
         touched).  Execution streams through the same engine core as
         :func:`~repro.sim.sweep.run_sweep`, flushing each outcome (batch/
         event) or finished chunk (ndbatch/auto) as the pool returns it.
+
+        Cells quarantined by an earlier run are *excluded-with-reason*: they
+        are not re-executed (a deterministic poisoned cell would re-crash
+        every resume) unless ``retry_quarantined=True`` lifts the exclusion.
+        When the job carries a :class:`~repro.sim.resilient.RetryPolicy`
+        (or a chaos plan), execution routes through the fault-tolerant layer
+        and newly given-up cells stream to the slice's quarantine store.
+
+        ``on_progress`` is called with a :class:`SweepJobProgress` snapshot
+        after every stored outcome and every quarantined cell.
         """
         self.write_manifest()
         target = self.store_path(shard)
         repaired = False
+        had_outcomes = False
         completed: Set[str] = set()
         if target.exists() and target.stat().st_size > 0:
             if overwrite:
@@ -404,32 +528,212 @@ class SweepJob:
                         handle.truncate(scan.valid_bytes)
                     repaired = True
                 completed |= scan.completed_ids
+                had_outcomes = scan.valid_lines > 0
         if resume and not overwrite:
             for path in self.store_paths():
                 if path != target:
                     completed |= scan_sweep_store(str(path)).completed_ids
+        quarantined_before = (
+            read_quarantine_map(str(path) for path in self.quarantine_paths())
+            if resume and not overwrite
+            else {}
+        )
         grid = self.cells(shard)
-        pending = [cell for cell in grid if cell_id(cell) not in completed]
+        pending: List[SweepCell] = []
+        quarantined_excluded = 0
+        for cell in grid:
+            identity = cell_id(cell)
+            if identity in completed:
+                continue
+            if identity in quarantined_before and not retry_quarantined:
+                quarantined_excluded += 1
+                continue
+            pending.append(cell)
         executed = 0
-        if pending:
-            with open(target, "a", encoding="utf-8") as handle:
-                for _, outcome in _iter_indexed_outcomes(
-                    pending, self.spec.engine, self.workers, self.max_block_size
-                ):
-                    # Canonical (wall-time-free) lines, one flush per line:
-                    # a kill loses at most the line being written, which the
-                    # next resume repairs.
-                    handle.write(_outcome_to_json_line(outcome, include_wall_time=False))
-                    handle.flush()
-                    executed += 1
+        quarantined = 0
+        quarantine_target = self.quarantine_path(shard)
+        quarantine_handle = None
+        # The store generation distinguishes a fresh store (1) from one that
+        # already held outcomes (2) — chaos truncate-write rules use it to
+        # hit the first write but spare the re-write after repair.
+        generation = 2 if had_outcomes else 1
+        progress = {
+            "start": time.monotonic(),
+            "slice_cells": len(grid),
+            "completed": len(grid) - len(pending) - quarantined_excluded,
+            "quarantined": quarantined_excluded,
+            "executed": 0,
+        }
+        self._progress_state = progress
+
+        def emit_progress() -> None:
+            if on_progress is not None:
+                on_progress(self.progress())
+
+        def record_failure(failure: CellFailure) -> None:
+            nonlocal quarantine_handle, quarantined
+            if quarantine_handle is None:  # lazily: fault-free runs → no file
+                quarantine_handle = open(quarantine_target, "a", encoding="utf-8")
+            write_quarantine_line(quarantine_handle, failure)
+            quarantined += 1
+            progress["quarantined"] += 1
+            emit_progress()
+
+        try:
+            if pending:
+                with open(target, "a", encoding="utf-8") as handle:
+                    for _, outcome in _iter_indexed_outcomes(
+                        pending,
+                        self.spec.engine,
+                        self.workers,
+                        self.max_block_size,
+                        retry=self.retry,
+                        chaos=self.chaos,
+                        on_failure=record_failure,
+                    ):
+                        # Canonical (wall-time-free) lines, one flush per
+                        # line: a kill loses at most the line being written,
+                        # which the next resume repairs.
+                        line = _outcome_to_json_line(outcome, include_wall_time=False)
+                        if self.chaos is not None:
+                            maybe_truncate_write(
+                                self.chaos,
+                                cell_id(outcome.cell),
+                                handle,
+                                line,
+                                attempt=generation,
+                            )
+                        handle.write(line)
+                        handle.flush()
+                        executed += 1
+                        progress["executed"] += 1
+                        progress["completed"] += 1
+                        emit_progress()
+        finally:
+            self._progress_state = None
+            if quarantine_handle is not None:
+                quarantine_handle.close()
         return SweepJobResult(
             total=len(grid),
-            skipped=len(grid) - len(pending),
+            skipped=len(grid) - len(pending) - quarantined_excluded,
             executed=executed,
             store_path=str(target),
             shard=shard,
             repaired=repaired,
+            quarantined=quarantined,
+            quarantined_excluded=quarantined_excluded,
+            quarantine_path=str(quarantine_target),
         )
+
+    # ---- progress ----------------------------------------------------
+
+    def progress(self) -> SweepJobProgress:
+        """A point-in-time snapshot: completion, throughput, ETA, quarantine.
+
+        During an active :meth:`run` the snapshot reflects the run's live
+        counters (cells/second and ETA are computed over the run's slice of
+        the manifest cell count); between runs it is derived from the stores
+        on disk, with zero rate and no ETA.
+        """
+        total = self.spec.cell_count
+        state = self._progress_state
+        if state is not None:
+            elapsed = max(time.monotonic() - state["start"], 1e-9)
+            rate = state["executed"] / elapsed
+            remaining = max(
+                0, state["slice_cells"] - state["completed"] - state["quarantined"]
+            )
+            eta = remaining / rate if state["executed"] > 0 else None
+            return SweepJobProgress(
+                total_cells=total,
+                slice_cells=state["slice_cells"],
+                completed_cells=state["completed"],
+                quarantined_cells=state["quarantined"],
+                executed_this_run=state["executed"],
+                elapsed_seconds=elapsed,
+                cells_per_second=rate,
+                eta_seconds=eta,
+            )
+        completed = self.completed_ids()
+        quarantined = {
+            identity
+            for identity in read_quarantine_map(
+                str(path) for path in self.quarantine_paths()
+            )
+            if identity not in completed
+        }
+        return SweepJobProgress(
+            total_cells=total,
+            slice_cells=total,
+            completed_cells=len(completed),
+            quarantined_cells=len(quarantined),
+            executed_this_run=0,
+            elapsed_seconds=0.0,
+            cells_per_second=0.0,
+            eta_seconds=None,
+        )
+
+    # ---- merging shard directories ------------------------------------
+
+    def merge(self, sources: Sequence[Union[str, Path]]) -> List[Path]:
+        """Pool the store files of other job directories into this one.
+
+        The fleet pattern: ``k`` hosts each ran a shard into their own copy
+        of the job directory; merging copies every store *and quarantine*
+        file into this job's directory so :meth:`fold`/:meth:`outcomes` see
+        the union.  Every source's manifest must match this job's on schema
+        version, cell-ID algorithm and the full grid spec — pooling stores
+        from a different grid would silently corrupt the union, so any
+        mismatch (or a missing manifest) fails loudly with
+        :class:`SweepJobError` before anything is copied.  A same-named file
+        that already exists here must be byte-identical (the no-op of
+        merging a directory twice); differing content is an error.  Returns
+        the files newly copied in.
+        """
+        self.write_manifest()
+        expected = self.manifest_payload()
+        directories = [Path(source) for source in sources]
+        for directory in directories:
+            manifest_path = directory / self.MANIFEST_NAME
+            try:
+                manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            except FileNotFoundError:
+                raise SweepJobError(
+                    f"cannot merge {directory}: no {self.MANIFEST_NAME} — not a "
+                    "sweep job directory"
+                ) from None
+            except ValueError as error:
+                raise SweepJobError(
+                    f"cannot merge {directory}: manifest is not valid JSON: {error}"
+                ) from error
+            for key in ("schema_version", "cell_id_algorithm", "spec"):
+                if manifest.get(key) != expected[key]:
+                    raise SweepJobError(
+                        f"cannot merge {directory}: manifest {key!r} mismatch "
+                        f"({manifest.get(key)!r} != {expected[key]!r}) — its "
+                        "stores belong to a different sweep"
+                    )
+        copied: List[Path] = []
+        for directory in directories:
+            for pattern in (
+                f"{self.STORE_STEM}*.jsonl",
+                f"{self.QUARANTINE_STEM}*.jsonl",
+            ):
+                for path in sorted(directory.glob(pattern)):
+                    destination = self.directory / path.name
+                    data = path.read_bytes()
+                    if destination.exists():
+                        if destination.read_bytes() == data:
+                            continue
+                        raise SweepJobError(
+                            f"cannot merge {path}: {destination} already exists "
+                            "with different content — the same slice was run "
+                            "with different outcomes or policies; resolve "
+                            "manually"
+                        )
+                    destination.write_bytes(data)
+                    copied.append(destination)
+        return copied
 
     # ---- reading & aggregation ----------------------------------------
 
@@ -455,8 +759,15 @@ class SweepJob:
         return ordered
 
     def fold(self) -> SweepSummaryFold:
-        """Incrementally aggregate every store without holding the cells."""
-        return fold_sweep_jsonl(str(path) for path in self.store_paths())
+        """Incrementally aggregate every store without holding the cells.
+
+        Quarantined cells fold in as excluded-with-reason counts
+        (:attr:`~repro.sim.sweep.SweepSummaryFold.quarantined_count`).
+        """
+        return fold_sweep_jsonl(
+            (str(path) for path in self.store_paths()),
+            quarantine_paths=(str(path) for path in self.quarantine_paths()),
+        )
 
     def summary(self) -> List[ExperimentRecord]:
         """Per-configuration summary rows over all stored outcomes."""

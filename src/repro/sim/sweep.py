@@ -369,6 +369,12 @@ class CellOutcome:
     #: The engine that actually executed the cell ("batch", "ndbatch" or
     #: "event") — informative when the cell's engine axis is "auto".
     engine_used: str = ""
+    #: The engine the cell was demoted *from* by the resilient layer
+    #: (:mod:`repro.sim.resilient`), e.g. ``"ndbatch"`` when a repeatedly
+    #: failing block chunk was split and re-run per cell on the batch
+    #: engine.  Empty for normal runs; provenance only — the engines agree
+    #: exactly on integer costs and to ≤1e-9 on derived float metrics.
+    demoted_from: str = ""
 
     @property
     def costs(self) -> CostSummary:
@@ -417,7 +423,7 @@ SUMMARY_COLUMNS = [
 ]
 
 
-def _execute_cell(cell: SweepCell) -> ExecutionResult:
+def _execute_cell(cell: SweepCell, engine: Optional[str] = None) -> ExecutionResult:
     cell.validate()
     inputs = WORKLOAD_SPECS[cell.workload](cell.n, cell.seed)
     bundle = ADVERSARY_SPECS[cell.adversary](cell.protocol, cell.n, cell.t, cell.seed)
@@ -432,7 +438,7 @@ def _execute_cell(cell: SweepCell) -> ExecutionResult:
         fault_plan=bundle.fault_plan,
         delay_model=bundle.delay_model,
         seed=cell.seed,
-        engine=cell.engine,
+        engine=cell.engine if engine is None else engine,
     )
 
 
@@ -468,9 +474,15 @@ def _outcome_from_result(
     )
 
 
-def run_cell(cell: SweepCell) -> CellOutcome:
-    """Execute one cell and compress the result into a :class:`CellOutcome`."""
-    return _outcome_from_result(cell, _execute_cell(cell))
+def run_cell(cell: SweepCell, engine: Optional[str] = None) -> CellOutcome:
+    """Execute one cell and compress the result into a :class:`CellOutcome`.
+
+    ``engine`` overrides the cell's own engine without rewriting the cell —
+    the resilient layer uses this to demote a failing cell to a slower
+    engine while keeping its identity (and :func:`repro.sim.job.cell_id`)
+    unchanged.
+    """
+    return _outcome_from_result(cell, _execute_cell(cell, engine=engine))
 
 
 def _resolve_workers(workers: Optional[int], cell_count: int) -> int:
@@ -675,9 +687,17 @@ def _iter_ndbatch_outcomes(
         except OSError:
             pool = None
         if pool is not None:
-            with pool:
+            try:
                 for (_, indices, _), block in zip(blocks, pool.imap(_run_ndbatch_chunk, chunks)):
                     yield from zip(indices, block)
+            finally:
+                # Explicit teardown (not ``with pool:``): a consumer that
+                # stops iterating early closes this generator, and the
+                # GeneratorExit must terminate *and join* the workers here —
+                # a bare context exit terminates without joining, leaking
+                # live children until GC.
+                pool.terminate()
+                pool.join()
             return
     for (_, indices, _), block in zip(blocks, map(_run_ndbatch_chunk, chunks)):
         yield from zip(indices, block)
@@ -770,9 +790,14 @@ def _iter_outcomes(cells: List[SweepCell], workers: Optional[int]) -> Iterator[C
         for cell in cells:
             yield run_cell(cell)
         return
-    with pool:
+    try:
         chunk = max(1, len(cells) // (worker_count * 4))
         yield from pool.imap(run_cell, cells, chunksize=chunk)
+    finally:
+        # See _iter_ndbatch_outcomes: terminate-and-join on the way out so an
+        # abandoned consumer cannot leak live pool workers.
+        pool.terminate()
+        pool.join()
 
 
 def _iter_indexed_outcomes(
@@ -780,6 +805,9 @@ def _iter_indexed_outcomes(
     engine: str,
     workers: Optional[int],
     max_block_size: int,
+    retry: Optional["RetryPolicy"] = None,  # noqa: F821
+    chaos: Optional["ChaosPlan"] = None,  # noqa: F821
+    on_failure: Optional[Callable] = None,
 ) -> Iterator[Tuple[int, CellOutcome]]:
     """Yield ``(cell_index, outcome)`` for an explicit cell list, streaming.
 
@@ -788,7 +816,27 @@ def _iter_indexed_outcomes(
     hands them back — per cell for batch/event, per chunk for ndbatch/auto —
     so persistence layers can flush completed work incrementally.  The yield
     order is engine-dependent but deterministic; indices restore grid order.
+
+    Passing ``retry`` (a :class:`repro.sim.resilient.RetryPolicy`) or
+    ``chaos`` (a :class:`repro.sim.chaos.ChaosPlan`) routes execution through
+    the fault-tolerant layer instead: failing cells are retried, demoted and
+    finally reported via ``on_failure`` rather than yielded, and yield order
+    becomes completion order.  With both ``None`` the legacy zero-overhead
+    paths run unchanged.
     """
+    if retry is not None or chaos is not None:
+        from repro.sim.resilient import RetryPolicy, iter_resilient_outcomes
+
+        yield from iter_resilient_outcomes(
+            cells,
+            engine,
+            workers,
+            max_block_size,
+            retry if retry is not None else RetryPolicy(),
+            chaos=chaos,
+            on_failure=on_failure,
+        )
+        return
     if engine == "ndbatch":
         yield from _iter_ndbatch_outcomes(cells, workers, max_block_size)
     elif engine == "auto":
@@ -819,6 +867,10 @@ def run_sweep(
     jsonl_path: Optional[str] = None,
     max_block_size: int = DEFAULT_MAX_BLOCK_SIZE,
     overwrite: bool = False,
+    retry: Optional["RetryPolicy"] = None,  # noqa: F821
+    chaos: Optional["ChaosPlan"] = None,  # noqa: F821
+    quarantine_path: Optional[str] = None,
+    on_failure: Optional[Callable] = None,
 ) -> Union[List[CellOutcome], int]:
     """Run every cell of ``spec``, in grid order.
 
@@ -857,26 +909,92 @@ def run_sweep(
     escape hatch) — to *continue* an interrupted sweep instead, use the
     resumable job layer, :class:`repro.sim.job.SweepJob`.  Without
     ``jsonl_path`` the outcomes are returned as a list.
+
+    Passing ``retry`` (a :class:`repro.sim.resilient.RetryPolicy`) and/or
+    ``chaos`` (a :class:`repro.sim.chaos.ChaosPlan`) routes execution through
+    the fault-tolerant layer (:mod:`repro.sim.resilient`): failing cells are
+    retried with backoff and timeouts, dead pool workers are respawned, and
+    cells that keep failing are *quarantined* — reported through
+    ``on_failure`` and streamed as :class:`~repro.sim.resilient.CellFailure`
+    lines to ``quarantine_path`` (default: the store path with a
+    ``.quarantine.jsonl`` suffix) — instead of aborting the sweep.  The
+    in-memory form returns the healthy outcomes in grid order with
+    quarantined cells absent; the JSONL form counts only written (healthy)
+    cells.  With neither given, the legacy zero-overhead paths run
+    unchanged.
     """
     cells = list(spec.cells())
+    if chaos is None:
+        # The env flag lets CI smoke jobs inject faults into any sweep entry
+        # point without touching code (None when REPRO_CHAOS is unset).
+        from repro.sim.chaos import ChaosPlan
+
+        chaos = ChaosPlan.from_env()
+    resilient = retry is not None or chaos is not None
     if jsonl_path is None:
-        if spec.engine in ("ndbatch", "auto"):
+        if resilient or spec.engine in ("ndbatch", "auto"):
             outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
             for index, outcome in _iter_indexed_outcomes(
-                cells, spec.engine, workers, max_block_size
+                cells,
+                spec.engine,
+                workers,
+                max_block_size,
+                retry=retry,
+                chaos=chaos,
+                on_failure=on_failure,
             ):
                 outcomes[index] = outcome
+            if resilient:
+                # Quarantined cells are excluded-with-reason, not silently
+                # None: the reasons went through on_failure.
+                return [outcome for outcome in outcomes if outcome is not None]
             return outcomes  # type: ignore[return-value]
         return list(_iter_outcomes(cells, workers))
     _check_store_clobber(jsonl_path, overwrite)
     written = 0
-    with open(jsonl_path, "w", encoding="utf-8") as handle:
-        for _, outcome in _iter_indexed_outcomes(
-            cells, spec.engine, workers, max_block_size
-        ):
-            handle.write(_outcome_to_json_line(outcome))
-            handle.flush()
-            written += 1
+    quarantine_handle = None
+    try:
+        if resilient:
+            from repro.sim.resilient import (
+                default_quarantine_path,
+                write_quarantine_line,
+            )
+
+            target = quarantine_path or default_quarantine_path(jsonl_path)
+
+            def record_failure(failure: "CellFailure") -> None:  # noqa: F821
+                nonlocal quarantine_handle
+                if quarantine_handle is None:  # lazily: fault-free → no file
+                    quarantine_handle = open(target, "a", encoding="utf-8")
+                write_quarantine_line(quarantine_handle, failure)
+                if on_failure is not None:
+                    on_failure(failure)
+
+            failure_sink: Optional[Callable] = record_failure
+        else:
+            failure_sink = on_failure
+        with open(jsonl_path, "w", encoding="utf-8") as handle:
+            for _, outcome in _iter_indexed_outcomes(
+                cells,
+                spec.engine,
+                workers,
+                max_block_size,
+                retry=retry,
+                chaos=chaos,
+                on_failure=failure_sink,
+            ):
+                line = _outcome_to_json_line(outcome)
+                if chaos is not None:
+                    from repro.sim.chaos import maybe_truncate_write
+                    from repro.sim.job import cell_id
+
+                    maybe_truncate_write(chaos, cell_id(outcome.cell), handle, line)
+                handle.write(line)
+                handle.flush()
+                written += 1
+    finally:
+        if quarantine_handle is not None:
+            quarantine_handle.close()
     return written
 
 
@@ -930,6 +1048,7 @@ def _outcome_to_json_line(outcome: CellOutcome, include_wall_time: bool = True) 
         "wall_time_seconds": outcome.wall_time_seconds,
         "violations": list(outcome.violations),
         "engine_used": outcome.engine_used,
+        "demoted_from": outcome.demoted_from,
     }
     if not include_wall_time:
         del payload["wall_time_seconds"]
@@ -953,6 +1072,7 @@ def _outcome_from_payload(payload: Dict) -> CellOutcome:
         wall_time_seconds=payload.get("wall_time_seconds", 0.0),
         violations=tuple(payload["violations"]),
         engine_used=payload.get("engine_used", ""),
+        demoted_from=payload.get("demoted_from", ""),
     )
 
 
@@ -1054,11 +1174,35 @@ class SweepSummaryFold:
     def __init__(self) -> None:
         self._groups: Dict[Tuple, _GroupFold] = {}
         self._total = 0
+        self._quarantined: Dict[str, str] = {}  # cell_id -> fault_class
 
     @property
     def total_outcomes(self) -> int:
         """Number of outcomes folded in so far."""
         return self._total
+
+    @property
+    def quarantined_count(self) -> int:
+        """Cells noted as quarantined (excluded-with-reason, not missing)."""
+        return len(self._quarantined)
+
+    def quarantined_by_fault(self) -> Dict[str, int]:
+        """Quarantined-cell counts per fault class (raise/timeout/crash)."""
+        counts: Dict[str, int] = {}
+        for fault_class in self._quarantined.values():
+            counts[fault_class] = counts.get(fault_class, 0) + 1
+        return counts
+
+    def note_quarantined(self, cell_id: str, fault_class: str) -> None:
+        """Record one quarantined cell (idempotent per cell ID).
+
+        Quarantined cells carry no measurements, so they never touch the
+        summary groups — they are accounted separately so a fold can report
+        "N cells excluded with reason" instead of passing them off as
+        missing (:func:`repro.sim.job.fold_sweep_jsonl` wires this up from
+        the quarantine stores).
+        """
+        self._quarantined[cell_id] = fault_class
 
     def update(self, outcome: CellOutcome) -> None:
         """Fold one outcome into its summary group."""
@@ -1084,6 +1228,7 @@ class SweepSummaryFold:
                 mine = self._groups[key] = _GroupFold()
             mine.merge(group)
         self._total += other._total
+        self._quarantined.update(other._quarantined)
         return self
 
     def records(self) -> List[ExperimentRecord]:

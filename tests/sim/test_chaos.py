@@ -1,0 +1,170 @@
+"""Tests for the deterministic chaos harness (:mod:`repro.sim.chaos`)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.sim.chaos import (
+    CHAOS_ENV_VAR,
+    FAULT_HANG,
+    FAULT_KILL_WORKER,
+    FAULT_RAISE,
+    FAULT_TRUNCATE_WRITE,
+    ChaosError,
+    ChaosPlan,
+    ChaosRule,
+    chaos_fraction,
+    inject_execution_faults,
+    maybe_truncate_write,
+)
+
+
+class TestChaosFraction:
+    def test_deterministic_and_in_range(self):
+        for attempt in range(1, 5):
+            value = chaos_fraction(7, 0, "abc123", attempt)
+            assert 0.0 <= value < 1.0
+            assert value == chaos_fraction(7, 0, "abc123", attempt)
+
+    def test_varies_with_every_coordinate(self):
+        base = chaos_fraction(7, 0, "abc123", 1)
+        assert chaos_fraction(8, 0, "abc123", 1) != base
+        assert chaos_fraction(7, 1, "abc123", 1) != base
+        assert chaos_fraction(7, 0, "abc124", 1) != base
+        assert chaos_fraction(7, 0, "abc123", 2) != base
+
+
+class TestChaosRule:
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos fault"):
+            ChaosRule(fault="set-on-fire")
+
+    def test_rate_bounds_enforced(self):
+        with pytest.raises(ValueError, match="rate"):
+            ChaosRule(fault=FAULT_RAISE, rate=1.5)
+        with pytest.raises(ValueError, match="rate"):
+            ChaosRule(fault=FAULT_RAISE, rate=-0.1)
+
+    def test_negative_hang_rejected(self):
+        with pytest.raises(ValueError, match="hang_seconds"):
+            ChaosRule(fault=FAULT_HANG, hang_seconds=-1.0)
+
+    def test_payload_roundtrip(self):
+        rule = ChaosRule(
+            fault=FAULT_HANG, cells=("a", "b"), attempts=(1, 3), rate=0.25,
+            hang_seconds=12.0,
+        )
+        assert ChaosRule.from_payload(rule.as_payload()) == rule
+
+
+class TestChaosPlan:
+    def test_cell_and_attempt_filters(self):
+        plan = ChaosPlan(
+            seed=3,
+            rules=(ChaosRule(fault=FAULT_RAISE, cells=("x",), attempts=(1,)),),
+        )
+        assert plan.fires(0, "x", 1)
+        assert not plan.fires(0, "x", 2)  # attempt filter: transient fault
+        assert not plan.fires(0, "y", 1)  # cell filter
+
+    def test_rate_thinning_is_deterministic(self):
+        plan = ChaosPlan(seed=11, rules=(ChaosRule(fault=FAULT_RAISE, rate=0.5),))
+        decisions = [plan.fires(0, f"cell-{i}", 1) for i in range(200)]
+        assert decisions == [plan.fires(0, f"cell-{i}", 1) for i in range(200)]
+        hits = sum(decisions)
+        assert 50 < hits < 150  # roughly the configured rate, never all-or-none
+
+    def test_faults_for_preserves_rule_order(self):
+        plan = ChaosPlan(
+            rules=(
+                ChaosRule(fault=FAULT_RAISE),
+                ChaosRule(fault=FAULT_HANG, hang_seconds=0.0),
+            )
+        )
+        faults = plan.faults_for("anything", 1)
+        assert [rule.fault for rule in faults] == [FAULT_RAISE, FAULT_HANG]
+
+    def test_payload_roundtrip(self):
+        plan = ChaosPlan(
+            seed=42,
+            rules=(
+                ChaosRule(fault=FAULT_KILL_WORKER, cells=("a",), attempts=(1,)),
+                ChaosRule(fault=FAULT_TRUNCATE_WRITE, rate=0.1),
+            ),
+        )
+        assert ChaosPlan.from_payload(plan.as_payload()) == plan
+
+    def test_env_roundtrip(self):
+        plan = ChaosPlan(seed=9, rules=(ChaosRule(fault=FAULT_RAISE, cells=("c",)),))
+        assert ChaosPlan.from_env({CHAOS_ENV_VAR: plan.to_env()}) == plan
+
+    def test_env_unset_or_blank_is_none(self):
+        assert ChaosPlan.from_env({}) is None
+        assert ChaosPlan.from_env({CHAOS_ENV_VAR: "   "}) is None
+
+    def test_env_malformed_is_loud(self):
+        # A chaos run that silently ran fault-free would "pass" the very
+        # guarantees it was meant to test.
+        with pytest.raises(ValueError, match=CHAOS_ENV_VAR):
+            ChaosPlan.from_env({CHAOS_ENV_VAR: "{not json"})
+        with pytest.raises(ValueError, match=CHAOS_ENV_VAR):
+            ChaosPlan.from_env({CHAOS_ENV_VAR: '{"rules": [{"fault": "nope"}]}'})
+
+
+class TestInjectExecutionFaults:
+    def test_none_plan_is_noop(self):
+        inject_execution_faults(None, ["a"], 1)
+        inject_execution_faults(ChaosPlan(), ["a"], 1)
+
+    def test_raise_rule_raises_chaos_error(self):
+        plan = ChaosPlan(rules=(ChaosRule(fault=FAULT_RAISE, cells=("a",)),))
+        with pytest.raises(ChaosError, match="injected failure"):
+            inject_execution_faults(plan, ["a"], 1)
+        inject_execution_faults(plan, ["b"], 1)  # untargeted cell: no fault
+
+    def test_kill_degrades_to_raise_in_process(self):
+        plan = ChaosPlan(rules=(ChaosRule(fault=FAULT_KILL_WORKER, cells=("a",)),))
+        with pytest.raises(ChaosError, match="kill-worker"):
+            inject_execution_faults(plan, ["a"], 1, allow_process_faults=False)
+
+    def test_kill_takes_precedence_over_raise(self):
+        plan = ChaosPlan(
+            rules=(
+                ChaosRule(fault=FAULT_RAISE, cells=("a",)),
+                ChaosRule(fault=FAULT_KILL_WORKER, cells=("a",)),
+            )
+        )
+        with pytest.raises(ChaosError, match="kill-worker"):
+            inject_execution_faults(plan, ["a"], 1, allow_process_faults=False)
+
+    def test_zero_second_hang_completes(self):
+        plan = ChaosPlan(rules=(ChaosRule(fault=FAULT_HANG, hang_seconds=0.0),))
+        inject_execution_faults(plan, ["a"], 1)
+
+
+class TestMaybeTruncateWrite:
+    def test_no_rule_returns_false_and_writes_nothing(self):
+        handle = io.StringIO()
+        assert maybe_truncate_write(ChaosPlan(), "a", handle, "line\n") is False
+        assert handle.getvalue() == ""
+
+    def test_fires_writes_partial_line_and_interrupts(self):
+        plan = ChaosPlan(rules=(ChaosRule(fault=FAULT_TRUNCATE_WRITE, cells=("a",)),))
+        handle = io.StringIO()
+        line = '{"cell": "payload"}\n'
+        with pytest.raises(KeyboardInterrupt):
+            maybe_truncate_write(plan, "a", handle, line)
+        written = handle.getvalue()
+        assert 0 < len(written) < len(line)
+        assert not written.endswith("\n")  # the signature of a mid-write kill
+
+    def test_attempt_filter_spares_the_resume_generation(self):
+        plan = ChaosPlan(
+            rules=(ChaosRule(fault=FAULT_TRUNCATE_WRITE, cells=("a",), attempts=(1,)),)
+        )
+        handle = io.StringIO()
+        with pytest.raises(KeyboardInterrupt):
+            maybe_truncate_write(plan, "a", handle, "line\n", attempt=1)
+        assert maybe_truncate_write(plan, "a", handle, "line\n", attempt=2) is False

@@ -327,3 +327,159 @@ class TestStoreScan:
         assert len(outcomes) == 3
         with pytest.raises(ValueError, match="undecodable"):
             list(iter_sweep_jsonl(str(path), strict=True))
+
+
+class TestMerge:
+    def sharded_pair(self, tmp_path):
+        """Two 'hosts' each running one shard into their own directory."""
+        a = SweepJob(SPEC, tmp_path / "host-a", workers=1)
+        b = SweepJob(SPEC, tmp_path / "host-b", workers=1)
+        a.run(shard=(0, 2))
+        b.run(shard=(1, 2))
+        return a, b
+
+    def test_merge_pools_shard_stores_into_a_complete_job(self, tmp_path):
+        a, b = self.sharded_pair(tmp_path)
+        copied = a.merge([b.directory])
+        assert [path.parent for path in copied] == [a.directory]
+        assert a.is_complete()
+        reference = run_sweep(SPEC, workers=1)
+        assert a.outcomes() == reference
+
+    def test_merge_is_idempotent(self, tmp_path):
+        a, b = self.sharded_pair(tmp_path)
+        first = a.merge([b.directory])
+        assert len(first) == 1
+        assert a.merge([b.directory]) == []  # byte-identical copies skip
+
+    def test_merge_rejects_a_directory_without_a_manifest(self, tmp_path):
+        a, _ = self.sharded_pair(tmp_path)
+        (tmp_path / "not-a-job").mkdir()
+        with pytest.raises(SweepJobError, match="no manifest.json"):
+            a.merge([tmp_path / "not-a-job"])
+
+    def test_merge_rejects_a_different_grid_spec(self, tmp_path):
+        a, _ = self.sharded_pair(tmp_path)
+        other_spec = dataclasses.replace(SPEC, seeds=(0, 1))
+        other = SweepJob(other_spec, tmp_path / "other", workers=1)
+        other.run()
+        with pytest.raises(SweepJobError, match="'spec' mismatch"):
+            a.merge([other.directory])
+        assert not (a.directory / other.store_path().name).exists() or (
+            a.store_path().exists()
+        )  # nothing from the bad source was copied
+
+    def test_merge_validates_before_copying_anything(self, tmp_path):
+        a, b = self.sharded_pair(tmp_path)
+        other = SweepJob(dataclasses.replace(SPEC, seeds=(9,)), tmp_path / "bad")
+        other.run()
+        before = sorted(path.name for path in a.store_paths())
+        with pytest.raises(SweepJobError):
+            a.merge([b.directory, other.directory])  # good source listed first
+        assert sorted(path.name for path in a.store_paths()) == before
+
+    def test_merge_rejects_same_name_different_content(self, tmp_path):
+        a = SweepJob(SPEC, tmp_path / "host-a", workers=1)
+        b = SweepJob(SPEC, tmp_path / "host-b", workers=1)
+        a.run(shard=(0, 2))
+        b.run(shard=(0, 2))  # same slice name...
+        target = b.store_path((0, 2))
+        lines = target.read_text(encoding="utf-8").splitlines(keepends=True)
+        target.write_text("".join(reversed(lines)), encoding="utf-8")  # ...other bytes
+        with pytest.raises(SweepJobError, match="different content"):
+            a.merge([b.directory])
+
+    def test_merge_copies_quarantine_files(self, tmp_path):
+        from repro.sim.chaos import ChaosPlan, ChaosRule, FAULT_RAISE
+        from repro.sim.resilient import RetryPolicy
+
+        cells = list(SPEC.cells())
+        poisoned = cell_id(cells[0])
+        fast = RetryPolicy(max_attempts=2, backoff_base_seconds=0.001)
+        plan = ChaosPlan(rules=(ChaosRule(fault=FAULT_RAISE, cells=(poisoned,)),))
+        b = SweepJob(SPEC, tmp_path / "host-b", workers=1, retry=fast, chaos=plan)
+        result = b.run()
+        assert result.quarantined == 1
+        a = SweepJob(SPEC, tmp_path / "host-a", workers=1)
+        copied = a.merge([b.directory])
+        assert {path.name for path in copied} == {"cells.jsonl", "quarantine.jsonl"}
+        fold = a.fold()
+        assert fold.quarantined_count == 1
+        assert fold.quarantined_by_fault() == {"raise": 1}
+
+
+class TestProgress:
+    def test_on_progress_streams_monotone_snapshots(self, tmp_path):
+        job = SweepJob(SPEC, tmp_path / "job", workers=1)
+        snapshots = []
+        job.run(on_progress=snapshots.append)
+        assert len(snapshots) == SPEC.cell_count
+        executed = [snap.executed_this_run for snap in snapshots]
+        assert executed == list(range(1, SPEC.cell_count + 1))
+        final = snapshots[-1]
+        assert final.total_cells == SPEC.cell_count
+        assert final.completed_cells == SPEC.cell_count
+        assert final.remaining_cells == 0
+        assert final.cells_per_second > 0.0
+        assert all(
+            snap.eta_seconds is not None and snap.eta_seconds >= 0.0
+            for snap in snapshots
+        )
+
+    def test_progress_accounts_for_resumed_cells(self, tmp_path):
+        job = SweepJob(SPEC, tmp_path / "job", workers=1)
+        job.run(shard=(0, 2))
+        snapshots = []
+        job.run(on_progress=snapshots.append)
+        done_before = SPEC.cell_count - snapshots[-1].executed_this_run
+        assert done_before > 0
+        assert snapshots[0].completed_cells == done_before + 1
+        assert snapshots[-1].completed_cells == SPEC.cell_count
+
+    def test_idle_progress_reads_the_stores(self, tmp_path):
+        job = SweepJob(SPEC, tmp_path / "job", workers=1)
+        idle = job.progress()
+        assert idle.completed_cells == 0
+        assert idle.cells_per_second == 0.0
+        assert idle.eta_seconds is None
+        job.run(shard=(0, 2))
+        partial = job.progress()
+        assert 0 < partial.completed_cells < SPEC.cell_count
+        assert partial.remaining_cells == SPEC.cell_count - partial.completed_cells
+
+
+class TestManifestRetryPolicy:
+    def test_retry_policy_recorded_in_manifest(self, tmp_path):
+        from repro.sim.resilient import RetryPolicy
+
+        policy = RetryPolicy(max_attempts=5, timeout_seconds=30.0)
+        job = SweepJob(SPEC, tmp_path / "job", workers=1, retry=policy)
+        job.write_manifest()
+        manifest = json.loads(job.manifest_path.read_text(encoding="utf-8"))
+        assert manifest["retry_policy"] == policy.as_payload()
+        assert RetryPolicy.from_payload(manifest["retry_policy"]) == policy
+
+    def test_no_policy_recorded_as_null(self, tmp_path):
+        job = SweepJob(SPEC, tmp_path / "job", workers=1)
+        job.write_manifest()
+        manifest = json.loads(job.manifest_path.read_text(encoding="utf-8"))
+        assert manifest["retry_policy"] is None
+
+    def test_pre_resilience_manifest_still_validates(self, tmp_path):
+        # Stores written before the resilient layer existed have no
+        # retry_policy key; resuming them must not fail the manifest check.
+        job = SweepJob(SPEC, tmp_path / "job", workers=1)
+        job.write_manifest()
+        manifest = json.loads(job.manifest_path.read_text(encoding="utf-8"))
+        del manifest["retry_policy"]
+        job.manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        result = SweepJob(SPEC, tmp_path / "job", workers=1).run()
+        assert result.executed == SPEC.cell_count
+
+    def test_changed_retry_policy_fails_the_manifest_check(self, tmp_path):
+        from repro.sim.resilient import RetryPolicy
+
+        SweepJob(SPEC, tmp_path / "job", retry=RetryPolicy(max_attempts=2)).write_manifest()
+        other = SweepJob(SPEC, tmp_path / "job", retry=RetryPolicy(max_attempts=9))
+        with pytest.raises(SweepJobError, match="manifest"):
+            other.write_manifest()

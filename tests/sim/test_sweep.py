@@ -8,6 +8,9 @@ import pickle
 
 import pytest
 
+import multiprocessing
+import time
+
 from repro.analysis.tables import render_records
 from repro.sim import NDBATCH_PROTOCOLS
 from repro.sim.batch import BATCH_PROTOCOLS
@@ -23,6 +26,8 @@ from repro.sim.sweep import (
     SweepCell,
     SweepSpec,
     _group_ndbatch_blocks,
+    _iter_ndbatch_outcomes,
+    _iter_outcomes,
     _split_blocks,
     adversary_fits_protocol,
     iter_sweep_jsonl,
@@ -391,6 +396,40 @@ class TestJsonlStreaming:
             assert outcome.ok, outcome.cell
             count += 1
         assert count == 1000
+
+
+def _assert_children_drain(deadline_seconds=10.0):
+    deadline = time.monotonic() + deadline_seconds
+    while multiprocessing.active_children():
+        assert time.monotonic() < deadline, (
+            "pool workers leaked: %r" % multiprocessing.active_children()
+        )
+        time.sleep(0.05)
+
+
+class TestPoolTeardown:
+    """Abandoning a streaming generator must reap its pool workers.
+
+    Regression: the bare ``with multiprocessing.Pool(...)`` exit terminates
+    the pool without joining it, leaving live children until GC.  The
+    generators now terminate *and* join in a ``finally`` clause, so closing
+    them mid-stream reaps every worker promptly.
+    """
+
+    def test_iter_outcomes_closed_midstream_reaps_workers(self):
+        cells = list(SPEC.cells())
+        stream = _iter_outcomes(cells, workers=2)
+        assert next(stream) is not None
+        stream.close()
+        _assert_children_drain()
+
+    @needs_numpy
+    def test_iter_ndbatch_outcomes_closed_midstream_reaps_workers(self):
+        cells = list(SPEC.cells())
+        stream = _iter_ndbatch_outcomes(cells, workers=2)
+        assert next(stream) is not None
+        stream.close()
+        _assert_children_drain()
 
 
 @pytest.mark.slow
