@@ -68,5 +68,26 @@ def render_fold(fold: Any, columns: Sequence[str], title: str = "") -> str:
     stores in constant memory, then render the group rows — the table for a
     million-cell sharded sweep never materialises the cells.  Duck-typed on
     ``records()`` so this rendering layer needs no import of the sim layer.
+
+    Folds that track quarantined cells (``quarantined_count`` /
+    ``quarantined_by_fault()``, see
+    :meth:`repro.sim.sweep.SweepSummaryFold.note_quarantined`) get two
+    additions when any cell was quarantined: a ``quarantined_count`` column
+    appended to the group rows (unless the caller already asked for it) and
+    a fault-class breakdown table below the summary — excluded cells are
+    reported with their reason, never silently dropped.
     """
-    return render_records(fold.records(), columns, title=title)
+    column_list = list(columns)
+    quarantined = getattr(fold, "quarantined_count", 0)
+    if quarantined and "quarantined_count" not in column_list:
+        column_list.append("quarantined_count")
+    rendered = render_records(fold.records(), column_list, title=title)
+    by_fault = getattr(fold, "quarantined_by_fault", None)
+    if quarantined and callable(by_fault):
+        detail = render_table(
+            ["fault_class", "quarantined"],
+            sorted(by_fault().items()),
+            title=f"quarantined cells: {quarantined}",
+        )
+        rendered = f"{rendered}\n\n{detail}"
+    return rendered

@@ -132,7 +132,7 @@ def approximation_step(sample: Sequence[float], bounds: AlgorithmBounds) -> floa
     return approximate(sample, bounds.reduce_j, bounds.select_k)
 
 
-def approximation_step_block(samples, bounds: AlgorithmBounds, validate: bool = True):
+def approximation_step_block(samples, bounds: AlgorithmBounds, validate: bool = True, xp=None):
     """Array form of :func:`approximation_step` over a block of samples.
 
     ``samples`` is an array of shape ``(..., m)`` — any number of leading axes
@@ -152,21 +152,31 @@ def approximation_step_block(samples, bounds: AlgorithmBounds, validate: bool = 
     (the vectorised engine's crash-only blocks, where every gathered value
     is an honest holder's) may pass ``validate=False`` to skip the scan.
 
-    Requires numpy (imported lazily so :mod:`repro.core` keeps working on
-    interpreters without it).
+    ``xp`` is an optional :class:`~repro.core.backend.ArrayNamespace`: the
+    kernel then runs on that backend (numpy/CuPy/torch) at the namespace's
+    float dtype.  ``None`` (the default) is the pre-shim numpy float64 path,
+    bit for bit — it requires numpy (imported lazily so :mod:`repro.core`
+    keeps working on interpreters without it).
     """
-    import numpy as np
+    if xp is None:
+        import numpy as np
 
-    values = np.asarray(samples, dtype=np.float64)
+        values = np.asarray(samples, dtype=np.float64)
+        finite = np.isfinite
+        sort = np.sort
+    else:
+        values = xp.asarray(samples, dtype=xp.float_dtype)
+        finite = xp.isfinite
+        sort = xp.sort
     m = values.shape[-1]
     j = bounds.reduce_j
     if m < 2 * j + 1:
         raise ValueError(
             f"cannot remove {j} extremes from each side of a multiset of size {m}"
         )
-    if validate and not np.isfinite(values).all():
+    if validate and not finite(values).all():
         raise ValueError("multiset operations require finite values")
-    ordered = np.sort(values, axis=-1)
+    ordered = sort(values, axis=-1)
     reduced = ordered[..., j : m - j] if j > 0 else ordered
     if bounds.select_k is None:
         return (reduced[..., 0] + reduced[..., -1]) / 2.0

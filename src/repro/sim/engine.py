@@ -52,13 +52,15 @@ The ndbatch engine is additionally marked *tensorisable*: it advances whole
 execution blocks through tensor fault programs (grouped
 ``value_tensor``/``rank_tensor`` calls, see :mod:`repro.net.adversary`), at a
 per-block setup cost.  Auto-selection therefore runs a small cost model —
-estimated work ``cells × rounds × n`` against :data:`NDBATCH_MIN_WORK` — and
+estimated work ``cells × rounds × n`` against the probe-calibrated
+:func:`ndbatch_min_work` threshold — and
 keeps tiny grids (a single small execution, a one-cell sweep group) on the
 pure-Python batch engine, where block setup would dominate.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple
 
@@ -66,7 +68,10 @@ __all__ = [
     "DIRECT_PROTOCOLS",
     "ENGINES",
     "ENGINE_CAPABILITIES",
+    "ENV_CALIBRATION_DIR",
+    "ENV_MIN_WORK",
     "NDBATCH_MIN_WORK",
+    "ndbatch_min_work",
     "EngineCapabilities",
     "EngineCapabilityError",
     "capable_engines",
@@ -118,7 +123,7 @@ class EngineCapabilities:
     #: fault programs (grouped ``value_tensor``/``rank_tensor`` calls).  A
     #: tensorisable engine pays a per-block setup cost, so auto-selection
     #: only picks it when the scenario actually vectorises *and* the
-    #: estimated work (cells × rounds × n) exceeds :data:`NDBATCH_MIN_WORK`.
+    #: estimated work (cells × rounds × n) exceeds :func:`ndbatch_min_work`.
     tensorisable: bool = False
     #: The engine the resilient sweep layer (:mod:`repro.sim.resilient`)
     #: falls back to when work keeps failing on this one — a slower, simpler
@@ -446,14 +451,138 @@ def engine_rejections(features: Iterable[str]) -> Dict[str, str]:
     return rejections
 
 
-#: Minimum estimated work — sweep cells × rounds × n — below which
+#: Fallback minimum estimated work — sweep cells × rounds × n — below which
 #: auto-selection prefers the pure-Python batch engine over a tensorised
-#: (block) engine.  Calibrated empirically: the ndbatch block setup (scenario
-#: masks, crash/candidate tensors, result assembly) costs roughly as much as
-#: ~60 scalar quorum updates, so tiny grids — a single n=7 execution, a
-#: one-cell sweep group — run faster without the vectorised detour, while
-#: anything from a few executions up clears the bar comfortably.
+#: (block) engine.  Calibrated empirically on one reference host: the ndbatch
+#: block setup (scenario masks, crash/candidate tensors, result assembly)
+#: costs roughly as much as ~60 scalar quorum updates there.  Dispatch no
+#: longer trusts this constant blindly: :func:`ndbatch_min_work` re-measures
+#: the crossover once per interpreter with a cached micro-probe, and this
+#: value only serves as the fallback when the probe cannot run (and as the
+#: centre of the probe's sanity clamp).
 NDBATCH_MIN_WORK = 64
+
+#: Environment override for the dispatch threshold (skips the micro-probe).
+ENV_MIN_WORK = "REPRO_NDBATCH_MIN_WORK"
+#: Directory for the per-interpreter probe cache (default: the temp dir).
+ENV_CALIBRATION_DIR = "REPRO_CALIBRATION_DIR"
+
+#: Sanity clamp on probed thresholds: even a wildly noisy probe (loaded CI
+#: host, cold caches) cannot push dispatch into a regime where either every
+#: grid or no grid vectorises.
+_MIN_WORK_CLAMP = (48, 16384)
+
+_min_work_memo: Optional[int] = None
+
+
+def _calibration_path() -> str:
+    """Per-interpreter cache file for the probed dispatch threshold."""
+    import sys
+    import tempfile
+
+    directory = os.environ.get(ENV_CALIBRATION_DIR) or tempfile.gettempdir()
+    tag = f"{sys.implementation.name}-{sys.version_info[0]}.{sys.version_info[1]}"
+    return os.path.join(directory, f"repro-ndbatch-min-work-{tag}.txt")
+
+
+def _probe_ndbatch_min_work() -> int:
+    """Measure the batch→ndbatch crossover with one tiny timed scenario.
+
+    Times the same small async-crash execution on both round-level engines
+    (best of three, after a warm-up run absorbing import and allocator
+    costs).  On a scenario this small the ndbatch time is dominated by block
+    setup while the batch time is proportional to scalar work, so
+    ``probe_work × ndbatch_time / batch_time`` estimates the block setup in
+    scalar-work units — exactly the quantity :data:`NDBATCH_MIN_WORK` was
+    hand-calibrated to approximate.
+    """
+    import time as _time
+
+    from repro.sim.batch import run_batch_protocol
+    from repro.sim.ndbatch import run_ndbatch_protocol
+
+    inputs = [0.0, 0.25, 0.5, 0.75, 1.0]
+    t, epsilon = 1, 0.05
+
+    def best_of(runner) -> float:
+        timings = []
+        for _ in range(3):
+            started = _time.perf_counter()
+            runner("async-crash", inputs, t=t, epsilon=epsilon)
+            timings.append(_time.perf_counter() - started)
+        return min(timings)
+
+    run_batch_protocol("async-crash", inputs, t=t, epsilon=epsilon)  # warm-up
+    run_ndbatch_protocol("async-crash", inputs, t=t, epsilon=epsilon)
+    batch_time = best_of(run_batch_protocol)
+    ndbatch_time = best_of(run_ndbatch_protocol)
+    rounds = estimated_upfront_rounds("async-crash", inputs, t, epsilon) or 1
+    probe_work = rounds * len(inputs)
+    if batch_time <= 0.0:
+        return NDBATCH_MIN_WORK
+    return int(round(probe_work * ndbatch_time / batch_time))
+
+
+def ndbatch_min_work() -> int:
+    """The dispatch threshold, probed once per interpreter and cached.
+
+    Resolution order: in-process memo → :data:`ENV_MIN_WORK` (explicit
+    override, pinned in CI/tests for deterministic dispatch) → the cache
+    file (:func:`_calibration_path`) → a fresh micro-probe
+    (:func:`_probe_ndbatch_min_work`), clamped to :data:`_MIN_WORK_CLAMP`
+    and written back atomically.  Every failure mode (no numpy, unwritable
+    temp dir, corrupt cache) degrades to the hand-calibrated
+    :data:`NDBATCH_MIN_WORK` fallback rather than raising — dispatch must
+    never fail because calibration did.
+    """
+    global _min_work_memo
+    if _min_work_memo is not None:
+        return _min_work_memo
+    env = os.environ.get(ENV_MIN_WORK)
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_MIN_WORK} must be an integer work threshold, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ValueError(f"{ENV_MIN_WORK} must be positive, got {value}")
+        _min_work_memo = value
+        return value
+    path = _calibration_path()
+    try:
+        with open(path, "r", encoding="ascii") as handle:
+            cached = int(handle.read().strip())
+        if cached >= 1:
+            _min_work_memo = cached
+            return cached
+    except (OSError, ValueError):
+        pass
+    try:
+        probed = _probe_ndbatch_min_work()
+    except Exception:
+        _min_work_memo = NDBATCH_MIN_WORK
+        return _min_work_memo
+    low, high = _MIN_WORK_CLAMP
+    value = max(low, min(high, probed))
+    try:
+        import tempfile
+
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="ascii",
+            dir=os.path.dirname(path) or ".",
+            prefix=os.path.basename(path) + ".",
+            delete=False,
+        )
+        with handle:
+            handle.write(f"{value}\n")
+        os.replace(handle.name, path)
+    except OSError:
+        pass
+    _min_work_memo = value
+    return value
 
 
 def select_engine(
@@ -469,9 +598,9 @@ def select_engine(
     pure-Python loop beats the fallback path's per-recipient round trips
     through numpy.  ``work`` is the scenario's estimated size — cells ×
     rounds × n — fed to the block-setup cost model: a tensorised engine is
-    only worth its per-block setup when ``work`` reaches
-    :data:`NDBATCH_MIN_WORK` (``None`` skips the cost model, e.g. when the
-    round count is not computable upfront).
+    only worth its per-block setup when ``work`` reaches the calibrated
+    :func:`ndbatch_min_work` threshold (``None`` skips the cost model, e.g.
+    when the round count is not computable upfront).
     """
     required = set(features)
     capable = capable_engines(required)
@@ -486,7 +615,7 @@ def select_engine(
         caps = ENGINE_CAPABILITIES[name]
         if caps.tensorisable and not vectorised:
             continue
-        if caps.tensorisable and work is not None and work < NDBATCH_MIN_WORK:
+        if caps.tensorisable and work is not None and work < ndbatch_min_work():
             continue
         return name
     return capable[-1]
@@ -593,6 +722,8 @@ def run(
     strict: bool = True,
     engine: str = "auto",
     runtime: Optional[str] = None,
+    backend: Optional[str] = None,
+    dtype: Optional[str] = None,
 ):
     """Run one execution on the fastest capable engine (or an explicit one).
 
@@ -604,7 +735,7 @@ def run(
         ``"auto"`` (default) selects the fastest engine whose capability set
         covers the scenario — ndbatch for vectorisable direct-protocol
         scenarios big enough to repay the block setup (the
-        :data:`NDBATCH_MIN_WORK` cost model; tiny single executions stay on
+        :func:`ndbatch_min_work` cost model; tiny single executions stay on
         batch), batch for round-level scenarios ndbatch cannot (or should
         not) take, the event simulator for message-level-only scenarios.
         ``"ndbatch"``, ``"batch"`` and ``"event"`` force a specific engine;
@@ -613,6 +744,11 @@ def run(
     runtime:
         Only meaningful for the event engine (``"des"``, ``"asyncio"``,
         ``"lockstep"``); forwarded to :func:`repro.sim.runner.run_protocol`.
+    backend / dtype:
+        Array-backend selection (:func:`repro.core.backend.get_namespace`),
+        only meaningful for the ndbatch engine — the other engines run pure
+        Python, so an explicit non-default selection they would silently
+        ignore raises :class:`EngineCapabilityError` instead.
 
     Returns the engine's :class:`~repro.sim.runner.ExecutionResult`; the
     ``runtime`` field of the result records which engine actually ran.
@@ -666,6 +802,16 @@ def run(
         require_capability(engine, features)
         chosen = engine
 
+    if (backend is not None or dtype is not None) and chosen != "ndbatch":
+        raise EngineCapabilityError(
+            chosen,
+            f"array backend/dtype selection (backend={backend!r}, "
+            f"dtype={dtype!r}): it runs pure Python and would silently "
+            "ignore the override; force engine='ndbatch' (if the scenario "
+            "vectorises) or drop backend/dtype",
+            ("ndbatch",),
+        )
+
     if chosen == "event":
         from repro.sim.runner import run_protocol
 
@@ -695,6 +841,8 @@ def run(
             delay_model=delay_model,
             seed=seed,
             strict=strict,
+            backend=backend,
+            dtype=dtype,
         )
     from repro.sim.batch import run_batch_protocol
 

@@ -101,6 +101,9 @@ __all__ = [
     "scan_sweep_store",
     "fold_sweep_jsonl",
     "SweepJob",
+    "spec_from_manifest",
+    "parse_shard",
+    "main",
 ]
 
 #: Version of the on-disk layout (manifest shape + JSONL line schema).
@@ -237,7 +240,7 @@ def fold_sweep_jsonl(
         str(path) for path in quarantine_paths
     ).items():
         if identity not in seen:
-            fold.note_quarantined(identity, failure.fault_class)
+            fold.note_quarantined(identity, failure.fault_class, cell=failure.cell)
     return fold
 
 
@@ -772,3 +775,214 @@ class SweepJob:
     def summary(self) -> List[ExperimentRecord]:
         """Per-configuration summary rows over all stored outcomes."""
         return self.fold().records()
+
+
+# ----------------------------------------------------------------------
+# Command line: python -m repro.sim.job run --shard I/K ...
+# ----------------------------------------------------------------------
+
+
+def spec_from_manifest(payload: Dict) -> SweepSpec:
+    """Rebuild the :class:`~repro.sim.sweep.SweepSpec` a manifest records.
+
+    The inverse of :meth:`SweepJob.manifest_payload`'s ``spec`` block, so a
+    CLI shard worker pointed at an existing job directory needs no grid
+    flags at all — the manifest *is* the grid.
+    """
+    spec = payload["spec"]
+    return SweepSpec(
+        protocols=tuple(spec["protocols"]),
+        system_sizes=tuple((int(n), int(t)) for n, t in spec["system_sizes"]),
+        adversaries=tuple(spec["adversaries"]),
+        workloads=tuple(spec["workloads"]),
+        seeds=tuple(int(seed) for seed in spec["seeds"]),
+        epsilon=float(spec["epsilon"]),
+        engine=spec["engine"],
+    )
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse ``"I/K"`` (e.g. ``2/8``) into a validated ``(index, count)``."""
+    index_text, separator, count_text = text.partition("/")
+    try:
+        if not separator:
+            raise ValueError
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"shard must look like I/K (e.g. 2/8), got {text!r}"
+        ) from None
+    return SweepJob._validate_shard((index, count))
+
+
+def _parse_seeds(text: str) -> Tuple[int, ...]:
+    """Parse a seed axis: ``0..99`` (inclusive range) or ``0,1,7`` (list)."""
+    if ".." in text:
+        low_text, _, high_text = text.partition("..")
+        low, high = int(low_text), int(high_text)
+        if high < low:
+            raise ValueError(f"seed range {text!r} is empty")
+        return tuple(range(low, high + 1))
+    return tuple(int(part) for part in text.split(",") if part)
+
+
+def _parse_sizes(text: str) -> Tuple[Tuple[int, int], ...]:
+    """Parse the ``(n, t)`` axis: ``7:2,4:1`` → ``((7, 2), (4, 1))``."""
+    sizes = []
+    for part in text.split(","):
+        if not part:
+            continue
+        n_text, separator, t_text = part.partition(":")
+        if not separator:
+            raise ValueError(f"size must look like n:t (e.g. 7:2), got {part!r}")
+        sizes.append((int(n_text), int(t_text)))
+    if not sizes:
+        raise ValueError(f"no sizes in {text!r}")
+    return tuple(sizes)
+
+
+def _job_from_args(args) -> SweepJob:
+    """Build the job from CLI flags, or from the directory's manifest."""
+    probe = SweepJob(
+        SweepSpec(protocols=("sync",), system_sizes=((4, 1),)), args.directory
+    )
+    manifest = probe.load_manifest()
+    if args.protocols is None:
+        if manifest is None:
+            raise SweepJobError(
+                f"{probe.manifest_path} does not exist and no grid flags were "
+                "given; pass --protocols/--sizes (plus optional axes) to "
+                "define the grid, or point --dir at an existing job"
+            )
+        spec = spec_from_manifest(manifest)
+        retry_payload = manifest.get("retry_policy")
+        retry = (
+            None if retry_payload is None else RetryPolicy.from_payload(retry_payload)
+        )
+    else:
+        if args.sizes is None:
+            raise SweepJobError("--protocols requires --sizes (n:t pairs)")
+        spec = SweepSpec(
+            protocols=tuple(args.protocols.split(",")),
+            system_sizes=_parse_sizes(args.sizes),
+            adversaries=tuple(args.adversaries.split(",")),
+            workloads=tuple(args.workloads.split(",")),
+            seeds=_parse_seeds(args.seeds),
+            epsilon=args.epsilon,
+            engine=args.engine,
+        )
+        retry = RetryPolicy(max_attempts=args.retry) if args.retry else None
+    return SweepJob(
+        spec,
+        args.directory,
+        workers=args.workers,
+        max_block_size=args.max_block_size,
+        retry=retry,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI front door for sweep jobs — one shard worker per invocation.
+
+    ``run`` executes (a shard of) a job, resumable by default; ``progress``
+    and ``summary`` inspect an existing job directory.  Array backend,
+    dtype and planner budget are taken from the ``REPRO_ARRAY_BACKEND`` /
+    ``REPRO_ARRAY_DTYPE`` / ``REPRO_BLOCK_BUDGET_BYTES`` environment
+    variables (see :mod:`repro.core.backend`, :mod:`repro.sim.planner`), so
+    a CI matrix can vary them without changing the manifest.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim.job",
+        description="Resumable, sharded sweep jobs over the JSONL store.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run", help="execute (a shard of) a job, resuming by default"
+    )
+    run_parser.add_argument("--dir", dest="directory", required=True,
+                            help="job directory (manifest + stores)")
+    run_parser.add_argument("--shard", type=parse_shard, default=None,
+                            metavar="I/K",
+                            help="run only slice I of K disjoint slices")
+    run_parser.add_argument("--protocols", default=None,
+                            help="comma list (omit to reuse the manifest)")
+    run_parser.add_argument("--sizes", default=None,
+                            help="comma list of n:t pairs, e.g. 7:2,10:3")
+    run_parser.add_argument("--adversaries", default="none")
+    run_parser.add_argument("--workloads", default="uniform")
+    run_parser.add_argument("--seeds", default="0",
+                            help="0..99 (inclusive range) or 0,1,7")
+    run_parser.add_argument("--epsilon", type=float, default=1e-3)
+    run_parser.add_argument("--engine", default="auto",
+                            choices=("auto", "batch", "ndbatch", "event"))
+    run_parser.add_argument("--workers", type=int, default=None)
+    run_parser.add_argument("--max-block-size", type=int,
+                            default=DEFAULT_MAX_BLOCK_SIZE)
+    run_parser.add_argument("--retry", type=int, default=0, metavar="N",
+                            help="retry failing cells up to N attempts "
+                                 "(quarantine after); 0 = fail fast")
+    run_parser.add_argument("--no-resume", action="store_true",
+                            help="refuse to append to an existing store")
+    run_parser.add_argument("--overwrite", action="store_true",
+                            help="discard this slice's existing store first")
+    run_parser.add_argument("--retry-quarantined", action="store_true",
+                            help="re-execute previously quarantined cells")
+
+    for name in ("progress", "summary"):
+        sub = commands.add_parser(
+            name,
+            help=(
+                "print completed/remaining counts"
+                if name == "progress"
+                else "print the per-configuration summary table"
+            ),
+        )
+        sub.add_argument("--dir", dest="directory", required=True)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "run":
+        job = _job_from_args(args)
+        result = job.run(
+            resume=not args.no_resume,
+            shard=args.shard,
+            overwrite=args.overwrite,
+            retry_quarantined=args.retry_quarantined,
+        )
+        shard_note = (
+            "" if args.shard is None else f" (shard {args.shard[0]}/{args.shard[1]})"
+        )
+        print(
+            f"{job.store_path(args.shard)}{shard_note}: "
+            f"{result.executed} executed, {result.skipped} skipped, "
+            f"{result.quarantined} quarantined, {result.total} in slice"
+        )
+        return 0 if result.quarantined == 0 else 1
+
+    probe = SweepJob(
+        SweepSpec(protocols=("sync",), system_sizes=((4, 1),)), args.directory
+    )
+    manifest = probe.load_manifest()
+    if manifest is None:
+        raise SweepJobError(f"no job manifest in {args.directory}")
+    job = SweepJob(spec_from_manifest(manifest), args.directory)
+    if args.command == "progress":
+        progress = job.progress()
+        print(
+            f"{args.directory}: {progress.completed_cells}/{progress.total_cells} "
+            f"complete, {progress.remaining_cells} remaining, "
+            f"{progress.quarantined_cells} quarantined"
+        )
+        return 0
+    from repro.analysis.tables import render_fold
+    from repro.sim.sweep import SUMMARY_COLUMNS
+
+    print(render_fold(job.fold(), SUMMARY_COLUMNS, title=f"sweep job {args.directory}"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -71,6 +71,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.backend import ArrayNamespace, get_namespace
 from repro.core.problem import ProblemInstance, ValidationReport, validate_outputs
 from repro.core.protocol import ResilienceError
 from repro.core.rounds import AlgorithmBounds, approximation_step_block
@@ -89,6 +90,7 @@ from repro.net.message import Message, message_bits
 from repro.net.network import DelayModel, FaultPlan, NetworkStats
 from repro.sim.batch import DIRECT_PROTOCOL_BOUNDS, _upfront_rounds
 from repro.sim.engine import EngineCapabilityError, capable_engines
+from repro.sim.planner import plan_block
 from repro.sim.runner import ExecutionResult
 
 __all__ = [
@@ -128,7 +130,14 @@ def _seeded_keys(seed_mix: np.ndarray, round_number: int, n: int) -> np.ndarray:
 
 
 class _Block:
-    """Per-execution scenario data and numpy state of one ndbatch block."""
+    """Per-execution scenario data and array state of one ndbatch block.
+
+    Scenario construction (fault schedules, masks, group partitions) is
+    always host-side numpy; :meth:`_to_device` then moves the tensors the
+    round loop touches onto the block's array namespace ``xp`` — an identity
+    on the numpy float64 default, a dtype cast for float32, a host→device
+    copy for GPU backends.
+    """
 
     def __init__(
         self,
@@ -140,7 +149,9 @@ class _Block:
         fault_models: Sequence[RoundFaultModel],
         omission_policies: Sequence[OmissionPolicy],
         strict: bool,
+        xp: Optional[ArrayNamespace] = None,
     ) -> None:
+        self.xp = xp if xp is not None else get_namespace("numpy")
         self.count = len(inputs_block)
         self.n = len(inputs_block[0])
         self.t = t
@@ -314,6 +325,63 @@ class _Block:
         self.seed_mix = np.array(
             [mix64(self.policies[e].seed) for e in self.seeded_idx], dtype=np.uint64
         ).reshape(len(self.seeded_idx))
+        self._to_device()
+
+    def _to_device(self) -> None:
+        """Move the round loop's tensors onto the block's array namespace.
+
+        A no-op on the numpy float64 default (every ``xp.<op>`` below *is*
+        the numpy function, so the default path stays bit-identical to the
+        pre-shim engine).  float32 casts only the value state — schedules,
+        masks and PRF seeds keep their exact integer dtypes, so quorum
+        selection is unchanged and only value arithmetic loses precision.
+        """
+        xp = self.xp
+        if xp.name == "numpy" and xp.dtype_name == "float64":
+            return
+        if self.seeded_idx or self.policy_tensor_groups or self.strategy_tensor_groups:
+            xp.require_uint64("the ndbatch block's counter-based PRF tensors")
+        self.values = xp.asarray(self.values, dtype=xp.float_dtype)
+        if xp.name == "numpy":
+            return
+        # GPU backends: the mask/schedule tensors the round loop combines
+        # with the value state join it on the device (host scenario data —
+        # problems, strategies, group index lists — stays on the host).
+        self.crash_round = xp.asarray(self.crash_round)
+        self.crash_deliveries = xp.asarray(self.crash_deliveries)
+        self.strategy_mask = xp.asarray(self.strategy_mask)
+        self.silent_mask = xp.asarray(self.silent_mask)
+        self.honest_mask = xp.asarray(self.honest_mask)
+        self.holder_mask = xp.asarray(self.holder_mask)
+        self.strategy_counts = xp.asarray(self.strategy_counts)
+        self.seed_mix = xp.asarray(self.seed_mix)
+        if self.rank_probe is not None:
+            self.rank_probe = xp.asarray(self.rank_probe)
+
+
+def _rounds_hint(
+    protocol: str,
+    inputs_block: Sequence[Sequence[float]],
+    t: int,
+    epsilon: float,
+    round_policy: Optional[RoundPolicy],
+) -> int:
+    """Best-effort round count for memory planning (never raises).
+
+    Planning happens before the block is validated, so every failure here
+    degrades to a one-round estimate and lets :class:`_Block` raise the
+    real, documented error.
+    """
+    try:
+        bounds = NDBATCH_PROTOCOL_BOUNDS[protocol](len(inputs_block[0]), t)
+        if round_policy is not None:
+            rounds = _upfront_rounds(round_policy, bounds, epsilon)
+        else:
+            cell_policy = default_round_policy(bounds, inputs_block[0], epsilon)
+            rounds = _upfront_rounds(cell_policy, bounds, epsilon)
+        return int(rounds) if rounds else 1
+    except Exception:
+        return 1
 
 
 def run_ndbatch_block(
@@ -326,6 +394,10 @@ def run_ndbatch_block(
     omission_policies: Optional[Sequence[Optional[OmissionPolicy]]] = None,
     seeds: Optional[Sequence[int]] = None,
     strict: bool = True,
+    backend: Optional[str] = None,
+    dtype: Optional[str] = None,
+    budget_bytes: Optional[int] = None,
+    chunk_executions: Optional[int] = None,
 ) -> List[ExecutionResult]:
     """Run a block of executions on the vectorised engine.
 
@@ -340,6 +412,17 @@ def run_ndbatch_block(
     ``SeededOmission(seeds[e])`` (``seeds`` defaulting to all zeros), exactly
     mirroring :func:`repro.sim.batch.run_batch_protocol`, so the two engines
     realise identical scenarios for identical arguments.
+
+    ``backend``/``dtype`` select the array namespace and float precision for
+    the whole block (:func:`repro.core.backend.get_namespace`; numpy float64
+    default, bit-identical to the pre-shim engine).  The block streams
+    through fixed-size execution chunks sized by the memory planner
+    (:func:`repro.sim.planner.plan_block`) against ``budget_bytes`` (default
+    a share of available RAM), so arbitrarily large blocks run in bounded
+    memory; ``chunk_executions`` overrides the planned chunk size.  Chunking
+    is performance policy only — each execution's scenario is self-contained,
+    so outcomes are invariant to the chunk size (guarded by
+    ``tests/sim/test_planner.py``).
     """
     if protocol not in NDBATCH_PROTOCOL_BOUNDS:
         raise EngineCapabilityError(
@@ -364,12 +447,61 @@ def run_ndbatch_block(
         policy if policy is not None else SeededOmission(int(seed))
         for policy, seed in zip(omission_policies, seeds)
     ]
+    xp = get_namespace(backend, dtype=dtype)
 
     started = time.perf_counter()
-    block = _Block(
-        protocol, inputs_block, t, epsilon, round_policy, models, policies, strict
-    )
-    results = _advance_block(block)
+    if chunk_executions is not None:
+        if chunk_executions < 1:
+            raise ValueError("chunk_executions must be at least 1")
+        chunk = min(count, int(chunk_executions))
+    else:
+        n = len(inputs_block[0])
+        bounds = NDBATCH_PROTOCOL_BOUNDS[protocol](n, t)
+        plan = plan_block(
+            count,
+            n,
+            bounds.sample_size,
+            _rounds_hint(protocol, inputs_block, t, epsilon, round_policy),
+            dtype=xp.dtype_name,
+            budget_bytes=budget_bytes,
+        )
+        chunk = plan.chunk_executions
+    if chunk >= count:
+        block = _Block(
+            protocol, inputs_block, t, epsilon, round_policy, models, policies,
+            strict, xp=xp,
+        )
+        results = _advance_block(block)
+    else:
+        # The shared-round-count contract is a whole-block property; check it
+        # up front so a heterogeneous block raises identically whether or not
+        # the planner happened to chunk it.
+        if round_policy is None:
+            hints = {
+                _rounds_hint(protocol, [inputs], t, epsilon, None)
+                for inputs in inputs_block
+            }
+            if len(hints) > 1:
+                raise ValueError(
+                    f"executions in one ndbatch block must share the round "
+                    f"count, got {sorted(hints)}; group cells by round count "
+                    f"first (repro.sim.sweep does this automatically)"
+                )
+        results = []
+        for start in range(0, count, chunk):
+            stop = min(count, start + chunk)
+            block = _Block(
+                protocol,
+                inputs_block[start:stop],
+                t,
+                epsilon,
+                round_policy,
+                models[start:stop],
+                policies[start:stop],
+                strict,
+                xp=xp,
+            )
+            results.extend(_advance_block(block))
     wall = time.perf_counter() - started
     # Wall time is observational; charge each execution its share of the block.
     share = wall / count
@@ -390,10 +522,13 @@ def run_ndbatch_protocol(
     delay_model: Optional[DelayModel] = None,
     seed: int = 0,
     strict: bool = True,
+    backend: Optional[str] = None,
+    dtype: Optional[str] = None,
 ) -> ExecutionResult:
     """Run one execution on the vectorised engine (a block of size one).
 
-    Parameters mirror :func:`repro.sim.batch.run_batch_protocol` exactly, so
+    Parameters mirror :func:`repro.sim.batch.run_batch_protocol` exactly
+    (plus the array-backend selection of :func:`run_ndbatch_block`), so
     callers can switch engines by switching the function.
     """
     if fault_plan is not None and fault_model is not None:
@@ -414,6 +549,8 @@ def run_ndbatch_protocol(
         omission_policies=[omission_policy],
         seeds=[seed],
         strict=strict,
+        backend=backend,
+        dtype=dtype,
     )[0]
 
 
@@ -425,23 +562,24 @@ def run_ndbatch_protocol(
 def _advance_block(block: _Block) -> List[ExecutionResult]:
     count, n, m = block.count, block.n, block.bounds.sample_size
     total_rounds = block.total_rounds
-    arange_n = np.arange(n)
+    xp = block.xp
+    arange_n = xp.arange(n)
 
-    active = np.ones(count, dtype=bool)
-    rounds_completed = np.zeros(count, dtype=np.int64)
-    messages_sent = np.zeros(count, dtype=np.int64)
-    bits_sent = np.zeros(count, dtype=np.int64)
-    delivered = np.zeros(count, dtype=np.int64)
-    rounds_entered = np.zeros(count, dtype=np.int64)
-    holder_sends = np.zeros((count, n), dtype=np.int64)
-    history = [block.values.copy()]
+    active = xp.ones(count, dtype=bool)
+    rounds_completed = xp.zeros(count, dtype=xp.int64)
+    messages_sent = xp.zeros(count, dtype=xp.int64)
+    bits_sent = xp.zeros(count, dtype=xp.int64)
+    delivered = xp.zeros(count, dtype=xp.int64)
+    rounds_entered = xp.zeros(count, dtype=xp.int64)
+    holder_sends = xp.zeros((count, n), dtype=xp.int64)
+    history = [xp.copy(block.values)]
     any_strategies = any(block.strategy_ids)
     clean_values = not any_strategies and not bool(block.silent_mask.any())
 
     # The crash model's send/update/candidate structure changes only while a
     # crash point lies ahead; past the last scheduled crash it is identical
     # every round, so it is computed once and reused.
-    scheduled = np.where(block.crash_round < _NEVER, block.crash_round, 0)
+    scheduled = xp.where(block.crash_round < _NEVER, block.crash_round, 0)
     last_crash_round = int(scheduled.max()) if count else 0
     static_structure = None
 
@@ -455,10 +593,10 @@ def _advance_block(block: _Block) -> List[ExecutionResult]:
         else:
             # Who sends, who updates (the crash model's prefix semantics).
             before_crash = round_number < block.crash_round
-            sends = np.where(
+            sends = xp.where(
                 block.holder_mask & before_crash,
                 n,
-                np.where(
+                xp.where(
                     block.holder_mask & (round_number == block.crash_round),
                     block.crash_deliveries,
                     0,
@@ -478,8 +616,8 @@ def _advance_block(block: _Block) -> List[ExecutionResult]:
 
         # Message accounting happens at round entry, exactly like the batch
         # engine (a round that fails liveness mid-way keeps its sends).
-        messages_sent += np.where(active, round_sends, 0)
-        bits_sent += np.where(active, round_sends * value_bits, 0)
+        messages_sent += xp.where(active, round_sends, 0)
+        bits_sent += xp.where(active, round_sends * value_bits, 0)
         holder_sends += sends * active[:, None]
         rounds_entered += active
 
@@ -492,8 +630,8 @@ def _advance_block(block: _Block) -> List[ExecutionResult]:
         if block.synchronous:
             sample = _sync_samples(block, cand, injected)
             sample_width = n
-            failed_round = np.zeros(count, dtype=bool)
-            round_delivered = np.where(active, updates.sum(axis=1) * n, 0)
+            failed_round = xp.zeros(count, dtype=bool)
+            round_delivered = xp.where(active, updates.sum(axis=1) * n, 0)
         else:
             sample, failed_round, round_delivered = _async_samples(
                 block, cand, cand_count, injected, updates, active, round_number, m
@@ -506,16 +644,18 @@ def _advance_block(block: _Block) -> List[ExecutionResult]:
             # Crash-only blocks gather exclusively finite holder values, so
             # the placeholder fill and the kernel's finiteness scan are
             # provably redundant.
-            new_values = approximation_step_block(sample, block.bounds, validate=False)
+            new_values = approximation_step_block(
+                sample, block.bounds, validate=False, xp=xp
+            )
         else:
-            safe_sample = np.where(
+            safe_sample = xp.where(
                 apply_mask[:, :, None],
                 sample,
-                np.zeros((1, 1, sample_width)),
+                xp.zeros((1, 1, sample_width), dtype=xp.float_dtype),
             )
-            new_values = approximation_step_block(safe_sample, block.bounds)
-        block.values = np.where(apply_mask, new_values, block.values)
-        history.append(block.values.copy())
+            new_values = approximation_step_block(safe_sample, block.bounds, xp=xp)
+        block.values = xp.where(apply_mask, new_values, block.values)
+        history.append(xp.copy(block.values))
 
         completed_now = active & ~failed_round
         rounds_completed = np.where(completed_now, round_number, rounds_completed)
@@ -548,26 +688,28 @@ def _injected_values(block: _Block, round_number: int) -> np.ndarray:
     recipient is indistinguishable from the batch engine's lazy evaluation.
     """
     count, n = block.count, block.n
+    xp = block.xp
     injected = np.full((count, n, n), np.nan, dtype=np.float64)
     for pid, representative, rows, seeds in block.strategy_tensor_groups:
         # Full-information adversary: each execution observes its holder
         # values (NaN at non-holder slots); one bulk call covers every
         # member execution of the group.
-        observed = np.where(block.holder_mask[rows], block.values[rows], np.nan)
+        observed = xp.where(block.holder_mask[rows], block.values[rows], xp.nan)
         reports = representative.value_tensor(round_number, n, observed, seeds)
         if reports is None:
             raise ValueError(
                 f"strategy {representative.describe()} declares tensor program "
                 f"{representative.tensor_key()!r} but value_tensor returned None"
             )
-        injected[rows, pid, :] = np.asarray(reports, dtype=np.float64)
+        injected[rows, pid, :] = np.asarray(xp.to_numpy(reports), dtype=np.float64)
     if block.strategy_scalar:
         observed_lists: Dict[int, List[float]] = {}
         for e, sender, strategy in block.strategy_scalar:
             observed = observed_lists.get(e)
             if observed is None:
-                row = block.values[e]
-                observed = np.sort(row[block.holder_mask[e]]).tolist()
+                row = np.asarray(xp.to_numpy(block.values[e]), dtype=np.float64)
+                mask = np.asarray(xp.to_numpy(block.holder_mask[e]))
+                observed = np.sort(row[mask]).tolist()
                 observed_lists[e] = observed
             reports = strategy.value_block(round_number, n, observed)
             if reports is not None:
@@ -579,20 +721,21 @@ def _injected_values(block: _Block, round_number: int) -> np.ndarray:
                     injected[e, sender, recipient] = float(value)  # inf -> isfinite no
     # Normalise ±inf to NaN so one mask covers every non-finite report.
     np.copyto(injected, np.nan, where=~np.isfinite(injected))
-    return injected
+    return xp.asarray(injected, dtype=xp.float_dtype)
 
 
 def _sync_samples(
     block: _Block, cand: np.ndarray, injected: Optional[np.ndarray]
 ) -> np.ndarray:
     """Size-``n`` synchronous samples with own-value substitution."""
+    xp = block.xp
     own = block.values[:, :, None]  # (E, recipient, 1)
     holder_values = block.values[:, None, :]  # (E, 1, sender)
-    sample = np.where(cand & block.holder_mask[:, None, :], holder_values, own)
+    sample = xp.where(cand & block.holder_mask[:, None, :], holder_values, own)
     if injected is not None:
-        reports = np.swapaxes(injected, 1, 2)  # (E, recipient, sender)
-        use = cand & block.strategy_mask[:, None, :] & np.isfinite(reports)
-        sample = np.where(use, reports, sample)
+        reports = xp.swapaxes(injected, 1, 2)  # (E, recipient, sender)
+        use = cand & block.strategy_mask[:, None, :] & xp.isfinite(reports)
+        sample = xp.where(use, reports, sample)
     return sample
 
 
@@ -615,16 +758,17 @@ def _async_samples(
     the execution at that recipient (earlier recipients' deliveries stand).
     """
     count, n = block.count, block.n
+    xp = block.xp
     chosen = _choose_quorums(block, cand, cand_count, updates, active, round_number, m)
 
-    e_idx = np.arange(count)[:, None, None]
+    e_idx = xp.arange(count)[:, None, None]
     sample = block.values[e_idx, chosen]
     if injected is not None:
-        q_idx = np.arange(n)[None, :, None]
+        q_idx = xp.arange(n)[None, :, None]
         strategy_chosen = block.strategy_mask[e_idx, chosen]
         if strategy_chosen.any():
             reports = injected[e_idx, chosen, q_idx]
-            sample = np.where(strategy_chosen, reports, sample)
+            sample = xp.where(strategy_chosen, reports, sample)
 
     # Liveness / refill bookkeeping.  In-model scenarios never enter either
     # branch: the candidate set always has >= m members and only Byzantine
@@ -633,19 +777,19 @@ def _async_samples(
     relevant = updates & active[:, None]
     starving = relevant & (cand_count < m)
     if injected is not None:
-        short = relevant & (np.isfinite(sample).sum(axis=2) < m) & ~starving
+        short = relevant & (xp.isfinite(sample).sum(axis=2) < m) & ~starving
     else:
-        short = np.zeros_like(starving)
-    failed_at = np.full(count, n, dtype=np.int64)
+        short = xp.zeros_like(starving)
+    failed_at = xp.full(count, n, dtype=xp.int64)
     if starving.any() or short.any():
         failed_at = _refill_or_fail(
             block, cand, chosen, sample, starving, short, round_number, m
         )
     failed_round = failed_at < n
 
-    quorums_filled = np.where(
+    quorums_filled = xp.where(
         failed_round[:, None],
-        (np.arange(n)[None, :] < failed_at[:, None]) & relevant,
+        (xp.arange(n)[None, :] < failed_at[:, None]) & relevant,
         relevant,
     ).sum(axis=1)
     round_delivered = quorums_filled * m
@@ -663,22 +807,23 @@ def _choose_quorums(
 ) -> np.ndarray:
     """Quorum index tensor ``chosen[e, recipient, :m]`` for one round."""
     count, n = block.count, block.n
-    chosen = np.zeros((count, n, m), dtype=np.int64)
+    xp = block.xp
+    chosen = xp.zeros((count, n, m), dtype=xp.int64)
 
     if block.seeded_idx:
         idx = block.seeded_idx
         keys = _seeded_keys(block.seed_mix, round_number, n)
-        np.copyto(keys, _UINT64_MAX, where=~cand[idx])
+        xp.copyto(keys, _UINT64_MAX, where=~cand[idx])
         # Selection by value sort: the sender id lives in each key's low
         # bits, so sorting the keys and masking those bits out yields the
         # chosen senders directly — cheaper than argsort's indirection and
         # exactly the scalar engine's (PRF value, sender) order.
-        smallest = np.sort(keys, axis=2)[:, :, :m]
-        picked = (smallest & np.uint64(SENDER_MASK)).astype(np.int64)
+        smallest = xp.sort(keys, axis=2)[:, :, :m]
+        picked = (smallest & xp.uint64(SENDER_MASK)).astype(xp.int64)
         # Starving rows (fewer candidates than m) pick up the sentinel's low
         # bits; clamp so the gather stays in bounds — those rows fail the
         # execution before their samples are ever used.
-        chosen[idx] = np.minimum(picked, n - 1)
+        chosen[idx] = xp.minimum(picked, n - 1)
 
     for representative, members, seeds in block.policy_tensor_groups:
         ranks = representative.rank_tensor(round_number, n, seeds)
@@ -691,18 +836,18 @@ def _choose_quorums(
                 f"program {representative.tensor_key()!r} but rank_tensor "
                 f"returned None"
             )
-        ranks = np.asarray(ranks)
+        ranks = xp.asarray(ranks)
         sub_cand = cand[members]
-        if ranks.dtype.kind in "iu":
+        if getattr(ranks.dtype, "kind", "f") in "iu":
             # PRF rank keys (tie-free by construction): mask non-candidates
             # with the maximal key, then a stable argsort is selection.
-            masked = np.where(sub_cand, ranks, np.iinfo(ranks.dtype).max)
+            masked = xp.where(sub_cand, ranks, xp.iinfo(ranks.dtype).max)
         else:
             # NaN sorts after every number including +inf, so a legitimately
             # infinite rank still outranks a non-candidate; stable argsort
             # reproduces the scalar path's by-sender tie-breaking.
-            masked = np.where(sub_cand, ranks.astype(np.float64, copy=False), np.nan)
-        order = np.argsort(masked, axis=2, kind="stable")
+            masked = xp.where(sub_cand, ranks.astype(np.float64, copy=False), xp.nan)
+        order = xp.argsort(masked, axis=2, kind="stable")
         chosen[members] = order[:, :, :m]
 
     if block.ranked_idx:
@@ -711,18 +856,20 @@ def _choose_quorums(
             ranks = block.rank_probe
             block.rank_probe = None
         else:
-            ranks = np.array(
-                [block.policies[e].rank_block(round_number, n) for e in idx],
-                dtype=np.float64,
+            ranks = xp.asarray(
+                np.array(
+                    [block.policies[e].rank_block(round_number, n) for e in idx],
+                    dtype=np.float64,
+                )
             )
         # NaN (not inf) masks the non-candidates: numpy sorts NaN after every
         # number including +inf, so a legitimately infinite rank (e.g. an
         # infinite delay) still outranks a non-candidate — matching the
         # scalar path, which only ever sorts actual candidates.
-        masked = np.where(cand[idx], ranks, np.nan)
+        masked = xp.where(cand[idx], ranks, xp.nan)
         # Real-valued ranks (e.g. delays) do tie; the scalar path breaks ties
         # by sender id, which the stable sort reproduces exactly.
-        order = np.argsort(masked, axis=2, kind="stable")
+        order = xp.argsort(masked, axis=2, kind="stable")
         chosen[idx] = order[:, :, :m]
 
     for e in block.generic_idx:
@@ -733,7 +880,7 @@ def _choose_quorums(
         for recipient in range(n):
             if not updates[e, recipient] or cand_count[e, recipient] < m:
                 continue
-            candidates = np.nonzero(cand[e, recipient])[0].tolist()
+            candidates = np.nonzero(np.asarray(xp.to_numpy(cand[e, recipient])))[0].tolist()
             picked = list(policy.quorum(round_number, recipient, candidates, m))
             if not trusted:
                 picked_set = set(picked)
@@ -835,6 +982,21 @@ def _assemble_results(
     holder_sends: np.ndarray,
 ) -> List[ExecutionResult]:
     count, n = block.count, block.n
+    xp = block.xp
+    if not (xp.name == "numpy" and xp.dtype_name == "float64"):
+        # Result assembly is host-side: per-execution Python objects are
+        # built from host float64 data regardless of where (and at what
+        # precision) the block ran.
+        history = [np.asarray(xp.to_numpy(row), dtype=np.float64) for row in history]
+        block.values = np.asarray(xp.to_numpy(block.values), dtype=np.float64)
+        block.honest_mask = np.asarray(xp.to_numpy(block.honest_mask))
+        active = np.asarray(xp.to_numpy(active))
+        rounds_completed = np.asarray(xp.to_numpy(rounds_completed))
+        messages_sent = np.asarray(xp.to_numpy(messages_sent))
+        bits_sent = np.asarray(xp.to_numpy(bits_sent))
+        delivered = np.asarray(xp.to_numpy(delivered))
+        rounds_entered = np.asarray(xp.to_numpy(rounds_entered))
+        holder_sends = np.asarray(xp.to_numpy(holder_sends))
     stacked = np.stack(history)  # (rounds + 1, E, n)
 
     # Spread trajectories of every execution at once: diameter of the honest

@@ -403,7 +403,7 @@ def _initial_units(
     block-setup cost model and routes the remainder per cell — so enabling
     the resilient layer cannot change which engine a cell runs on.
     """
-    from repro.sim.engine import NDBATCH_MIN_WORK
+    from repro.sim.engine import ndbatch_min_work
     from repro.sim.sweep import (
         _auto_engine_for,
         _group_ndbatch_blocks,
@@ -433,7 +433,7 @@ def _initial_units(
             kept = [
                 block
                 for block in _group_ndbatch_blocks(nd_cells)
-                if len(block[1]) * block[0] * nd_cells[block[1][0]].n >= NDBATCH_MIN_WORK
+                if len(block[1]) * block[0] * nd_cells[block[1][0]].n >= ndbatch_min_work()
             ]
             for rounds, sub_indices, inputs_block in _split_blocks(kept, max_block_size):
                 indices = [nd_indices[i] for i in sub_indices]

@@ -90,7 +90,7 @@ from repro.net.adversary import (
 )
 from repro.net.network import DelayModel, FaultPlan
 from repro.sim.engine import (
-    NDBATCH_MIN_WORK,
+    ndbatch_min_work,
     require_capability,
     scenario_features,
     select_engine,
@@ -616,11 +616,16 @@ def _split_blocks(
     return interleaved
 
 
-def _run_ndbatch_chunk(
-    chunk: Tuple[int, List[SweepCell], List[List[float]]]
-) -> List[CellOutcome]:
-    """Execute one shape-compatible block of cells on the vectorised engine."""
-    rounds, cells, inputs_block = chunk
+def _run_ndbatch_chunk(chunk) -> List[CellOutcome]:
+    """Execute one shape-compatible block of cells on the vectorised engine.
+
+    ``chunk`` is ``(rounds, cells, inputs_block)`` — optionally with a fourth
+    element, an options dict with ``backend``/``dtype``/``budget_bytes`` keys
+    forwarded to :func:`repro.sim.ndbatch.run_ndbatch_block` (array-backend
+    selection and the memory planner's bytes budget).
+    """
+    rounds, cells, inputs_block = chunk[:3]
+    options = chunk[3] if len(chunk) > 3 else {}
     if run_ndbatch_block is None:
         raise ImportError(
             "engine='ndbatch' requires numpy; install numpy or use engine='batch'"
@@ -646,6 +651,9 @@ def _run_ndbatch_chunk(
         fault_models=fault_models,
         omission_policies=policies,
         strict=True,
+        backend=options.get("backend"),
+        dtype=options.get("dtype"),
+        budget_bytes=options.get("budget_bytes"),
     )
     bounds = PROTOCOL_BOUNDS[first.protocol](first.n, first.t)
     return [
@@ -654,42 +662,105 @@ def _run_ndbatch_chunk(
     ]
 
 
+def _run_ndbatch_group(group) -> List[List[CellOutcome]]:
+    """Execute one fused dispatch group (chunks sharing a fault program).
+
+    The memory planner (:func:`repro.sim.planner.pack_dispatch_groups`) fuses
+    equal-program chunks of *different* ``(n, t)`` shapes into one pool work
+    item when their padded footprint fits the bytes budget — fewer pool round
+    trips for mixed-shape grids; the kernel calls inside stay per-shape, so
+    outcomes are identical to dispatching the chunks separately.
+    """
+    return [_run_ndbatch_chunk(chunk) for chunk in group]
+
+
+def _pack_chunk_groups(
+    chunks: Sequence[Tuple],
+    dtype: Optional[str],
+    budget_bytes: Optional[int],
+) -> List[Tuple[int, ...]]:
+    """Fuse equal-program, mixed-shape chunks into dispatch groups.
+
+    Builds the planner's ``(program_key, ShapeCost)`` view of each chunk and
+    lets :func:`repro.sim.planner.pack_dispatch_groups` decide pad-vs-split;
+    equal-shape chunks always stay singleton (the round-robin interleave of
+    :func:`_split_blocks` already load-balances them), so homogeneous grids
+    dispatch exactly as before.
+    """
+    from repro.sim.planner import ShapeCost, pack_dispatch_groups
+
+    shapes = []
+    for rounds, chunk_cells, _inputs in (chunk[:3] for chunk in chunks):
+        first = chunk_cells[0]
+        bounds = PROTOCOL_BOUNDS[first.protocol](first.n, first.t)
+        shapes.append(
+            (
+                _fault_program_key(first),
+                ShapeCost(
+                    count=len(chunk_cells),
+                    n=first.n,
+                    m=bounds.sample_size,
+                    rounds=rounds,
+                ),
+            )
+        )
+    return [
+        tuple(group)
+        for group in pack_dispatch_groups(
+            shapes, dtype=dtype or "float64", budget_bytes=budget_bytes
+        )
+    ]
+
+
 def _iter_ndbatch_outcomes(
     cells: List[SweepCell],
     workers: Optional[int],
     max_block_size: int = DEFAULT_MAX_BLOCK_SIZE,
     blocks: Optional[List[Tuple[int, List[int], List[List[float]]]]] = None,
+    backend: Optional[str] = None,
+    dtype: Optional[str] = None,
+    budget_bytes: Optional[int] = None,
 ) -> Iterator[Tuple[int, CellOutcome]]:
-    """Yield ``(cell_index, outcome)`` pairs, streaming chunk by chunk.
+    """Yield ``(cell_index, outcome)`` pairs, streaming group by group.
 
-    Cells are grouped into shape-compatible blocks, split into capped chunks
-    and dispatched on the pool; each chunk's outcomes are yielded as soon as
-    the (ordered) pool iterator hands them back, so a consumer persisting
-    outcomes keeps every finished chunk even if the sweep is killed mid-run.
-    The pairs arrive in chunk order, not grid order — callers needing grid
-    order reassemble by index.
+    Cells are grouped into shape-compatible blocks, split into capped chunks,
+    fused into dispatch groups where the memory planner approves
+    (:func:`_pack_chunk_groups`) and dispatched on the pool; each group's
+    outcomes are yielded as soon as the (ordered) pool iterator hands them
+    back, so a consumer persisting outcomes keeps every finished group even
+    if the sweep is killed mid-run.  The pairs arrive in dispatch order, not
+    grid order — callers needing grid order reassemble by index.
 
     ``blocks`` lets the auto dispatcher hand over its cost-model grouping
     pass instead of regrouping (and regenerating every workload); cells not
     covered by the given blocks are simply not yielded.
+    ``backend``/``dtype``/``budget_bytes`` forward to the engine's array
+    shim and memory planner (:func:`repro.sim.ndbatch.run_ndbatch_block`).
     """
     if blocks is None:
         blocks = _group_ndbatch_blocks(cells)
     blocks = _split_blocks(blocks, max_block_size)
+    options = {"backend": backend, "dtype": dtype, "budget_bytes": budget_bytes}
     chunks = [
-        (rounds, [cells[i] for i in indices], inputs_block)
+        (rounds, [cells[i] for i in indices], inputs_block, options)
         for rounds, indices, inputs_block in blocks
     ]
-    worker_count = _resolve_workers(workers, len(chunks))
-    if worker_count > 1 and len(chunks) > 1:
+    groups = _pack_chunk_groups(chunks, dtype, budget_bytes)
+    work_items = [tuple(chunks[i] for i in group) for group in groups]
+    group_indices = [tuple(blocks[i][1] for i in group) for group in groups]
+    worker_count = _resolve_workers(workers, len(work_items))
+    if worker_count > 1 and len(work_items) > 1:
         try:
             pool = multiprocessing.Pool(worker_count)
         except OSError:
             pool = None
         if pool is not None:
             try:
-                for (_, indices, _), block in zip(blocks, pool.imap(_run_ndbatch_chunk, chunks)):
-                    yield from zip(indices, block)
+                for indices_group, result_group in zip(
+                    group_indices, pool.imap(_run_ndbatch_group, work_items)
+                ):
+                    for indices, block in zip(indices_group, result_group):
+                        yield from zip(indices, block)
             finally:
                 # Explicit teardown (not ``with pool:``): a consumer that
                 # stops iterating early closes this generator, and the
@@ -699,8 +770,11 @@ def _iter_ndbatch_outcomes(
                 pool.terminate()
                 pool.join()
             return
-    for (_, indices, _), block in zip(blocks, map(_run_ndbatch_chunk, chunks)):
-        yield from zip(indices, block)
+    for indices_group, result_group in zip(
+        group_indices, map(_run_ndbatch_group, work_items)
+    ):
+        for indices, block in zip(indices_group, result_group):
+            yield from zip(indices, block)
 
 
 def _auto_engine_for(cell: SweepCell) -> str:
@@ -737,6 +811,9 @@ def _iter_auto_outcomes(
     cells: List[SweepCell],
     workers: Optional[int],
     max_block_size: int,
+    backend: Optional[str] = None,
+    dtype: Optional[str] = None,
+    budget_bytes: Optional[int] = None,
 ) -> Iterator[Tuple[int, CellOutcome]]:
     """Capability-dispatch a mixed grid: ndbatch blocks + per-cell engines.
 
@@ -756,11 +833,17 @@ def _iter_auto_outcomes(
         kept_blocks = [
             block
             for block in _group_ndbatch_blocks(nd_cells)
-            if len(block[1]) * block[0] * nd_cells[block[1][0]].n >= NDBATCH_MIN_WORK
+            if len(block[1]) * block[0] * nd_cells[block[1][0]].n >= ndbatch_min_work()
         ]
         if kept_blocks:
             for sub_index, outcome in _iter_ndbatch_outcomes(
-                nd_cells, workers, max_block_size, blocks=kept_blocks
+                nd_cells,
+                workers,
+                max_block_size,
+                blocks=kept_blocks,
+                backend=backend,
+                dtype=dtype,
+                budget_bytes=budget_bytes,
             ):
                 index = nd_indices[sub_index]
                 covered.add(index)
@@ -808,6 +891,9 @@ def _iter_indexed_outcomes(
     retry: Optional["RetryPolicy"] = None,  # noqa: F821
     chaos: Optional["ChaosPlan"] = None,  # noqa: F821
     on_failure: Optional[Callable] = None,
+    backend: Optional[str] = None,
+    dtype: Optional[str] = None,
+    budget_bytes: Optional[int] = None,
 ) -> Iterator[Tuple[int, CellOutcome]]:
     """Yield ``(cell_index, outcome)`` for an explicit cell list, streaming.
 
@@ -838,9 +924,23 @@ def _iter_indexed_outcomes(
         )
         return
     if engine == "ndbatch":
-        yield from _iter_ndbatch_outcomes(cells, workers, max_block_size)
+        yield from _iter_ndbatch_outcomes(
+            cells,
+            workers,
+            max_block_size,
+            backend=backend,
+            dtype=dtype,
+            budget_bytes=budget_bytes,
+        )
     elif engine == "auto":
-        yield from _iter_auto_outcomes(cells, workers, max_block_size)
+        yield from _iter_auto_outcomes(
+            cells,
+            workers,
+            max_block_size,
+            backend=backend,
+            dtype=dtype,
+            budget_bytes=budget_bytes,
+        )
     else:
         yield from enumerate(_iter_outcomes(cells, workers))
 
@@ -871,6 +971,9 @@ def run_sweep(
     chaos: Optional["ChaosPlan"] = None,  # noqa: F821
     quarantine_path: Optional[str] = None,
     on_failure: Optional[Callable] = None,
+    backend: Optional[str] = None,
+    dtype: Optional[str] = None,
+    budget_bytes: Optional[int] = None,
 ) -> Union[List[CellOutcome], int]:
     """Run every cell of ``spec``, in grid order.
 
@@ -922,6 +1025,16 @@ def run_sweep(
     quarantined cells absent; the JSONL form counts only written (healthy)
     cells.  With neither given, the legacy zero-overhead paths run
     unchanged.
+
+    ``backend``/``dtype`` select the array namespace the ndbatch/auto
+    engines execute tensor blocks on
+    (:func:`repro.core.backend.get_namespace`; default numpy float64,
+    bit-identical to the historic engine), and ``budget_bytes`` caps the
+    block memory planner (:func:`repro.sim.planner.plan_block`).
+    Batch/event cells ignore all three — they run pure Python.  The job
+    layer (:class:`repro.sim.job.SweepJob`) reaches the same knobs through
+    the ``REPRO_ARRAY_BACKEND`` / ``REPRO_ARRAY_DTYPE`` /
+    ``REPRO_BLOCK_BUDGET_BYTES`` environment variables instead.
     """
     cells = list(spec.cells())
     if chaos is None:
@@ -942,6 +1055,9 @@ def run_sweep(
                 retry=retry,
                 chaos=chaos,
                 on_failure=on_failure,
+                backend=backend,
+                dtype=dtype,
+                budget_bytes=budget_bytes,
             ):
                 outcomes[index] = outcome
             if resilient:
@@ -982,6 +1098,9 @@ def run_sweep(
                 retry=retry,
                 chaos=chaos,
                 on_failure=failure_sink,
+                backend=backend,
+                dtype=dtype,
+                budget_bytes=budget_bytes,
             ):
                 line = _outcome_to_json_line(outcome)
                 if chaos is not None:
@@ -1174,7 +1293,8 @@ class SweepSummaryFold:
     def __init__(self) -> None:
         self._groups: Dict[Tuple, _GroupFold] = {}
         self._total = 0
-        self._quarantined: Dict[str, str] = {}  # cell_id -> fault_class
+        # cell_id -> (fault_class, group key or None when unattributed)
+        self._quarantined: Dict[str, Tuple[str, Optional[Tuple]]] = {}
 
     @property
     def total_outcomes(self) -> int:
@@ -1189,20 +1309,38 @@ class SweepSummaryFold:
     def quarantined_by_fault(self) -> Dict[str, int]:
         """Quarantined-cell counts per fault class (raise/timeout/crash)."""
         counts: Dict[str, int] = {}
-        for fault_class in self._quarantined.values():
+        for fault_class, _ in self._quarantined.values():
             counts[fault_class] = counts.get(fault_class, 0) + 1
         return counts
 
-    def note_quarantined(self, cell_id: str, fault_class: str) -> None:
+    def _quarantined_by_group(self) -> Dict[Tuple, int]:
+        """Quarantined-cell counts per summary-group key (attributed only)."""
+        counts: Dict[Tuple, int] = {}
+        for _, key in self._quarantined.values():
+            if key is not None:
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def note_quarantined(self, cell_id: str, fault_class: str, cell=None) -> None:
         """Record one quarantined cell (idempotent per cell ID).
 
         Quarantined cells carry no measurements, so they never touch the
         summary groups — they are accounted separately so a fold can report
         "N cells excluded with reason" instead of passing them off as
         missing (:func:`repro.sim.job.fold_sweep_jsonl` wires this up from
-        the quarantine stores).
+        the quarantine stores).  Passing the failed ``cell`` (anything with
+        the grouping fields, e.g. :attr:`~repro.sim.resilient.CellFailure.
+        cell`) additionally attributes the exclusion to its summary group,
+        surfacing as the per-row ``quarantined_count`` in :meth:`records`;
+        without it the cell still counts at fold level.
         """
-        self._quarantined[cell_id] = fault_class
+        key = None
+        if cell is not None:
+            key = (
+                cell.protocol, cell.n, cell.t, cell.epsilon,
+                cell.adversary, cell.workload, cell.engine,
+            )
+        self._quarantined[cell_id] = (fault_class, key)
 
     def update(self, outcome: CellOutcome) -> None:
         """Fold one outcome into its summary group."""
@@ -1232,11 +1370,40 @@ class SweepSummaryFold:
         return self
 
     def records(self) -> List[ExperimentRecord]:
-        """The per-configuration summary rows accumulated so far."""
+        """The per-configuration summary rows accumulated so far.
+
+        Groups whose every cell was quarantined still get a row — runs 0,
+        measurements ``None``, ``ok`` false — so an all-failed configuration
+        shows up as failed rather than vanishing from the table.
+        """
         records: List[ExperimentRecord] = []
-        for key in sorted(self._groups):
+        quarantined_groups = self._quarantined_by_group()
+        for key in sorted(set(self._groups) | set(quarantined_groups)):
             protocol, n, t, epsilon, adversary, workload, engine = key
-            group = self._groups[key]
+            group = self._groups.get(key)
+            quarantined = quarantined_groups.get(key, 0)
+            if group is not None:
+                measured = {
+                    "runs": group.rounds.count,
+                    "ok_fraction": group.ok_count / group.rounds.count,
+                    "rounds_mean": group.rounds.mean,
+                    "messages_mean": group.messages.mean,
+                    "worst_contraction": group.worst_contraction,
+                    "quarantined_count": quarantined,
+                }
+                expected = {"contraction": group.theoretical_contraction}
+                ok = group.all_ok and quarantined == 0
+            else:  # quarantine-only group: excluded-with-reason, not hidden
+                measured = {
+                    "runs": 0,
+                    "ok_fraction": None,
+                    "rounds_mean": None,
+                    "messages_mean": None,
+                    "worst_contraction": None,
+                    "quarantined_count": quarantined,
+                }
+                expected = {"contraction": None}
+                ok = False
             records.append(
                 ExperimentRecord(
                     experiment="sweep-summary",
@@ -1249,15 +1416,9 @@ class SweepSummaryFold:
                         "workload": workload,
                         "engine": engine,
                     },
-                    measured={
-                        "runs": group.rounds.count,
-                        "ok_fraction": group.ok_count / group.rounds.count,
-                        "rounds_mean": group.rounds.mean,
-                        "messages_mean": group.messages.mean,
-                        "worst_contraction": group.worst_contraction,
-                    },
-                    expected={"contraction": group.theoretical_contraction},
-                    ok=group.all_ok,
+                    measured=measured,
+                    expected=expected,
+                    ok=ok,
                 )
             )
         return records

@@ -1,0 +1,163 @@
+"""Tests for the array-backend namespace shim (:mod:`repro.core.backend`)."""
+
+from __future__ import annotations
+
+import importlib.util
+
+import pytest
+
+np = pytest.importorskip(
+    "numpy", reason="shim surface tests compare against real numpy objects"
+)
+
+from repro.core.backend import (
+    ENV_BACKEND,
+    ENV_DTYPE,
+    FLOAT_DTYPES,
+    KNOWN_BACKENDS,
+    ArrayBackendError,
+    ArrayNamespace,
+    array_namespace,
+    backend_available,
+    get_namespace,
+)
+from repro.core.rounds import approximation_step_block, async_crash_bounds
+
+
+class TestSelection:
+    def test_default_is_numpy_float64(self, monkeypatch):
+        monkeypatch.delenv(ENV_BACKEND, raising=False)
+        monkeypatch.delenv(ENV_DTYPE, raising=False)
+        xp = get_namespace()
+        assert xp.name == "numpy"
+        assert xp.dtype_name == "float64"
+        assert xp.float_dtype is np.float64
+
+    def test_env_variable_selects(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "numpy")
+        monkeypatch.setenv(ENV_DTYPE, "float32")
+        xp = get_namespace()
+        assert xp.name == "numpy"
+        assert xp.dtype_name == "float32"
+        assert xp.float_dtype is np.float32
+
+    def test_kwarg_beats_env(self, monkeypatch):
+        # The env var points somewhere bogus; an explicit kwarg must win
+        # without the env selection ever being resolved.
+        monkeypatch.setenv(ENV_BACKEND, "no-such-backend")
+        monkeypatch.setenv(ENV_DTYPE, "float16")
+        xp = get_namespace("numpy", dtype="float64")
+        assert xp.name == "numpy"
+        assert xp.dtype_name == "float64"
+
+    def test_selection_is_case_and_whitespace_insensitive(self):
+        assert get_namespace(" NumPy ").name == "numpy"
+
+    def test_namespaces_are_cached_per_backend_and_dtype(self):
+        assert get_namespace("numpy") is get_namespace("numpy")
+        assert get_namespace("numpy") is not get_namespace("numpy", dtype="float32")
+
+    def test_unknown_backend_raises_with_fix(self):
+        with pytest.raises(ArrayBackendError, match="unknown array backend"):
+            get_namespace("jax")
+        with pytest.raises(ArrayBackendError, match=ENV_BACKEND):
+            get_namespace("jax")
+
+    def test_unknown_dtype_raises_with_fix(self):
+        with pytest.raises(ArrayBackendError, match="unknown array dtype"):
+            get_namespace("numpy", dtype="float16")
+        with pytest.raises(ArrayBackendError, match=ENV_DTYPE):
+            get_namespace("numpy", dtype="bfloat16")
+
+    @pytest.mark.parametrize("backend", ["cupy", "torch"])
+    def test_unimportable_backend_raises_not_crashes(self, backend):
+        if importlib.util.find_spec(backend) is not None:
+            pytest.skip(f"{backend} is installed here")
+        with pytest.raises(ArrayBackendError, match="not importable"):
+            get_namespace(backend)
+
+    def test_backend_available(self):
+        assert backend_available("numpy")
+        assert not backend_available("no-such-backend")
+
+    def test_known_backends_and_dtypes_are_stable(self):
+        # The capability matrix in the README documents exactly these.
+        assert KNOWN_BACKENDS == ("numpy", "cupy", "torch")
+        assert FLOAT_DTYPES == ("float64", "float32")
+
+
+class TestNamespaceSurface:
+    def test_numpy_ops_are_the_numpy_functions(self):
+        """Bit-identity foundation: on the default backend the shim adds
+        nothing — every resolved op *is* the numpy function."""
+        xp = get_namespace("numpy")
+        assert xp.sort is np.sort
+        assert xp.argsort is np.argsort
+        assert xp.where is np.where
+        assert xp.asarray is np.asarray
+        assert xp.uint64 is np.uint64
+
+    def test_missing_operation_raises_capability_error(self):
+        xp = get_namespace("numpy")
+        with pytest.raises(ArrayBackendError, match="no operation 'not_an_op'"):
+            xp.not_an_op
+        with pytest.raises(ArrayBackendError, match="'numpy'"):
+            xp.not_an_op
+
+    def test_private_attributes_raise_plain_attribute_error(self):
+        import copy
+
+        xp = get_namespace("numpy")
+        with pytest.raises(AttributeError):
+            xp._not_real
+        assert copy.copy(xp) is not None  # no capability error from dunders
+
+    def test_require_uint64_passes_on_numpy_and_refuses_torch(self):
+        get_namespace("numpy").require_uint64("the PRF")  # no raise
+        fake_torch = ArrayNamespace(np, "torch")
+        assert not fake_torch.supports_uint64
+        with pytest.raises(ArrayBackendError, match="uint64"):
+            fake_torch.require_uint64("the PRF mix kernel")
+
+    def test_to_numpy_is_identity_for_numpy(self):
+        xp = get_namespace("numpy")
+        array = np.arange(4.0)
+        assert xp.to_numpy(array) is array
+
+
+class TestArrayNamespaceRecovery:
+    def test_numpy_arrays_and_sequences_resolve_to_numpy(self):
+        assert array_namespace(np.arange(3)).name == "numpy"
+        assert array_namespace([1.0, 2.0]).name == "numpy"
+        assert array_namespace().name == "numpy"
+
+    def test_env_selection_does_not_apply(self, monkeypatch):
+        # The arrays already chose their backend; a dangling env selection
+        # must not be able to reroute (or crash) library code mid-kernel.
+        monkeypatch.setenv(ENV_BACKEND, "no-such-backend")
+        assert array_namespace(np.arange(3)).name == "numpy"
+
+
+class TestKernelEquivalence:
+    def test_step_block_with_explicit_numpy_namespace_is_bit_identical(self):
+        bounds = async_crash_bounds(5, 1)  # m = 4
+        samples = np.array(
+            [
+                [[0.0, 0.25, 0.5, 0.75], [0.1, 0.2, 0.3, 0.4]] * 2
+                + [[0.0, 1.0, 0.5, 0.25]],
+                [[1.0, 0.75, 0.5, 0.25], [0.9, 0.8, 0.7, 0.6]] * 2
+                + [[1.0, 0.0, 0.5, 0.75]],
+            ]
+        )
+        default = approximation_step_block(samples, bounds)
+        shimmed = approximation_step_block(samples, bounds, xp=get_namespace("numpy"))
+        np.testing.assert_array_equal(np.asarray(default), np.asarray(shimmed))
+
+    def test_float32_namespace_runs_the_kernel_in_float32(self):
+        bounds = async_crash_bounds(5, 1)  # m = 4
+        samples = np.random.default_rng(7).random((3, 5, 4))
+        xp = get_namespace("numpy", dtype="float32")
+        result = np.asarray(approximation_step_block(samples, bounds, xp=xp))
+        assert result.dtype == np.float32
+        reference = np.asarray(approximation_step_block(samples, bounds))
+        np.testing.assert_allclose(result, reference, rtol=1e-6, atol=1e-6)

@@ -1,0 +1,41 @@
+"""Numpy-free degradation of the array-backend shim.
+
+This file deliberately never imports numpy (the rest of the shim tests in
+``test_backend.py`` skip without it), so the no-numpy CI job can assert the
+shim's failure mode instead of silently collecting nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+
+class TestNumpyFreeDegradation:
+    def test_shim_import_and_errors_without_numpy(self, tmp_path):
+        """Without numpy the shim module still imports, and resolving any
+        backend — including the numpy default — raises the capability-error
+        family rather than a bare ImportError."""
+        (tmp_path / "numpy.py").write_text("raise ImportError('numpy blocked')\n")
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ, PYTHONPATH=f"{tmp_path}{os.pathsep}{src}")
+        script = (
+            "from repro.core.backend import ArrayBackendError, get_namespace,"
+            " backend_available\n"
+            "assert not backend_available('numpy')\n"
+            "try:\n"
+            "    get_namespace('numpy')\n"
+            "except ArrayBackendError as exc:\n"
+            "    assert 'not importable' in str(exc)\n"
+            "    assert isinstance(exc, ValueError)\n"
+            "else:\n"
+            "    raise AssertionError('numpy resolved while blocked')\n"
+            "print('shim-degrades OK')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "shim-degrades OK" in proc.stdout

@@ -331,3 +331,131 @@ class TestZeroFallbackByzantineGrid:
             for pid, history in scalar.value_histories.items():
                 for left, right in zip(history, nd.value_histories[pid]):
                     assert abs(left - right) <= 1e-9
+
+
+class TestMinWorkCalibration:
+    """The one-shot per-interpreter micro-probe behind ndbatch_min_work."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_calibration(self, monkeypatch, tmp_path):
+        """Each test resolves from scratch: no memo, no env pin (the suite's
+        conftest pins REPRO_NDBATCH_MIN_WORK for deterministic dispatch), and
+        a private cache directory."""
+        from repro.sim import engine
+
+        monkeypatch.setattr(engine, "_min_work_memo", None)
+        monkeypatch.delenv(engine.ENV_MIN_WORK, raising=False)
+        monkeypatch.setenv(engine.ENV_CALIBRATION_DIR, str(tmp_path))
+        yield
+
+    def test_env_override_wins_and_is_validated(self, monkeypatch):
+        from repro.sim import engine
+
+        monkeypatch.setenv(engine.ENV_MIN_WORK, "4242")
+        assert engine.ndbatch_min_work() == 4242
+
+        monkeypatch.setattr(engine, "_min_work_memo", None)
+        monkeypatch.setenv(engine.ENV_MIN_WORK, "fast")
+        with pytest.raises(ValueError, match="integer work threshold"):
+            engine.ndbatch_min_work()
+
+        monkeypatch.setenv(engine.ENV_MIN_WORK, "0")
+        with pytest.raises(ValueError, match="positive"):
+            engine.ndbatch_min_work()
+
+    def test_probe_result_is_clamped_cached_and_memoised(self, monkeypatch, tmp_path):
+        from repro.sim import engine
+
+        calls = []
+
+        def fake_probe():
+            calls.append(1)
+            return 10_000_000  # far above the clamp ceiling
+
+        monkeypatch.setattr(engine, "_probe_ndbatch_min_work", fake_probe)
+        value = engine.ndbatch_min_work()
+        low, high = engine._MIN_WORK_CLAMP
+        assert value == high
+        assert calls == [1]
+        # Second call: memo, no re-probe.
+        assert engine.ndbatch_min_work() == value
+        assert calls == [1]
+        # Fresh "interpreter" (memo cleared): the cache file answers, still
+        # no re-probe.
+        monkeypatch.setattr(engine, "_min_work_memo", None)
+        assert engine.ndbatch_min_work() == value
+        assert calls == [1]
+        cache = engine._calibration_path()
+        assert cache.startswith(str(tmp_path))
+        assert int(open(cache).read()) == value
+
+    def test_probe_failure_degrades_to_the_constant(self, monkeypatch):
+        from repro.sim import engine
+
+        def broken_probe():
+            raise RuntimeError("no clock")
+
+        monkeypatch.setattr(engine, "_probe_ndbatch_min_work", broken_probe)
+        assert engine.ndbatch_min_work() == engine.NDBATCH_MIN_WORK
+
+    def test_corrupt_cache_file_reprobes(self, monkeypatch, tmp_path):
+        from repro.sim import engine
+
+        with open(engine._calibration_path(), "w") as handle:
+            handle.write("not-a-number\n")
+        monkeypatch.setattr(engine, "_probe_ndbatch_min_work", lambda: 100)
+        assert engine.ndbatch_min_work() == 100
+
+    def test_cache_path_is_per_interpreter(self):
+        import sys
+
+        from repro.sim import engine
+
+        path = engine._calibration_path()
+        assert sys.implementation.name in path
+        assert f"{sys.version_info.major}.{sys.version_info.minor}" in path
+
+    @needs_numpy
+    def test_real_probe_returns_a_sane_threshold(self):
+        from repro.sim import engine
+
+        probed = engine._probe_ndbatch_min_work()
+        assert isinstance(probed, int)
+        assert probed > 0
+
+
+class TestBackendDispatch:
+    """run()'s backend/dtype plumbing into the ndbatch engine."""
+
+    @needs_numpy
+    def test_explicit_backend_on_ndbatch_matches_default(self):
+        default = run("async-crash", INPUTS, t=2, epsilon=1e-3, engine="ndbatch")
+        explicit = run(
+            "async-crash", INPUTS, t=2, epsilon=1e-3, engine="ndbatch",
+            backend="numpy", dtype="float64",
+        )
+        assert default.outputs == explicit.outputs
+        assert default.rounds_used == explicit.rounds_used
+
+    @needs_numpy
+    def test_backend_on_pure_python_engine_raises(self):
+        with pytest.raises(EngineCapabilityError, match="backend"):
+            run(
+                "async-crash", INPUTS, t=2, epsilon=1e-3, engine="batch",
+                backend="numpy",
+            )
+        with pytest.raises(EngineCapabilityError, match="ndbatch"):
+            run(
+                "async-crash", INPUTS, t=2, epsilon=1e-3, engine="event",
+                dtype="float32",
+            )
+
+    @needs_numpy
+    def test_unknown_backend_is_a_value_error_family(self):
+        from repro.core.backend import ArrayBackendError
+
+        with pytest.raises(ArrayBackendError, match="unknown array backend"):
+            run(
+                "async-crash", INPUTS, t=2, epsilon=1e-3, engine="ndbatch",
+                backend="no-such-backend",
+            )

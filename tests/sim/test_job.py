@@ -483,3 +483,81 @@ class TestManifestRetryPolicy:
         other = SweepJob(SPEC, tmp_path / "job", retry=RetryPolicy(max_attempts=9))
         with pytest.raises(SweepJobError, match="manifest"):
             other.write_manifest()
+
+
+class TestCommandLine:
+    """The ``python -m repro.sim.job`` shard-worker front door."""
+
+    def test_parse_shard(self):
+        from repro.sim.job import parse_shard
+
+        assert parse_shard("2/8") == (2, 8)
+        with pytest.raises(ValueError, match="I/K"):
+            parse_shard("2of8")
+        with pytest.raises(ValueError, match="shard index"):
+            parse_shard("8/8")
+        with pytest.raises(ValueError, match="shard count"):
+            parse_shard("0/0")
+
+    def test_run_sharded_then_inspect(self, tmp_path, capsys):
+        from repro.sim.job import main
+
+        directory = str(tmp_path / "job")
+        grid_flags = [
+            "--protocols", "async-crash", "--sizes", "7:2",
+            "--seeds", "0..3", "--engine", "batch",
+        ]
+        assert main(["run", "--dir", directory, "--shard", "0/2", *grid_flags]) == 0
+        # The second shard needs no grid flags: the manifest is the grid.
+        assert main(["run", "--dir", directory, "--shard", "1/2"]) == 0
+        out = capsys.readouterr().out
+        assert "shard 0/2" in out and "shard 1/2" in out
+        assert main(["progress", "--dir", directory]) == 0
+        assert "4/4 complete, 0 remaining" in capsys.readouterr().out
+        assert main(["summary", "--dir", directory]) == 0
+        summary = capsys.readouterr().out
+        assert "async-crash" in summary and "ok_fraction" in summary
+        # The shards together are exactly the grid.
+        job = SweepJob(
+            SweepSpec(
+                protocols=("async-crash",), system_sizes=((7, 2),),
+                seeds=(0, 1, 2, 3), engine="batch",
+            ),
+            directory,
+        )
+        assert job.is_complete()
+
+    def test_run_resumes_and_reports_skips(self, tmp_path, capsys):
+        from repro.sim.job import main
+
+        directory = str(tmp_path / "job")
+        grid_flags = [
+            "--protocols", "async-crash", "--sizes", "7:2",
+            "--seeds", "0..2", "--engine", "batch",
+        ]
+        assert main(["run", "--dir", directory, *grid_flags]) == 0
+        assert "3 executed, 0 skipped" in capsys.readouterr().out
+        assert main(["run", "--dir", directory]) == 0
+        assert "0 executed, 3 skipped" in capsys.readouterr().out
+
+    def test_missing_manifest_without_grid_flags_fails_loudly(self, tmp_path):
+        from repro.sim.job import main
+
+        with pytest.raises(SweepJobError, match="no grid flags"):
+            main(["run", "--dir", str(tmp_path / "void")])
+
+    def test_module_entry_point(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        completed = subprocess.run(
+            [
+                sys.executable, "-m", "repro.sim.job", "run",
+                "--dir", str(tmp_path / "job"), "--shard", "1/3",
+                "--protocols", "async-crash", "--sizes", "7:2",
+                "--seeds", "0..2", "--engine", "batch",
+            ],
+            capture_output=True, text=True, check=True, env=env,
+        )
+        assert "shard 1/3" in completed.stdout
