@@ -1,0 +1,121 @@
+"""E17 — Vector-valued agreement on the tensor fast path: d∈{2,3} grids.
+
+Before this PR every multidimensional cell ran through
+:func:`repro.sim.vector.run_vector_protocol` — one full event-simulator
+execution per coordinate, ``d`` independent runs per cell.  This PR lifts the
+round/tensor kernels to ``(executions, n, d)`` blocks
+(:func:`repro.sim.ndbatch.run_vector_block`): the per-round reduce/select/mean
+applies along the ``n`` axis independently per coordinate, and — because
+quorum selection and crash structure are value-independent — one quorum
+selection per round is shared across all ``d`` coordinates.
+
+This benchmark runs the same d∈{2,3} crash and Byzantine grids (the three
+worked examples re-cast as sweep scenario families: drifting clocks, sensor
+noise, rendezvous positions) on both paths and records the speedup in
+``BENCH_vector_batch.json`` (committed, benchguard-gated).  The speedup is
+only meaningful with the agreement checks next to it: integer costs (rounds,
+messages, bits) must match *exactly* and output spreads to ≤1e-9 — the grids
+here stay inside the scope where the engines agree on outputs, not just
+envelopes (crash faults under any adversary; Byzantine value-injection with
+value-independent strategies).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.sim.sweep import SweepSpec, run_sweep
+
+from conftest import write_bench_json
+
+REQUIRED_SPEEDUP = 20.0
+
+#: Crash grid: the clock-sync and rendezvous families under crash faults.
+CRASH_SPEC = SweepSpec(
+    protocols=("sync-crash",),
+    system_sizes=((7, 2),),
+    adversaries=("none", "crash-initial", "crash-staggered"),
+    workloads=("drifting-clocks", "rendezvous"),
+    seeds=tuple(range(32)),
+    epsilon=1e-3,
+    engine="event",
+    dimensions=(2, 3),
+)
+
+#: Byzantine grid: the sensor-fusion and rendezvous families under
+#: value-independent Byzantine strategies (exact output agreement holds).
+BYZ_SPEC = SweepSpec(
+    protocols=("sync-byzantine",),
+    system_sizes=((7, 1),),
+    adversaries=("byz-fixed", "byz-equivocate"),
+    workloads=("sensor-noise", "rendezvous"),
+    seeds=tuple(range(32)),
+    epsilon=1e-3,
+    engine="event",
+    dimensions=(2, 3),
+)
+
+
+def _run_both(spec: SweepSpec):
+    started = time.perf_counter()
+    event_outcomes = run_sweep(spec, workers=1)
+    event_seconds = time.perf_counter() - started
+    nd_spec = dataclasses.replace(spec, engine="ndbatch")
+    started = time.perf_counter()
+    nd_outcomes = run_sweep(nd_spec, workers=1)
+    nd_seconds = time.perf_counter() - started
+    assert len(event_outcomes) == len(nd_outcomes) == spec.cell_count
+    for event, nd in zip(event_outcomes, nd_outcomes):
+        assert event.ok and nd.ok, (event.cell, event.violations, nd.violations)
+        assert (event.rounds, event.messages, event.bits) == (
+            nd.rounds, nd.messages, nd.bits
+        ), event.cell
+        assert abs(event.output_spread - nd.output_spread) <= 1e-9, event.cell
+    return event_seconds, nd_seconds, len(event_outcomes)
+
+
+def test_e17_vector_grids_take_the_tensor_fast_path():
+    crash_event, crash_nd, crash_cells = _run_both(CRASH_SPEC)
+    byz_event, byz_nd, byz_cells = _run_both(BYZ_SPEC)
+
+    event_seconds = crash_event + byz_event
+    nd_seconds = crash_nd + byz_nd
+    cells = crash_cells + byz_cells
+    speedup = event_seconds / nd_seconds
+
+    write_bench_json(
+        "vector_batch",
+        {
+            "vector_grid": {
+                "cells": cells,
+                "dimensions": [2, 3],
+                "event_composition_seconds": event_seconds,
+                "ndbatch_seconds": nd_seconds,
+                "event_cells_per_second": cells / event_seconds,
+                "ndbatch_cells_per_second": cells / nd_seconds,
+                "ndbatch_speedup_vs_event_composition": speedup,
+                "crash_grid": {
+                    "cells": crash_cells,
+                    "event_seconds": crash_event,
+                    "ndbatch_seconds": crash_nd,
+                },
+                "byzantine_grid": {
+                    "cells": byz_cells,
+                    "event_seconds": byz_event,
+                    "ndbatch_seconds": byz_nd,
+                },
+                "integer_costs_exact": True,
+                "output_spread_agreement_1e9": True,
+            },
+            "required_ndbatch_speedup_vs_event_composition": REQUIRED_SPEEDUP,
+        },
+    )
+    print(
+        f"\nE17 vector grids (d in {{2,3}}): {cells} cells, event composition "
+        f"{event_seconds:.2f}s vs ndbatch {nd_seconds:.3f}s -> {speedup:.1f}x"
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"tensor fast path only {speedup:.1f}x faster than the coordinate-wise "
+        f"event composition (required {REQUIRED_SPEEDUP}x)"
+    )

@@ -39,6 +39,10 @@ __all__ = [
     "check_linf_agreement",
     "check_l2_agreement",
     "check_box_validity",
+    "check_box_validity_block",
+    "check_linf_agreement_block",
+    "linf_diameter_block",
+    "normalize_vector_inputs",
     "VectorValidationReport",
     "validate_vector_outputs",
 ]
@@ -49,6 +53,41 @@ Vector = Tuple[float, ...]
 
 def _as_vector(value: Sequence[float]) -> Vector:
     return tuple(float(x) for x in value)
+
+
+def normalize_vector_inputs(vector_inputs: Sequence[Sequence[float]]) -> Tuple[Vector, ...]:
+    """Validate and normalise per-process vector inputs — THE one place.
+
+    Every consumer of vector-valued inputs (the coordinate-wise composition
+    in :mod:`repro.sim.vector`, the vectorised block engine's
+    ``run_vector_block``, the sweep's vector workloads) funnels through this
+    function, so ragged inputs — mismatched per-process dimensions, empty
+    vectors, an empty process list — fail loudly here with the offending
+    process named, instead of surfacing as a shape error deep inside a
+    kernel.  Returns one tuple of equal-dimension float vectors.
+    """
+    if not vector_inputs:
+        raise ValueError("vector agreement requires at least one input vector")
+    vectors = []
+    for pid, value in enumerate(vector_inputs):
+        try:
+            vector = _as_vector(value)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"process {pid}'s input is not a sequence of reals: {value!r}"
+            ) from None
+        vectors.append(vector)
+    dimension = len(vectors[0])
+    if dimension < 1:
+        raise ValueError("vector inputs must have dimension >= 1")
+    for pid, vector in enumerate(vectors):
+        if len(vector) != dimension:
+            raise ValueError(
+                f"ragged vector inputs: process {pid} has dimension "
+                f"{len(vector)}, process 0 has dimension {dimension} — all "
+                f"processes must share one dimension"
+            )
+    return tuple(vectors)
 
 
 def linf_distance(u: Sequence[float], v: Sequence[float]) -> float:
@@ -112,6 +151,60 @@ def check_box_validity(
             if not lows[k] - slack <= vector[k] <= highs[k] + slack:
                 return False
     return True
+
+
+def linf_diameter_block(outputs, xp=None):
+    """Per-execution ℓ∞ diameter of an ``(E, n, d)`` output block → ``(E,)``.
+
+    The maximum pairwise Chebyshev distance over a set of vectors equals the
+    largest per-coordinate range, so the whole block reduces with two
+    axis-``1`` reductions — no pairwise loop.  Mirrors
+    :func:`linf_distance` maximised over pairs, bit for bit on float64.
+    """
+    if xp is None:
+        import numpy as np
+
+        xp = np
+    values = xp.asarray(outputs)
+    return (values.max(axis=1) - values.min(axis=1)).max(axis=-1)
+
+
+def check_linf_agreement_block(outputs, epsilon: float, xp=None):
+    """Whole-block form of :func:`check_linf_agreement` → ``(E,)`` booleans.
+
+    ``outputs`` is an ``(E, n, d)`` block of honest output vectors; entry
+    ``e`` is ``True`` iff execution ``e``'s vectors are pairwise within
+    ``ε`` in every coordinate, under the same ``ε·(1 + 1e-9)`` slack as the
+    scalar check.
+    """
+    if xp is None:
+        import numpy as np
+
+        xp = np
+    slack = epsilon * (1.0 + 1e-9)
+    return linf_diameter_block(outputs, xp=xp) <= slack
+
+
+def check_box_validity_block(outputs, lows, highs, tolerance: float = 1e-9, xp=None):
+    """Whole-block form of :func:`check_box_validity` → ``(E,)`` booleans.
+
+    ``outputs`` is an ``(E, n, d)`` block of honest output vectors;
+    ``lows``/``highs`` are ``(E, d)`` per-execution bounding boxes of the
+    validity-reference inputs.  The per-coordinate slack is the scalar
+    check's ``tolerance · max(1, |low|, |high|)``.
+    """
+    if xp is None:
+        import numpy as np
+
+        xp = np
+    values = xp.asarray(outputs)
+    lo = xp.asarray(lows)[:, None, :]
+    hi = xp.asarray(highs)[:, None, :]
+    slack = tolerance * xp.maximum(1.0, xp.maximum(xp.abs(lo), xp.abs(hi)))
+    inside = (values >= lo - slack) & (values <= hi + slack)
+    # Chained single-axis reductions (not a tuple axis) keep every duck-typed
+    # backend's `all` signature happy.
+    return inside.all(axis=-1).all(axis=-1)
 
 
 @dataclass

@@ -132,7 +132,9 @@ def approximation_step(sample: Sequence[float], bounds: AlgorithmBounds) -> floa
     return approximate(sample, bounds.reduce_j, bounds.select_k)
 
 
-def approximation_step_block(samples, bounds: AlgorithmBounds, validate: bool = True, xp=None):
+def approximation_step_block(
+    samples, bounds: AlgorithmBounds, validate: bool = True, xp=None, axis: int = -1
+):
     """Array form of :func:`approximation_step` over a block of samples.
 
     ``samples`` is an array of shape ``(..., m)`` — any number of leading axes
@@ -141,6 +143,14 @@ def approximation_step_block(samples, bounds: AlgorithmBounds, validate: bool = 
     the whole-matrix round update of the vectorised batch engine
     (:mod:`repro.sim.ndbatch`): one ``sort`` along the last axis, one strided
     slice (``reduce^j`` + ``select_k``), one ``mean``.
+
+    ``axis`` names the multiset axis when it is not the last one — the
+    vector-valued engine gathers ``(executions, n, m, d)`` sample tensors
+    (a trailing per-coordinate axis) and reduces along ``axis=-2``, i.e. the
+    same ``mean ∘ select_k ∘ reduce^j`` applied independently per coordinate.
+    The reduction itself is identical whichever axis carries the multiset:
+    the tensor is viewed with that axis last and the last-axis kernel runs
+    unchanged.
 
     Semantically identical to mapping :func:`approximation_step` over the
     leading axes (guarded by ``tests/core/test_rounds.py``) up to
@@ -164,10 +174,14 @@ def approximation_step_block(samples, bounds: AlgorithmBounds, validate: bool = 
         values = np.asarray(samples, dtype=np.float64)
         finite = np.isfinite
         sort = np.sort
+        moveaxis = np.moveaxis
     else:
         values = xp.asarray(samples, dtype=xp.float_dtype)
         finite = xp.isfinite
         sort = xp.sort
+        moveaxis = xp.moveaxis
+    if axis != -1 and axis != values.ndim - 1:
+        values = moveaxis(values, axis, -1)
     m = values.shape[-1]
     j = bounds.reduce_j
     if m < 2 * j + 1:

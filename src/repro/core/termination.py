@@ -48,6 +48,7 @@ __all__ = [
     "KnownRangeRounds",
     "SpreadEstimateRounds",
     "default_round_policy",
+    "default_vector_round_policy",
 ]
 
 
@@ -191,3 +192,28 @@ def default_round_policy(
     if not bounds.resilience_ok:
         return FixedRounds(10)
     return FixedRounds(bounds.rounds_for(spread(inputs), epsilon))
+
+
+def default_vector_round_policy(
+    bounds: AlgorithmBounds,
+    vector_inputs: Sequence[Sequence[float]],
+    epsilon: float,
+) -> RoundPolicy:
+    """Shared fixed round count covering the ℓ∞ spread of vector inputs.
+
+    Vector agreement runs every coordinate for the *same* number of rounds
+    (one block, one loop), so the count must cover the widest coordinate:
+    the ℓ∞ input spread is the maximum per-coordinate scalar spread.  Both
+    the vectorised block engine and the coordinate-wise degradation path use
+    this policy, so a d-dimensional cell costs the same rounds on every
+    engine and their costs compare exactly.
+    """
+    if not bounds.resilience_ok:
+        return FixedRounds(10)
+    vectors = [tuple(float(x) for x in vector) for vector in vector_inputs]
+    dimension = len(vectors[0]) if vectors else 0
+    linf_spread = max(
+        (spread(vector[k] for vector in vectors) for k in range(dimension)),
+        default=0.0,
+    )
+    return FixedRounds(bounds.rounds_for(linf_spread, epsilon))

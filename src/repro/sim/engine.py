@@ -40,6 +40,7 @@ adaptive round policy  —        ✓       ✓
 stateful strategy      —        ✓       ✓
 stateful quorum/delay  ✓ (a)    ✓       ✓
 message-level faults   —        —       ✓
+vector (d > 1) inputs  ✓ (b)    ✓ (c)   ✓ (c)
 runs without numpy     —        ✓       ✓
 relative speed         ~50×     ~10×    1×
 =====================  =======  ======  ========
@@ -47,6 +48,14 @@ relative speed         ~50×     ~10×    1×
 (a) supported through a per-recipient fallback; auto-selection prefers the
 batch engine for such scenarios, because the fallback gives up the
 vectorisation that makes ndbatch worth choosing.
+
+(b) native ``(executions, n, d)`` tensor path
+(:func:`repro.sim.ndbatch.run_vector_block`) — one shared quorum selection
+per round across all coordinates.
+
+(c) coordinate-wise composition (:mod:`repro.sim.vector` and the sweep's
+degradation path): one full scalar instance per coordinate, so cost scales
+as ``d`` event/batch runs.
 
 The ndbatch engine is additionally marked *tensorisable*: it advances whole
 execution blocks through tensor fault programs (grouped
@@ -79,6 +88,8 @@ __all__ = [
     "engine_rejections",
     "estimated_upfront_rounds",
     "numpy_available",
+    "require_capability",
+    "require_dimension",
     "run",
     "scenario_features",
     "select_engine",
@@ -101,6 +112,7 @@ FEATURE_ROUND_LEVEL = "round-level-adversary"
 FEATURE_NO_NUMPY = "no-numpy"
 FEATURE_WITNESS_MID_MULTICAST = "witness-mid-multicast-crash"
 FEATURE_EVENT_RUNTIME = "explicit-event-runtime"
+FEATURE_VECTOR = "vector-valued-inputs"
 
 
 @dataclass(frozen=True)
@@ -132,9 +144,23 @@ class EngineCapabilities:
     #: engine both isolates the faulty cell and sidesteps the block path).
     #: ``None`` means there is nothing to demote to.
     demotes_to: Optional[str] = None
+    #: Whether the engine runs vector-valued (d > 1) agreement — natively
+    #: (ndbatch advances whole ``(executions, n, d)`` blocks through
+    #: :func:`repro.sim.ndbatch.run_vector_block`) or by coordinate-wise
+    #: composition (batch/event: one scalar instance per coordinate, the
+    #: construction of :mod:`repro.sim.vector`).
+    supports_vectors: bool = False
+    #: Largest supported input dimension (``None`` = unbounded).  Only
+    #: meaningful when ``supports_vectors`` is set; lets a future bounded
+    #: engine (fixed-width SIMD kernels, say) declare its width and have
+    #: dispatch route around it.
+    max_dimension: Optional[int] = None
 
     def feature_set(self) -> FrozenSet[str]:
-        return self.features | frozenset(f"protocol:{p}" for p in self.protocols)
+        tags = self.features | frozenset(f"protocol:{p}" for p in self.protocols)
+        if self.supports_vectors:
+            tags |= {FEATURE_VECTOR}
+        return tags
 
     def supports(self, required: Iterable[str]) -> bool:
         return set(required) <= self.feature_set()
@@ -154,6 +180,7 @@ ENGINE_CAPABILITIES: Dict[str, EngineCapabilities] = {
         summary="numpy-vectorised block engine (whole executions advance as matrices)",
         tensorisable=True,
         demotes_to="batch",
+        supports_vectors=True,
     ),
     "batch": EngineCapabilities(
         name="batch",
@@ -170,6 +197,7 @@ ENGINE_CAPABILITIES: Dict[str, EngineCapabilities] = {
         ),
         speed_rank=1,
         summary="pure-Python round-level engine (one asynchronous round at a time)",
+        supports_vectors=True,
     ),
     "event": EngineCapabilities(
         name="event",
@@ -188,6 +216,7 @@ ENGINE_CAPABILITIES: Dict[str, EngineCapabilities] = {
         ),
         speed_rank=2,
         summary="per-message discrete-event simulator (highest fidelity)",
+        supports_vectors=True,
     ),
 }
 
@@ -337,6 +366,7 @@ def scenario_features(
     fault_model=None,
     omission_policy=None,
     delay_model=None,
+    dimension: int = 1,
 ) -> Set[str]:
     """The feature set one scenario requires of an engine.
 
@@ -346,10 +376,17 @@ def scenario_features(
     the scenario message-level-only, which only the event engine runs.
     ``t`` sharpens the witness crash-boundary probe (without it, any witness
     crash beyond "initially dead" conservatively routes to the event engine).
+    ``dimension > 1`` marks the scenario vector-valued, which only engines
+    declaring ``supports_vectors`` run (see also :func:`require_dimension`
+    for per-engine dimension bounds).
     """
     from repro.net.adversary import round_fault_model
 
+    if dimension < 1:
+        raise ValueError(f"dimension must be positive, got {dimension}")
     features: Set[str] = {f"protocol:{protocol}"}
+    if dimension > 1:
+        features.add(FEATURE_VECTOR)
     if round_policy is not None and not _upfront_rounds_known(round_policy):
         features.add(FEATURE_ADAPTIVE)
 
@@ -685,9 +722,51 @@ def _describe_missing(missing: Sequence[str]) -> str:
                 "explicit runtime= requests (des/asyncio/lockstep are event-"
                 "simulator runtimes)"
             )
+        elif feature == FEATURE_VECTOR:
+            parts.append("vector-valued (dimension > 1) inputs")
         else:
             parts.append(feature)
     return " and ".join(parts)
+
+
+def require_dimension(engine: str, dimension: int) -> None:
+    """Raise unless ``engine`` runs ``dimension``-valued vector agreement.
+
+    ``dimension == 1`` always passes (scalar agreement is every engine's
+    home turf).  For ``d > 1`` the engine must declare ``supports_vectors``
+    and, when it states a ``max_dimension``, cover ``d``; the error names
+    the engines that do.
+    """
+    if dimension < 1:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    if dimension == 1:
+        return
+    if engine not in ENGINE_CAPABILITIES:
+        raise ValueError(
+            f"unknown engine {engine!r}; known engines: {', '.join(ENGINES)} "
+            f"(or 'auto')"
+        )
+    capable = tuple(
+        name
+        for name in ENGINES
+        if ENGINE_CAPABILITIES[name].supports_vectors
+        and (
+            ENGINE_CAPABILITIES[name].max_dimension is None
+            or dimension <= ENGINE_CAPABILITIES[name].max_dimension
+        )
+    )
+    capabilities = ENGINE_CAPABILITIES[engine]
+    if not capabilities.supports_vectors:
+        raise EngineCapabilityError(
+            engine, "vector-valued (dimension > 1) inputs", capable
+        )
+    if capabilities.max_dimension is not None and dimension > capabilities.max_dimension:
+        raise EngineCapabilityError(
+            engine,
+            f"dimension {dimension} (its max_dimension is "
+            f"{capabilities.max_dimension})",
+            capable,
+        )
 
 
 def require_capability(engine: str, features: Iterable[str]) -> None:

@@ -95,6 +95,7 @@ __all__ = [
     "SweepJobError",
     "SweepJobResult",
     "SweepJobProgress",
+    "CompactionResult",
     "StoreScan",
     "cell_id",
     "cell_shard",
@@ -107,7 +108,12 @@ __all__ = [
 ]
 
 #: Version of the on-disk layout (manifest shape + JSONL line schema).
-STORE_SCHEMA_VERSION = 1
+#: v2 adds the ``dimension`` cell field and the spec's ``dimensions`` axis;
+#: scalar (d=1) cells omit the key everywhere — line bytes, cell IDs and
+#: shard assignments of v1 stores are unchanged, so v1 job directories
+#: resume/merge/compact under v2 without rewriting (the manifest is upgraded
+#: in place by :func:`_normalize_manifest`).
+STORE_SCHEMA_VERSION = 2
 
 #: How cell IDs are derived — recorded in the manifest so a future algorithm
 #: change cannot silently mix incompatible IDs in one job directory.
@@ -122,25 +128,26 @@ def cell_id(cell: SweepCell) -> str:
     """Content-addressed ID of one sweep cell: 16 hex chars, stable everywhere.
 
     The digest is taken over the cell's canonical JSON form (sorted keys,
-    no whitespace), so it depends only on the cell's eight fields — never on
+    no whitespace), so it depends only on the cell's fields — never on
     process identity, dict order or ``PYTHONHASHSEED``.  Floats serialise
     via ``repr`` (shortest round-trip form), which is stable across the
-    supported Python versions.
+    supported Python versions.  ``dimension`` enters the digest only when
+    it is not 1, so every scalar cell keeps the ID it had before the
+    dimension axis existed — v1 stores stay valid verbatim.
     """
-    payload = json.dumps(
-        {
-            "protocol": cell.protocol,
-            "n": cell.n,
-            "t": cell.t,
-            "epsilon": cell.epsilon,
-            "adversary": cell.adversary,
-            "workload": cell.workload,
-            "seed": cell.seed,
-            "engine": cell.engine,
-        },
-        sort_keys=True,
-        separators=(",", ":"),
-    )
+    fields = {
+        "protocol": cell.protocol,
+        "n": cell.n,
+        "t": cell.t,
+        "epsilon": cell.epsilon,
+        "adversary": cell.adversary,
+        "workload": cell.workload,
+        "seed": cell.seed,
+        "engine": cell.engine,
+    }
+    if cell.dimension != 1:
+        fields["dimension"] = cell.dimension
+    payload = json.dumps(fields, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
@@ -154,6 +161,26 @@ def cell_shard(cell: SweepCell, shard_count: int) -> int:
     if shard_count < 1:
         raise ValueError("shard_count must be at least 1")
     return int(cell_id(cell), 16) % shard_count
+
+
+def _normalize_manifest(manifest: Dict) -> Dict:
+    """Upgrade an older on-disk manifest to the current schema, in memory.
+
+    Every schema bump so far is strictly additive with a defined default for
+    old stores, so older manifests are *upgraded for comparison* rather than
+    rejected: v1 (pre-``dimensions``) grids were scalar by construction —
+    their cell IDs, line bytes and shard assignments are unchanged under v2
+    — and manifests written before the resilient layer lack ``retry_policy``
+    (absent means ``None``, legacy fail-fast runs).  Returns the manifest
+    for chaining; mutates in place.
+    """
+    if manifest.get("schema_version") == 1:
+        manifest["schema_version"] = STORE_SCHEMA_VERSION
+        spec = manifest.get("spec")
+        if isinstance(spec, dict):
+            spec.setdefault("dimensions", [1])
+    manifest.setdefault("retry_policy", None)
+    return manifest
 
 
 class StoreScan(NamedTuple):
@@ -269,6 +296,21 @@ class SweepJobResult:
     #: The quarantine store beside ``store_path`` (may not exist on disk if
     #: the run was fault-free).
     quarantine_path: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """What :meth:`SweepJob.compact` did (see its docstring for guarantees)."""
+
+    #: The single canonical store everything was rewritten into.
+    store_path: str
+    #: Outcome records in the compacted store (= distinct stored cell IDs).
+    records: int
+    #: Store files removed after their records were folded in (shard stores,
+    #: merge leftovers); does not include the canonical store itself.
+    removed_paths: Tuple[str, ...] = ()
+    #: Duplicate records dropped (same cell stored in several files/lines).
+    duplicates_dropped: int = 0
 
 
 @dataclass(frozen=True)
@@ -393,6 +435,7 @@ class SweepJob:
                 "seeds": list(spec.seeds),
                 "epsilon": spec.epsilon,
                 "engine": spec.engine,
+                "dimensions": list(spec.dimensions),
             },
             # The seed axis *is* the seed policy: every cell derives all of
             # its randomness (workload draws, adversary PRF streams) from its
@@ -412,9 +455,7 @@ class SweepJob:
         existing = self.load_manifest()
         expected = self.manifest_payload()
         if existing is not None:
-            # Manifests written before the resilient layer existed lack the
-            # retry_policy key; absent means None (legacy fail-fast runs).
-            existing.setdefault("retry_policy", None)
+            _normalize_manifest(existing)
             if existing != expected:
                 raise SweepJobError(
                     f"manifest {self.manifest_path} does not match this job's "
@@ -709,6 +750,7 @@ class SweepJob:
                 raise SweepJobError(
                     f"cannot merge {directory}: manifest is not valid JSON: {error}"
                 ) from error
+            _normalize_manifest(manifest)
             for key in ("schema_version", "cell_id_algorithm", "spec"):
                 if manifest.get(key) != expected[key]:
                     raise SweepJobError(
@@ -737,6 +779,82 @@ class SweepJob:
                     destination.write_bytes(data)
                     copied.append(destination)
         return copied
+
+    # ---- store compaction ---------------------------------------------
+
+    def compact(self) -> CompactionResult:
+        """Rewrite this job's stores as one canonical-order store.
+
+        Merged, sharded, repaired or append-heavy job directories accumulate
+        many store files whose line order is execution order (and may hold
+        duplicate outcomes for the same cell across files).  Compaction folds
+        every store into the single unsharded ``cells.jsonl``, records in
+        *grid order* and canonical line form, then removes the other store
+        files — the exact record set :meth:`iter_outcomes` yielded before
+        (first store wins on duplicates, matching its semantics), just laid
+        out as the store an uninterrupted single-process run would have
+        written.  Quarantine stores are never touched.
+
+        The rewrite is manifest-validated (the directory must belong to this
+        job's grid, and every stored cell must be *in* that grid) and atomic
+        (temp file + ``os.replace``; the old stores are removed only after
+        the canonical store is durably in place).  It refuses to run
+        mid-sweep: while this job object has an active :meth:`run`, or while
+        any store has a truncated/corrupt tail — the signature of a killed
+        or still-writing run — compaction raises :class:`SweepJobError`
+        (``run(resume=True)`` repairs the tail first).
+        """
+        self.write_manifest()
+        if self._progress_state is not None:
+            raise SweepJobError(
+                "cannot compact while a run is active on this job — wait for "
+                "SweepJob.run to return"
+            )
+        store_paths = self.store_paths()
+        for path in store_paths:
+            if scan_sweep_store(str(path)).corrupt:
+                raise SweepJobError(
+                    f"cannot compact: {path} has a truncated/corrupt tail "
+                    "(a killed or still-running sweep?) — finish or resume "
+                    "the job first (run(resume=True) repairs the tail)"
+                )
+        grid_ids = {cell_id(cell): cell for cell in self.spec.cells()}
+        by_id: Dict[str, CellOutcome] = {}
+        duplicates = 0
+        for path in store_paths:
+            for outcome in iter_sweep_jsonl(str(path)):
+                identity = cell_id(outcome.cell)
+                if identity not in grid_ids:
+                    raise SweepJobError(
+                        f"cannot compact: {path} holds an outcome for cell "
+                        f"{identity} ({outcome.cell}) that is not in this "
+                        "job's grid — the store belongs to a different sweep"
+                    )
+                if identity in by_id:
+                    duplicates += 1
+                    continue
+                by_id[identity] = outcome
+        canonical = self.store_path()
+        temporary = canonical.with_suffix(".jsonl.tmp")
+        with open(temporary, "w", encoding="utf-8") as handle:
+            for cell in self.spec.cells():
+                outcome = by_id.get(cell_id(cell))
+                if outcome is not None:
+                    handle.write(_outcome_to_json_line(outcome, include_wall_time=False))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, canonical)
+        removed = []
+        for path in store_paths:
+            if path != canonical:
+                path.unlink()
+                removed.append(str(path))
+        return CompactionResult(
+            store_path=str(canonical),
+            records=len(by_id),
+            removed_paths=tuple(removed),
+            duplicates_dropped=duplicates,
+        )
 
     # ---- reading & aggregation ----------------------------------------
 
@@ -798,6 +916,8 @@ def spec_from_manifest(payload: Dict) -> SweepSpec:
         seeds=tuple(int(seed) for seed in spec["seeds"]),
         epsilon=float(spec["epsilon"]),
         engine=spec["engine"],
+        # Absent in v1 manifests: those grids were scalar by construction.
+        dimensions=tuple(int(d) for d in spec.get("dimensions", [1])),
     )
 
 
@@ -841,6 +961,16 @@ def _parse_sizes(text: str) -> Tuple[Tuple[int, int], ...]:
     return tuple(sizes)
 
 
+def _parse_dimensions(text: str) -> Tuple[int, ...]:
+    """Parse a dimensions axis: a comma list of positive ints, e.g. ``1,2,3``."""
+    dimensions = tuple(int(part) for part in text.split(",") if part)
+    if not dimensions:
+        raise ValueError(f"no dimensions in {text!r}")
+    if any(dimension < 1 for dimension in dimensions):
+        raise ValueError(f"dimensions must be positive, got {text!r}")
+    return dimensions
+
+
 def _job_from_args(args) -> SweepJob:
     """Build the job from CLI flags, or from the directory's manifest."""
     probe = SweepJob(
@@ -870,6 +1000,7 @@ def _job_from_args(args) -> SweepJob:
             seeds=_parse_seeds(args.seeds),
             epsilon=args.epsilon,
             engine=args.engine,
+            dimensions=_parse_dimensions(args.dimensions),
         )
         retry = RetryPolicy(max_attempts=args.retry) if args.retry else None
     return SweepJob(
@@ -915,6 +1046,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     run_parser.add_argument("--workloads", default="uniform")
     run_parser.add_argument("--seeds", default="0",
                             help="0..99 (inclusive range) or 0,1,7")
+    run_parser.add_argument("--dimensions", default="1",
+                            help="comma list of value dimensions, e.g. 1,2,3 "
+                                 "(d > 1 runs vector agreement in R^d)")
     run_parser.add_argument("--epsilon", type=float, default=1e-3)
     run_parser.add_argument("--engine", default="auto",
                             choices=("auto", "batch", "ndbatch", "event"))
@@ -931,14 +1065,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     run_parser.add_argument("--retry-quarantined", action="store_true",
                             help="re-execute previously quarantined cells")
 
-    for name in ("progress", "summary"):
+    for name in ("progress", "summary", "compact"):
         sub = commands.add_parser(
             name,
-            help=(
-                "print completed/remaining counts"
-                if name == "progress"
-                else "print the per-configuration summary table"
-            ),
+            help={
+                "progress": "print completed/remaining counts",
+                "summary": "print the per-configuration summary table",
+                "compact": "rewrite the job's stores as one canonical-order "
+                           "store (refuses mid-sweep)",
+            }[name],
         )
         sub.add_argument("--dir", dest="directory", required=True)
 
@@ -969,6 +1104,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if manifest is None:
         raise SweepJobError(f"no job manifest in {args.directory}")
     job = SweepJob(spec_from_manifest(manifest), args.directory)
+    if args.command == "compact":
+        # compact() re-validates the manifest, whose retry_policy is part of
+        # the document — carry it over so the comparison sees this job as
+        # the one the directory belongs to.
+        retry_payload = manifest.get("retry_policy")
+        if retry_payload is not None:
+            job.retry = RetryPolicy.from_payload(retry_payload)
+        compaction = job.compact()
+        print(
+            f"{compaction.store_path}: {compaction.records} records in grid "
+            f"order, {compaction.duplicates_dropped} duplicates dropped, "
+            f"{len(compaction.removed_paths)} store file(s) removed"
+        )
+        return 0
     if args.command == "progress":
         progress = job.progress()
         print(

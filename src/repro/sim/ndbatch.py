@@ -72,10 +72,21 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.backend import ArrayNamespace, get_namespace
+from repro.core.multidim import (
+    VectorValidationReport,
+    check_box_validity_block,
+    normalize_vector_inputs,
+    validate_vector_outputs,
+)
 from repro.core.problem import ProblemInstance, ValidationReport, validate_outputs
 from repro.core.protocol import ResilienceError
 from repro.core.rounds import AlgorithmBounds, approximation_step_block
-from repro.core.termination import RoundPolicy, default_round_policy
+from repro.core.termination import (
+    FixedRounds,
+    RoundPolicy,
+    default_round_policy,
+    default_vector_round_policy,
+)
 from repro.net.adversary import (
     SENDER_MASK,
     DelayRankOmission,
@@ -92,11 +103,13 @@ from repro.sim.batch import DIRECT_PROTOCOL_BOUNDS, _upfront_rounds
 from repro.sim.engine import EngineCapabilityError, capable_engines
 from repro.sim.planner import plan_block
 from repro.sim.runner import ExecutionResult
+from repro.sim.vector import VectorExecutionResult
 
 __all__ = [
     "NDBATCH_PROTOCOLS",
     "run_ndbatch_block",
     "run_ndbatch_protocol",
+    "run_vector_block",
 ]
 
 #: Protocols the vectorised engine supports (the direct protocols; the
@@ -1096,6 +1109,643 @@ def _assemble_results(
                 value_histories=value_histories,
                 events_executed=0,
                 wall_time_seconds=0.0,
+            )
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Vector (multidimensional) blocks: (executions, n, d) on the fast path
+# ----------------------------------------------------------------------
+#
+# Coordinate-wise vector agreement (repro.sim.vector) runs d independent
+# scalar executions over the SAME fault plan, delay model and seeds.  Every
+# structural decision of such an execution — who crashes when, which quorums
+# each recipient picks, which processes are Byzantine — is value-independent
+# (crash schedules are data; quorum selection ranks PRF keys or delay ranks,
+# never values), so all d coordinates share one round structure and the
+# whole composition collapses into ONE block whose value state is an
+# (executions, n, d) tensor:
+#
+# * quorum selection runs once per round (shared across coordinates) —
+#   this, not the kernel, is where the d× win over composition comes from;
+# * Byzantine strategies are evaluated once per coordinate on that
+#   coordinate's observed values (same PRF seeds as the scalar engine), so
+#   a Byzantine sender still "may differ per coordinate" exactly as the
+#   composition allows: value-independent strategies (fixed, equivocate,
+#   random) report identically in every coordinate, observed-dependent ones
+#   (anti-convergence) differ because the observations differ;
+# * the approximation kernel reduces along the multiset axis of an
+#   (executions, n, m, d) gather (``axis=-2``), which is bit-identical to
+#   running it per coordinate.
+#
+# Out-of-model corner cases where the shared structure would break —
+# non-finite Byzantine reports (per-coordinate quorum refill) and stateful
+# per-recipient omission policies — raise EngineCapabilityError pointing at
+# the coordinate-wise composition, which handles both.
+
+
+def run_vector_block(
+    protocol: str,
+    vector_inputs_block: Sequence[Sequence[Sequence[float]]],
+    t: int,
+    epsilon: float,
+    round_policy: Optional[RoundPolicy] = None,
+    fault_models: Optional[Sequence[Optional[RoundFaultModel]]] = None,
+    omission_policies: Optional[Sequence[Optional[OmissionPolicy]]] = None,
+    seeds: Optional[Sequence[int]] = None,
+    strict: bool = True,
+    backend: Optional[str] = None,
+    dtype: Optional[str] = None,
+    budget_bytes: Optional[int] = None,
+    chunk_executions: Optional[int] = None,
+) -> List[VectorExecutionResult]:
+    """Run a block of vector-agreement executions on the vectorised engine.
+
+    ``vector_inputs_block[e]`` is one execution's inputs: ``n`` vectors of a
+    shared dimension ``d`` (ragged inputs fail loudly in
+    :func:`repro.core.multidim.normalize_vector_inputs`).  All executions
+    share ``(protocol, n, t, epsilon, d)`` and the round count; scenario
+    arguments mirror :func:`run_ndbatch_block` exactly.
+
+    ``d == 1`` delegates to the scalar block engine and lifts its results,
+    so one-dimensional vector blocks are bit-identical to scalar ndbatch by
+    construction.  ``d > 1`` runs the shared-structure tensor path described
+    above; with no ``round_policy`` the shared count covers the ℓ∞ input
+    spread (:func:`repro.core.termination.default_vector_round_policy`) —
+    pass the same policy to :func:`repro.sim.vector.run_vector_protocol`
+    when comparing engines.  Memory planning multiplies the value-array
+    terms by ``d`` (:func:`repro.sim.planner.bytes_per_execution`).
+    """
+    if protocol not in NDBATCH_PROTOCOL_BOUNDS:
+        raise EngineCapabilityError(
+            "ndbatch",
+            f"protocol {protocol!r}",
+            capable_engines({f"protocol:{protocol}"}),
+        )
+    count = len(vector_inputs_block)
+    if count == 0:
+        return []
+    normalized = [normalize_vector_inputs(inputs) for inputs in vector_inputs_block]
+    n = len(normalized[0])
+    dimension = len(normalized[0][0])
+    for vectors in normalized[1:]:
+        if len(vectors) != n:
+            raise ValueError("all executions in a block must share n")
+        if len(vectors[0]) != dimension:
+            raise ValueError(
+                "all executions in a vector block must share the dimension d"
+            )
+    if fault_models is None:
+        fault_models = [None] * count
+    if omission_policies is None:
+        omission_policies = [None] * count
+    if seeds is None:
+        seeds = [0] * count
+    if not (len(fault_models) == len(omission_policies) == len(seeds) == count):
+        raise ValueError("vector_inputs_block, fault_models, omission_policies and "
+                         "seeds must have equal lengths")
+
+    if dimension == 1:
+        scalar_block = [[vector[0] for vector in vectors] for vectors in normalized]
+        scalar_results = run_ndbatch_block(
+            protocol,
+            scalar_block,
+            t,
+            epsilon,
+            round_policy=round_policy,
+            fault_models=fault_models,
+            omission_policies=omission_policies,
+            seeds=seeds,
+            strict=strict,
+            backend=backend,
+            dtype=dtype,
+            budget_bytes=budget_bytes,
+            chunk_executions=chunk_executions,
+        )
+        return [_lift_scalar_result(result) for result in scalar_results]
+
+    models = [model if model is not None else RoundFaultModel() for model in fault_models]
+    policies = [
+        policy if policy is not None else SeededOmission(int(seed))
+        for policy, seed in zip(omission_policies, seeds)
+    ]
+    xp = get_namespace(backend, dtype=dtype)
+    bounds = NDBATCH_PROTOCOL_BOUNDS[protocol](n, t)
+    if round_policy is not None:
+        shared_rounds = _upfront_rounds(round_policy, bounds, epsilon)
+        if shared_rounds is None:
+            raise EngineCapabilityError(
+                "ndbatch",
+                f"adaptive round policies ({round_policy.describe()}: the "
+                f"engine requires a round count known upfront)",
+                ("batch", "event"),
+            )
+    else:
+        hints = {
+            _upfront_rounds(
+                default_vector_round_policy(bounds, vectors, epsilon), bounds, epsilon
+            )
+            for vectors in normalized
+        }
+        if len(hints) > 1:
+            raise ValueError(
+                f"executions in one ndbatch block must share the round count, "
+                f"got {sorted(hints)}; group cells by round count first "
+                f"(repro.sim.sweep does this automatically)"
+            )
+        shared_rounds = hints.pop()
+    shared_policy = FixedRounds(int(shared_rounds))
+
+    started = time.perf_counter()
+    if chunk_executions is not None:
+        if chunk_executions < 1:
+            raise ValueError("chunk_executions must be at least 1")
+        chunk = min(count, int(chunk_executions))
+    else:
+        plan = plan_block(
+            count,
+            n,
+            bounds.sample_size,
+            max(1, int(shared_rounds)),
+            dtype=xp.dtype_name,
+            budget_bytes=budget_bytes,
+            dimension=dimension,
+        )
+        chunk = plan.chunk_executions
+    results: List[VectorExecutionResult] = []
+    for start in range(0, count, chunk):
+        stop = min(count, start + chunk)
+        results.extend(
+            _run_vector_chunk(
+                protocol,
+                normalized[start:stop],
+                t,
+                epsilon,
+                shared_policy,
+                models[start:stop],
+                policies[start:stop],
+                strict,
+                xp,
+                dimension,
+            )
+        )
+    wall = time.perf_counter() - started
+    share = wall / count
+    for result in results:
+        result.wall_time_seconds = share
+    return results
+
+
+def _lift_scalar_result(result: ExecutionResult) -> VectorExecutionResult:
+    """Lift a scalar :class:`ExecutionResult` to a 1-dimensional vector result.
+
+    The scalar execution IS the d=1 vector execution (scalar ε-agreement is
+    ℓ∞ ε-agreement in R¹, interval validity is box validity), so the report
+    translates field-by-field and the scalar result rides along as the one
+    coordinate result — d=1 vector blocks stay bit-identical to scalar
+    ndbatch by construction.
+    """
+    outputs = {
+        pid: ((value,) if value is not None else None)
+        for pid, value in result.outputs.items()
+    }
+    report = VectorValidationReport(
+        all_decided=result.report.all_decided,
+        linf_agreement=result.report.epsilon_agreement,
+        box_validity=result.report.validity,
+        max_linf_distance=result.report.output_spread,
+        outputs={pid: vector for pid, vector in outputs.items() if vector is not None},
+        violations=list(result.report.violations),
+    )
+    return VectorExecutionResult(
+        protocol=result.protocol,
+        dimension=1,
+        report=report,
+        outputs=outputs,
+        coordinate_results=[result],
+        runtime="ndbatch",
+        stats=result.stats,
+        trajectory=tuple(result.trajectory),
+        rounds=result.rounds_used,
+        wall_time_seconds=result.wall_time_seconds,
+    )
+
+
+def _run_vector_chunk(
+    protocol: str,
+    vectors_chunk: Sequence[Tuple[Tuple[float, ...], ...]],
+    t: int,
+    epsilon: float,
+    round_policy: RoundPolicy,
+    fault_models: Sequence[RoundFaultModel],
+    omission_policies: Sequence[OmissionPolicy],
+    strict: bool,
+    xp: ArrayNamespace,
+    dimension: int,
+) -> List[VectorExecutionResult]:
+    """Advance one chunk of ``(executions, n, d)`` vector executions."""
+    coord0 = [[vector[0] for vector in vectors] for vectors in vectors_chunk]
+    block = _Block(
+        protocol, coord0, t, epsilon, round_policy,
+        fault_models, omission_policies, strict, xp=xp,
+    )
+    if block.generic_idx:
+        sample_policy = block.policies[block.generic_idx[0]]
+        raise EngineCapabilityError(
+            "ndbatch",
+            f"per-recipient omission policies in vector blocks "
+            f"({sample_policy.describe()} answers neither a tensor program nor "
+            f"rank_block, so its quorum draws cannot be shared across "
+            f"coordinates; compose coordinate-wise via "
+            f"repro.sim.vector.run_vector_protocol)",
+            ("event",),
+        )
+    block.dimension = dimension
+    # Replace the structural block's scalar value state with the full
+    # (E, n, d) tensor: corrupted inputs broadcast to every coordinate
+    # (scalar forgeries, as in round_fault_model), non-holders start at NaN.
+    inputs_tensor = np.asarray(vectors_chunk, dtype=np.float64)
+    block.inputs_tensor = inputs_tensor
+    starting = inputs_tensor.copy()
+    for e, model in enumerate(block.fault_models):
+        for pid, forged in model.corrupted_inputs.items():
+            if pid < block.n:
+                starting[e, pid, :] = float(forged)
+    start_dev = xp.asarray(starting, dtype=xp.float_dtype)
+    block.values = xp.where(block.holder_mask[:, :, None], start_dev, xp.nan)
+    return _advance_vector_block(block)
+
+
+def _advance_vector_block(block: _Block) -> List[VectorExecutionResult]:
+    """The scalar round loop over an ``(E, n, d)`` value tensor.
+
+    Mirrors :func:`_advance_block` statement-for-statement; only the value
+    state, samples and injected reports carry the trailing ``d`` axis — the
+    send/update/candidate structure, quorum selection and cost accounting
+    are shared across coordinates (per-coordinate costs are the shared
+    counts times ``d``, applied at assembly).
+    """
+    count, n, m = block.count, block.n, block.bounds.sample_size
+    total_rounds = block.total_rounds
+    xp = block.xp
+    arange_n = xp.arange(n)
+
+    active = xp.ones(count, dtype=bool)
+    rounds_completed = xp.zeros(count, dtype=xp.int64)
+    messages_sent = xp.zeros(count, dtype=xp.int64)
+    bits_sent = xp.zeros(count, dtype=xp.int64)
+    delivered = xp.zeros(count, dtype=xp.int64)
+    rounds_entered = xp.zeros(count, dtype=xp.int64)
+    holder_sends = xp.zeros((count, n), dtype=xp.int64)
+    history = [xp.copy(block.values)]
+    any_strategies = any(block.strategy_ids)
+    clean_values = not any_strategies and not bool(block.silent_mask.any())
+
+    scheduled = xp.where(block.crash_round < _NEVER, block.crash_round, 0)
+    last_crash_round = int(scheduled.max()) if count else 0
+    static_structure = None
+
+    for round_number in range(1, total_rounds + 1):
+        if not active.any():
+            break
+        value_bits = message_bits(Message(kind="VALUE", round=round_number, value=0.0))
+
+        if static_structure is not None:
+            sends, updates, cand, cand_count, round_sends = static_structure
+        else:
+            before_crash = round_number < block.crash_round
+            sends = xp.where(
+                block.holder_mask & before_crash,
+                n,
+                xp.where(
+                    block.holder_mask & (round_number == block.crash_round),
+                    block.crash_deliveries,
+                    0,
+                ),
+            )
+            updates = block.holder_mask & before_crash
+            cand = block.strategy_mask[:, None, :] | (
+                block.holder_mask[:, None, :]
+                & (arange_n[None, :, None] < sends[:, None, :])
+            )
+            cand &= ~block.silent_mask[:, None, :]
+            cand_count = cand.sum(axis=2)
+            round_sends = sends.sum(axis=1) + n * block.strategy_counts
+            if round_number > last_crash_round:
+                static_structure = (sends, updates, cand, cand_count, round_sends)
+
+        messages_sent += xp.where(active, round_sends, 0)
+        bits_sent += xp.where(active, round_sends * value_bits, 0)
+        holder_sends += sends * active[:, None]
+        rounds_entered += active
+
+        injected = None
+        if any_strategies:
+            injected = _vector_injected_values(block, round_number)
+
+        if block.synchronous:
+            sample = _vector_sync_samples(block, cand, injected)
+            failed_round = xp.zeros(count, dtype=bool)
+            round_delivered = xp.where(active, updates.sum(axis=1) * n, 0)
+        else:
+            sample, failed_round, round_delivered = _vector_async_samples(
+                block, cand, cand_count, injected, updates, active, round_number, m
+            )
+        delivered += round_delivered
+
+        apply_mask = updates & active[:, None] & ~failed_round[:, None]
+        if clean_values and not failed_round.any():
+            new_values = approximation_step_block(
+                sample, block.bounds, validate=False, xp=xp, axis=-2
+            )
+        else:
+            safe_sample = xp.where(
+                apply_mask[:, :, None, None],
+                sample,
+                xp.zeros((1, 1, 1, 1), dtype=xp.float_dtype),
+            )
+            new_values = approximation_step_block(
+                safe_sample, block.bounds, xp=xp, axis=-2
+            )
+        block.values = xp.where(apply_mask[:, :, None], new_values, block.values)
+        history.append(xp.copy(block.values))
+
+        completed_now = active & ~failed_round
+        rounds_completed = xp.where(completed_now, round_number, rounds_completed)
+        active = completed_now
+
+    return _assemble_vector_results(
+        block,
+        history,
+        active,
+        rounds_completed,
+        messages_sent,
+        bits_sent,
+        delivered,
+        rounds_entered,
+        holder_sends,
+    )
+
+
+def _vector_injected_values(block: _Block, round_number: int) -> np.ndarray:
+    """Strategy reports per coordinate: ``injected[e, sender, recipient, c]``.
+
+    One :meth:`~repro.net.adversary.ByzantineValueStrategy.value_tensor`
+    call per ``(sender, program)`` group *per coordinate*, with the same PRF
+    seed vector in every coordinate — exactly what the coordinate-wise
+    composition evaluates, since it reuses one strategy instance across its
+    ``d`` scalar executions.  Observed values are the coordinate's own
+    holder values, so observed-dependent strategies differ per coordinate
+    and value-independent ones repeat — "a Byzantine sender may differ per
+    coordinate" is preserved.
+    """
+    count, n, d = block.count, block.n, block.dimension
+    xp = block.xp
+    injected = np.full((count, n, n, d), np.nan, dtype=np.float64)
+    for pid, representative, rows, seeds in block.strategy_tensor_groups:
+        for c in range(d):
+            observed = xp.where(
+                block.holder_mask[rows], block.values[rows][:, :, c], xp.nan
+            )
+            reports = representative.value_tensor(round_number, n, observed, seeds)
+            if reports is None:
+                raise ValueError(
+                    f"strategy {representative.describe()} declares tensor program "
+                    f"{representative.tensor_key()!r} but value_tensor returned None"
+                )
+            injected[rows, pid, :, c] = np.asarray(
+                xp.to_numpy(reports), dtype=np.float64
+            )
+    for e, sender, strategy in block.strategy_scalar:
+        for c in range(d):
+            row = np.asarray(xp.to_numpy(block.values[e][:, c]), dtype=np.float64)
+            mask = np.asarray(xp.to_numpy(block.holder_mask[e]))
+            observed = np.sort(row[mask]).tolist()
+            reports = strategy.value_block(round_number, n, observed)
+            if reports is not None:
+                injected[e, sender, :, c] = np.asarray(reports, dtype=np.float64)
+                continue
+            for recipient in range(n):
+                value = strategy.value(round_number, recipient, observed)
+                if isinstance(value, (int, float)):
+                    injected[e, sender, recipient, c] = float(value)
+    np.copyto(injected, np.nan, where=~np.isfinite(injected))
+    return xp.asarray(injected, dtype=xp.float_dtype)
+
+
+def _vector_sync_samples(
+    block: _Block, cand: np.ndarray, injected: Optional[np.ndarray]
+) -> np.ndarray:
+    """Size-``n`` synchronous samples ``(E, n, n, d)`` with own-value substitution.
+
+    A non-finite report degrades to an omission per coordinate (the
+    recipient keeps its own value in that coordinate), matching the
+    composition, where each coordinate's execution drops the report
+    independently.
+    """
+    xp = block.xp
+    own = block.values[:, :, None, :]  # (E, recipient, 1, d)
+    holder_values = block.values[:, None, :, :]  # (E, 1, sender, d)
+    use_holder = (cand & block.holder_mask[:, None, :])[:, :, :, None]
+    sample = xp.where(use_holder, holder_values, own)
+    if injected is not None:
+        reports = xp.swapaxes(injected, 1, 2)  # (E, recipient, sender, d)
+        use = (cand & block.strategy_mask[:, None, :])[:, :, :, None] & xp.isfinite(
+            reports
+        )
+        sample = xp.where(use, reports, sample)
+    return sample
+
+
+def _vector_async_samples(
+    block: _Block,
+    cand: np.ndarray,
+    cand_count: np.ndarray,
+    injected: Optional[np.ndarray],
+    updates: np.ndarray,
+    active: np.ndarray,
+    round_number: int,
+    m: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Quorum samples ``(E, n, m, d)``, liveness failures, delivery counts.
+
+    Quorum selection is value-independent, so ONE :func:`_choose_quorums`
+    call serves every coordinate.  Starvation (fewer candidates than ``m``)
+    is likewise value-independent and fails the execution at the first
+    starving recipient, identically in all coordinates.  What the shared
+    structure cannot represent is a *non-finite* Byzantine report: the
+    scalar engine refills that quorum slot per coordinate, which would let
+    quorums diverge between coordinates — those scenarios raise and route
+    to the coordinate-wise composition.
+    """
+    count, n = block.count, block.n
+    xp = block.xp
+    chosen = _choose_quorums(block, cand, cand_count, updates, active, round_number, m)
+
+    e_idx = xp.arange(count)[:, None, None]
+    sample = block.values[e_idx, chosen]  # (E, n, m, d)
+    if injected is not None:
+        q_idx = xp.arange(n)[None, :, None]
+        strategy_chosen = block.strategy_mask[e_idx, chosen]
+        if strategy_chosen.any():
+            reports = injected[e_idx, chosen, q_idx]  # (E, n, m, d)
+            sample = xp.where(strategy_chosen[:, :, :, None], reports, sample)
+
+    relevant = updates & active[:, None]
+    starving = relevant & (cand_count < m)
+    if injected is not None:
+        finite_rows = xp.isfinite(sample).all(axis=-1).all(axis=-1)  # (E, n)
+        short = relevant & ~finite_rows & ~starving
+        if bool(short.any()):
+            raise EngineCapabilityError(
+                "ndbatch",
+                "non-finite Byzantine reports in vector blocks (a dropped "
+                "report refills its quorum slot per coordinate, which the "
+                "shared-quorum tensor path cannot represent; compose "
+                "coordinate-wise via repro.sim.vector.run_vector_protocol)",
+                ("event",),
+            )
+    failed_at = xp.full(count, n, dtype=xp.int64)
+    if bool(starving.any()):
+        position = xp.where(starving, xp.arange(n)[None, :], n)
+        failed_at = position.min(axis=1)
+    failed_round = failed_at < n
+
+    quorums_filled = xp.where(
+        failed_round[:, None],
+        (xp.arange(n)[None, :] < failed_at[:, None]) & relevant,
+        relevant,
+    ).sum(axis=1)
+    round_delivered = quorums_filled * m
+    return sample, failed_round, round_delivered
+
+
+def _assemble_vector_results(
+    block: _Block,
+    history: List[np.ndarray],
+    active: np.ndarray,
+    rounds_completed: np.ndarray,
+    messages_sent: np.ndarray,
+    bits_sent: np.ndarray,
+    delivered: np.ndarray,
+    rounds_entered: np.ndarray,
+    holder_sends: np.ndarray,
+) -> List[VectorExecutionResult]:
+    count, n, d = block.count, block.n, block.dimension
+    xp = block.xp
+    if not (xp.name == "numpy" and xp.dtype_name == "float64"):
+        history = [np.asarray(xp.to_numpy(row), dtype=np.float64) for row in history]
+        block.values = np.asarray(xp.to_numpy(block.values), dtype=np.float64)
+        block.honest_mask = np.asarray(xp.to_numpy(block.honest_mask))
+        active = np.asarray(xp.to_numpy(active))
+        rounds_completed = np.asarray(xp.to_numpy(rounds_completed))
+        messages_sent = np.asarray(xp.to_numpy(messages_sent))
+        bits_sent = np.asarray(xp.to_numpy(bits_sent))
+        delivered = np.asarray(xp.to_numpy(delivered))
+        rounds_entered = np.asarray(xp.to_numpy(rounds_entered))
+        holder_sends = np.asarray(xp.to_numpy(holder_sends))
+    stacked = np.stack(history)  # (rounds + 1, E, n, d)
+
+    # Per-round ℓ∞ honest diameter: the per-coordinate diameter (faulty
+    # columns masked out of max/min), maximised over coordinates.
+    honest4 = block.honest_mask[None, :, :, None]
+    traj_all = (
+        (
+            np.where(honest4, stacked, -np.inf).max(axis=2)
+            - np.where(honest4, stacked, np.inf).min(axis=2)
+        )
+        .max(axis=-1)
+        .T
+    )  # (E, rounds + 1)
+
+    # Whole-block fast path of validate_vector_outputs for the common
+    # all-correct case; executions failing any check fall back to the shared
+    # checker so reports (violation strings included) stay identical.
+    eps_ok_bound = block.epsilon * (1.0 + 1e-9)
+    output_spread = traj_all[np.arange(count), rounds_completed]
+    agreement_ok = output_spread <= eps_ok_bound
+    byz_mask = np.zeros((count, n), dtype=bool)
+    for e, problem in enumerate(block.problems):
+        for pid in problem.byzantine:
+            byz_mask[e, pid] = True
+    validity_ref = np.where(byz_mask[:, :, None], np.nan, block.inputs_tensor)
+    lo = np.nanmin(validity_ref, axis=1)  # (E, d)
+    hi = np.nanmax(validity_ref, axis=1)
+    # Box validity concerns the honest outputs only; park non-honest columns
+    # on the box floor so one whole-block check covers every execution.
+    values_checked = np.where(block.honest_mask[:, :, None], block.values, lo[:, None, :])
+    validity_ok = check_box_validity_block(values_checked, lo, hi)
+    fast_ok = active & agreement_ok & validity_ok
+
+    values_list = block.values.tolist()
+    inputs_list = block.inputs_tensor.tolist()
+    traj_rows = traj_all.tolist()
+    spread_list = output_spread.tolist()
+    completed_list = np.asarray(rounds_completed).tolist()
+    messages_list = np.asarray(messages_sent).tolist()
+    bits_list = np.asarray(bits_sent).tolist()
+    delivered_list = np.asarray(delivered).tolist()
+    entered_list = np.asarray(rounds_entered).tolist()
+    holder_sends_rows = np.asarray(holder_sends).tolist()
+
+    results: List[VectorExecutionResult] = []
+    for e in range(count):
+        problem = block.problems[e]
+        decided = bool(active[e])
+        completed = completed_list[e]
+        honest = problem.honest
+        values_row = values_list[e]
+
+        outputs: Dict[int, Optional[Tuple[float, ...]]] = {
+            pid: (tuple(values_row[pid]) if decided else None) for pid in honest
+        }
+        if fast_ok[e]:
+            report = VectorValidationReport(
+                all_decided=True,
+                linf_agreement=True,
+                box_validity=True,
+                max_linf_distance=spread_list[e],
+                outputs={pid: vector for pid, vector in outputs.items()},
+            )
+        else:
+            byzantine = set(problem.byzantine)
+            reference = [
+                tuple(inputs_list[e][pid]) for pid in range(n) if pid not in byzantine
+            ]
+            report = validate_vector_outputs(
+                outputs, reference, block.epsilon, expected_pids=honest
+            )
+
+        # Per-coordinate costs are identical (shared structure), so the
+        # whole execution's costs are the shared counts times d — exactly
+        # the coordinate-wise composition's totals.
+        stats = NetworkStats()
+        stats.messages_sent = d * messages_list[e]
+        stats.bits_sent = d * bits_list[e]
+        stats.messages_delivered = d * delivered_list[e]
+        if stats.messages_sent:
+            stats.messages_by_kind["VALUE"] = stats.messages_sent
+        sends_row = holder_sends_rows[e]
+        strategy_ids = block.strategy_ids[e]
+        for pid in range(n):
+            sent = sends_row[pid]
+            if pid in strategy_ids:
+                sent = n * entered_list[e]
+            if sent:
+                stats.sends_by_process[pid] = d * sent
+
+        results.append(
+            VectorExecutionResult(
+                protocol=block.protocol,
+                dimension=d,
+                report=report,
+                outputs=outputs,
+                coordinate_results=[],
+                runtime="ndbatch",
+                stats=stats,
+                trajectory=tuple(traj_rows[e][: 1 + completed]),
+                rounds=completed,
             )
         )
     return results

@@ -114,7 +114,9 @@ def _itemsize(dtype: str) -> int:
     return 8
 
 
-def bytes_per_execution(n: int, m: int, rounds: int, dtype: str = "float64") -> int:
+def bytes_per_execution(
+    n: int, m: int, rounds: int, dtype: str = "float64", dimension: int = 1
+) -> int:
     """Peak per-execution footprint of one ndbatch round, in bytes.
 
     A closed form over the engine's actual allocations, per execution row:
@@ -127,14 +129,22 @@ def bytes_per_execution(n: int, m: int, rounds: int, dtype: str = "float64") -> 
     * value history ``(rounds + 1, n)`` float plus ~8 per-``(count, n)``
       int64/bool bookkeeping vectors.
 
+    ``dimension`` scales every *value-carrying* term by ``d`` — vector
+    blocks (:func:`repro.sim.ndbatch.run_vector_block`) gather
+    ``(executions, n, m, d)`` samples and ``(n, n, d)`` injected reports —
+    while quorum selection and the integer bookkeeping stay ``d``-free
+    (quorums are chosen once and shared across coordinates).
+
     Intermediate temporaries (``np.where`` products) are covered by the
     ×2 headroom the chunk computation applies in :func:`plan_block`.
     """
     if n < 1:
         raise ValueError("n must be positive")
+    if dimension < 1:
+        raise ValueError("dimension must be positive")
     m = max(1, m)
     rounds = max(0, rounds)
-    item = _itemsize(dtype)
+    item = _itemsize(dtype) * dimension
     per_round = (
         n * n * (1 + 8 + 8)  # cand bool + uint64 keys + sorted keys
         + n * n * item  # injected reports
@@ -170,6 +180,7 @@ def plan_block(
     dtype: str = "float64",
     budget_bytes: Optional[int] = None,
     max_chunk: Optional[int] = None,
+    dimension: int = 1,
 ) -> BlockPlan:
     """Plan the execution-chunk size of one ``(count, n, m, rounds)`` block.
 
@@ -184,7 +195,7 @@ def plan_block(
     budget = budget_bytes if budget_bytes is not None else default_budget_bytes()
     if budget < 1:
         raise ValueError(f"budget_bytes must be positive, got {budget}")
-    per_execution = bytes_per_execution(n, m, rounds, dtype)
+    per_execution = bytes_per_execution(n, m, rounds, dtype, dimension=dimension)
     fit = max(1, budget // (2 * per_execution))
     chunk = min(count, fit) if count else 0
     if max_chunk is not None:

@@ -225,17 +225,22 @@ class CellFailure:
 
     def as_payload(self) -> Dict:
         cell = self.cell
+        cell_payload = {
+            "protocol": cell.protocol,
+            "n": cell.n,
+            "t": cell.t,
+            "epsilon": cell.epsilon,
+            "adversary": cell.adversary,
+            "workload": cell.workload,
+            "seed": cell.seed,
+            "engine": cell.engine,
+        }
+        if cell.dimension != 1:
+            # Keyed only for d > 1, matching the store's canonical cell form
+            # (scalar quarantine lines stay byte-identical to schema v1).
+            cell_payload["dimension"] = cell.dimension
         return {
-            "cell": {
-                "protocol": cell.protocol,
-                "n": cell.n,
-                "t": cell.t,
-                "epsilon": cell.epsilon,
-                "adversary": cell.adversary,
-                "workload": cell.workload,
-                "seed": cell.seed,
-                "engine": cell.engine,
-            },
+            "cell": cell_payload,
             "cell_id": self.cell_id,
             "error_type": self.error_type,
             "message": self.message,

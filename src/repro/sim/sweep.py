@@ -68,8 +68,13 @@ from repro.core.rounds import (
     sync_crash_bounds,
     witness_bounds,
 )
+from repro.core.multidim import normalize_vector_inputs
 from repro.core.multiset import spread
-from repro.core.termination import FixedRounds, default_round_policy
+from repro.core.termination import (
+    FixedRounds,
+    default_round_policy,
+    default_vector_round_policy,
+)
 from repro.net.adversary import (
     AntiConvergenceStrategy,
     ByzantineFaultPlan,
@@ -92,6 +97,7 @@ from repro.net.network import DelayModel, FaultPlan
 from repro.sim.engine import (
     ndbatch_min_work,
     require_capability,
+    require_dimension,
     scenario_features,
     select_engine,
     vectorises,
@@ -99,16 +105,25 @@ from repro.sim.engine import (
 from repro.sim.engine import run as run_on_engine
 
 try:
-    from repro.sim.ndbatch import run_ndbatch_block
+    from repro.sim.ndbatch import run_ndbatch_block, run_vector_block
 except ImportError:  # numpy unavailable — engine="ndbatch" raises at dispatch
     run_ndbatch_block = None
+    run_vector_block = None
+from repro.sim.vector import (
+    VectorExecutionResult,
+    compose_coordinate_results,
+    run_vector_protocol,
+)
 from repro.sim.experiments import ExperimentRecord, RunningStats
 from repro.sim.metrics import CostSummary
 from repro.sim.runner import PROTOCOL_FACTORIES, ExecutionResult
 from repro.sim.workloads import (
     clock_offsets,
+    drifting_clocks,
     extremes_inputs,
     linear_inputs,
+    noisy_sensors,
+    rendezvous_positions,
     sensor_readings,
     two_cluster_inputs,
     uniform_inputs,
@@ -117,6 +132,7 @@ from repro.sim.workloads import (
 __all__ = [
     "ADVERSARY_SPECS",
     "WORKLOAD_SPECS",
+    "VECTOR_WORKLOAD_SPECS",
     "PROTOCOL_BOUNDS",
     "SUMMARY_COLUMNS",
     "CELL_COLUMNS",
@@ -263,6 +279,48 @@ WORKLOAD_SPECS: Dict[str, Callable[[int, int], List[float]]] = {
     "clocks": lambda n, seed: clock_offsets(n, seed=seed),
 }
 
+#: Vector-native workload name → builder(n, dimension, seed) → one vector per
+#: process.  These are the three worked examples (clock sync, sensor fusion,
+#: drone rendezvous) re-cast as seeded R^d scenario families; they require a
+#: cell with ``dimension >= 1`` and at d=1 degrade to scalar cells.
+VECTOR_WORKLOAD_SPECS: Dict[str, Callable[[int, int, int], List[List[float]]]] = {
+    "drifting-clocks": lambda n, d, seed: drifting_clocks(n, dimension=d, seed=seed),
+    "sensor-noise": lambda n, d, seed: noisy_sensors(n, dimension=d, seed=seed),
+    "rendezvous": lambda n, d, seed: rendezvous_positions(n, dimension=d, seed=seed),
+}
+
+#: Seed stride separating the per-coordinate streams when a scalar workload
+#: is lifted to R^d (coordinate c uses ``seed + _COORDINATE_SEED_STRIDE * c``).
+_COORDINATE_SEED_STRIDE = 7919
+
+
+def _cell_vector_inputs(cell: "SweepCell") -> List[List[float]]:
+    """The cell's inputs as one length-``dimension`` vector per process.
+
+    Vector-native workloads build the whole vector in one seeded draw; scalar
+    workloads are lifted coordinate-wise, coordinate ``c`` drawn with seed
+    ``seed + stride*c`` so coordinates are independent but reproducible (and
+    coordinate 0 is bit-identical to the d=1 scalar workload).
+    """
+    if cell.workload in VECTOR_WORKLOAD_SPECS:
+        vectors = VECTOR_WORKLOAD_SPECS[cell.workload](cell.n, cell.dimension, cell.seed)
+        return [list(vector) for vector in vectors]
+    builder = WORKLOAD_SPECS[cell.workload]
+    columns = [
+        builder(cell.n, cell.seed + _COORDINATE_SEED_STRIDE * coordinate)
+        for coordinate in range(cell.dimension)
+    ]
+    return [[columns[c][pid] for c in range(cell.dimension)] for pid in range(cell.n)]
+
+
+def _cell_inputs(cell: "SweepCell") -> List[float]:
+    """The cell's scalar inputs (``dimension == 1`` only)."""
+    if cell.dimension != 1:
+        raise ValueError("scalar inputs requested for a dimension > 1 cell")
+    if cell.workload in VECTOR_WORKLOAD_SPECS:
+        return [vector[0] for vector in _cell_vector_inputs(cell)]
+    return WORKLOAD_SPECS[cell.workload](cell.n, cell.seed)
+
 
 @dataclass(frozen=True)
 class SweepCell:
@@ -276,21 +334,28 @@ class SweepCell:
     workload: str
     seed: int
     engine: str  # "auto", "batch", "ndbatch" or "event"
+    #: Value dimension: 1 (scalar, the default — cell identity and store
+    #: records are unchanged from schema v1) or d > 1 for vector agreement
+    #: in R^d with ℓ∞ ε-agreement and box validity.
+    dimension: int = 1
 
     def validate(self) -> None:
         if self.protocol not in PROTOCOL_FACTORIES:
             raise ValueError(f"unknown protocol {self.protocol!r}")
         if self.adversary not in ADVERSARY_SPECS:
             raise ValueError(f"unknown adversary {self.adversary!r}")
-        if self.workload not in WORKLOAD_SPECS:
+        if self.workload not in WORKLOAD_SPECS and self.workload not in VECTOR_WORKLOAD_SPECS:
             raise ValueError(f"unknown workload {self.workload!r}")
         if self.engine not in ("auto", "batch", "ndbatch", "event"):
             raise ValueError(f"unknown engine {self.engine!r}")
+        if self.dimension < 1:
+            raise ValueError("dimension must be at least 1")
         if self.engine != "auto":
             # Engine overrides are checked against the capability matrix at
             # the protocol level here (cheap, catches grid typos early); the
             # full scenario check happens at dispatch.
             require_capability(self.engine, {f"protocol:{self.protocol}"})
+            require_dimension(self.engine, self.dimension)
 
 
 @dataclass(frozen=True)
@@ -310,11 +375,19 @@ class SweepSpec:
     #: fastest; whole blocks of shape-compatible cells advance as one
     #: matrix), or ``"event"`` (the per-message discrete-event simulator).
     engine: str = "batch"
+    #: Value dimensions (new axis, innermost after seeds): ``(1,)`` keeps the
+    #: grid scalar and the cell order identical to pre-dimension grids.
+    dimensions: Tuple[int, ...] = (1,)
 
     def cells(self) -> Iterator[SweepCell]:
         """Yield every cell of the grid, in a fixed deterministic order."""
-        for protocol, (n, t), adversary, workload, seed in itertools.product(
-            self.protocols, self.system_sizes, self.adversaries, self.workloads, self.seeds
+        for protocol, (n, t), adversary, workload, seed, dimension in itertools.product(
+            self.protocols,
+            self.system_sizes,
+            self.adversaries,
+            self.workloads,
+            self.seeds,
+            self.dimensions,
         ):
             cell = SweepCell(
                 protocol=protocol,
@@ -325,6 +398,7 @@ class SweepSpec:
                 workload=workload,
                 seed=seed,
                 engine=self.engine,
+                dimension=dimension,
             )
             cell.validate()
             yield cell
@@ -337,6 +411,7 @@ class SweepSpec:
             * len(self.adversaries)
             * len(self.workloads)
             * len(self.seeds)
+            * len(self.dimensions)
         )
 
 
@@ -395,6 +470,7 @@ class CellOutcome:
                 "workload": cell.workload,
                 "seed": cell.seed,
                 "engine": cell.engine,
+                "dimension": cell.dimension,
             },
             measured={
                 "rounds": self.rounds,
@@ -413,19 +489,19 @@ class CellOutcome:
 #: Column sets for rendering per-cell and per-group tables.
 CELL_COLUMNS = [
     "protocol", "n", "t", "epsilon", "adversary", "workload", "seed", "engine",
-    "rounds", "messages", "worst_contraction", "expected_contraction",
-    "output_spread", "ok",
+    "dimension", "rounds", "messages", "worst_contraction",
+    "expected_contraction", "output_spread", "ok",
 ]
 SUMMARY_COLUMNS = [
-    "protocol", "n", "t", "epsilon", "adversary", "workload", "engine", "runs",
-    "ok_fraction", "rounds_mean", "messages_mean", "worst_contraction",
-    "expected_contraction", "ok",
+    "protocol", "n", "t", "epsilon", "adversary", "workload", "engine",
+    "dimension", "runs", "ok_fraction", "rounds_mean", "messages_mean",
+    "worst_contraction", "expected_contraction", "ok",
 ]
 
 
 def _execute_cell(cell: SweepCell, engine: Optional[str] = None) -> ExecutionResult:
     cell.validate()
-    inputs = WORKLOAD_SPECS[cell.workload](cell.n, cell.seed)
+    inputs = _cell_inputs(cell)
     bundle = ADVERSARY_SPECS[cell.adversary](cell.protocol, cell.n, cell.t, cell.seed)
     # One front door for every engine: the dispatch layer selects the fastest
     # capable engine for "auto" and validates explicit overrides against the
@@ -474,14 +550,137 @@ def _outcome_from_result(
     )
 
 
+def _outcome_from_vector_result(
+    cell: SweepCell,
+    result: VectorExecutionResult,
+    bounds: Optional[AlgorithmBounds] = None,
+) -> CellOutcome:
+    """Compress one vector execution into a cell outcome.
+
+    The contraction comparison runs on the ℓ∞ diameter trajectory — the
+    per-round contraction bound holds per coordinate, hence for the maximum
+    over coordinates, so the scalar bound machinery applies unchanged.
+    ``output_spread`` is the honest outputs' ℓ∞ diameter.
+    """
+    if bounds is None:
+        bounds = PROTOCOL_BOUNDS[cell.protocol](cell.n, cell.t)
+    comparison = compare_to_bound(bounds, result.trajectory)
+    if result.stats is not None:
+        bits = result.stats.bits_sent
+    else:
+        bits = sum(r.stats.bits_sent for r in result.coordinate_results)
+    return CellOutcome(
+        cell=cell,
+        ok=result.ok,
+        all_decided=result.report.all_decided,
+        rounds=result.rounds_used,
+        messages=result.total_messages,
+        bits=bits,
+        output_spread=result.report.max_linf_distance,
+        theoretical_contraction=bounds.contraction,
+        worst_contraction=comparison.measured_worst_contraction,
+        mean_contraction=comparison.measured_mean_contraction,
+        bound_respected=comparison.bound_respected,
+        wall_time_seconds=result.wall_time_seconds,
+        violations=tuple(result.report.violations),
+        engine_used=_RUNTIME_TO_ENGINE.get(result.runtime, result.runtime),
+    )
+
+
+def _run_vector_cell(cell: SweepCell, engine: Optional[str] = None) -> CellOutcome:
+    """Execute one ``dimension > 1`` cell on its (resolved) engine.
+
+    All engines share one round policy —
+    :func:`repro.core.termination.default_vector_round_policy`, fixed rounds
+    over the ℓ∞ input spread — so round counts (hence message/bit costs)
+    are engine-independent, exactly as for scalar cells:
+
+    - ``ndbatch``: the ``(executions, n, d)`` tensor fast path
+      (:func:`repro.sim.ndbatch.run_vector_block`), one shared quorum
+      selection per round across coordinates.
+    - ``event``: :func:`repro.sim.vector.run_vector_protocol`, one event
+      execution per coordinate.
+    - ``batch``: the numpy-free degradation path — one pure-Python batch
+      execution per coordinate (fresh adversary bundle each, so every
+      coordinate faces an identically initialised adversary), assembled via
+      :func:`repro.sim.vector.compose_coordinate_results`.
+    """
+    cell.validate()
+    chosen = cell.engine if engine is None else engine
+    if chosen == "auto":
+        chosen = _auto_engine_for(cell)
+    require_dimension(chosen, cell.dimension)
+    vectors = _cell_vector_inputs(cell)
+    bounds = PROTOCOL_BOUNDS[cell.protocol](cell.n, cell.t)
+    policy = default_vector_round_policy(bounds, vectors, cell.epsilon)
+    bundle = ADVERSARY_SPECS[cell.adversary](cell.protocol, cell.n, cell.t, cell.seed)
+    if chosen == "ndbatch":
+        if run_vector_block is None:
+            raise ImportError(
+                "engine='ndbatch' requires numpy; install numpy or use engine='batch'"
+            )
+        fault_model = round_fault_model(bundle.fault_plan, cell.n)
+        omission = (
+            DelayRankOmission(bundle.delay_model)
+            if bundle.delay_model is not None
+            else SeededOmission(cell.seed)
+        )
+        [result] = run_vector_block(
+            cell.protocol,
+            [vectors],
+            t=cell.t,
+            epsilon=cell.epsilon,
+            round_policy=policy,
+            fault_models=[fault_model],
+            omission_policies=[omission],
+            seeds=[cell.seed],
+        )
+    elif chosen == "event":
+        result = run_vector_protocol(
+            cell.protocol,
+            vectors,
+            t=cell.t,
+            epsilon=cell.epsilon,
+            round_policy=policy,
+            delay_model=bundle.delay_model,
+            fault_plan=bundle.fault_plan,
+        )
+    else:  # batch — the numpy-free coordinate-wise degradation path
+        from repro.sim.batch import run_batch_protocol
+
+        normalized = normalize_vector_inputs(vectors)
+        coordinate_results = []
+        for coordinate in range(cell.dimension):
+            fresh = ADVERSARY_SPECS[cell.adversary](cell.protocol, cell.n, cell.t, cell.seed)
+            coordinate_results.append(
+                run_batch_protocol(
+                    cell.protocol,
+                    [vector[coordinate] for vector in normalized],
+                    t=cell.t,
+                    epsilon=cell.epsilon,
+                    round_policy=policy,
+                    fault_plan=fresh.fault_plan,
+                    delay_model=fresh.delay_model,
+                    seed=cell.seed,
+                )
+            )
+        result = compose_coordinate_results(
+            cell.protocol, normalized, cell.epsilon, coordinate_results, runtime="batch"
+        )
+    return _outcome_from_vector_result(cell, result, bounds)
+
+
 def run_cell(cell: SweepCell, engine: Optional[str] = None) -> CellOutcome:
     """Execute one cell and compress the result into a :class:`CellOutcome`.
 
     ``engine`` overrides the cell's own engine without rewriting the cell —
     the resilient layer uses this to demote a failing cell to a slower
     engine while keeping its identity (and :func:`repro.sim.job.cell_id`)
-    unchanged.
+    unchanged.  Cells with ``dimension > 1`` route to the vector execution
+    paths (:func:`_run_vector_cell`); scalar cells are untouched.
     """
+    if cell.dimension > 1:
+        return _run_vector_cell(cell, engine=engine)
     return _outcome_from_result(cell, _execute_cell(cell, engine=engine))
 
 
@@ -549,7 +748,6 @@ def _group_ndbatch_blocks(
     # cannot change.
     program_cache: Dict[Tuple[str, str, int, int], Tuple] = {}
     for index, cell in enumerate(cells):
-        inputs = WORKLOAD_SPECS[cell.workload](cell.n, cell.seed)
         shape = (cell.protocol, cell.n, cell.t)
         bounds = bounds_cache.get(shape)
         if bounds is None:
@@ -560,17 +758,27 @@ def _group_ndbatch_blocks(
         if program_key is None:
             program_key = _fault_program_key(cell)
             program_cache[program_slot] = program_key
-        if bounds.resilience_ok:
-            # Fast path for the common case; identical to the engines'
-            # default_round_policy (FixedRounds over the input spread).
-            rounds = bounds.rounds_for(spread(inputs), cell.epsilon)
+        if cell.dimension > 1:
+            # Vector cells: inputs are (n, d) nested lists and the shared
+            # round count covers the ℓ∞ (max-per-coordinate) spread — the
+            # same policy every vector engine path runs.
+            inputs: List = _cell_vector_inputs(cell)
+            rounds = default_vector_round_policy(
+                bounds, inputs, cell.epsilon
+            ).required_rounds(bounds.contraction, cell.epsilon, None)
         else:
-            # Out-of-model (n, t): defer to the policy itself so grouping can
-            # never drift from what the engines would run.
-            rounds = default_round_policy(bounds, inputs, cell.epsilon).required_rounds(
-                bounds.contraction, cell.epsilon, None
-            )
-        key = (cell.protocol, cell.n, cell.t, cell.epsilon, rounds, program_key)
+            inputs = _cell_inputs(cell)
+            if bounds.resilience_ok:
+                # Fast path for the common case; identical to the engines'
+                # default_round_policy (FixedRounds over the input spread).
+                rounds = bounds.rounds_for(spread(inputs), cell.epsilon)
+            else:
+                # Out-of-model (n, t): defer to the policy itself so grouping
+                # can never drift from what the engines would run.
+                rounds = default_round_policy(bounds, inputs, cell.epsilon).required_rounds(
+                    bounds.contraction, cell.epsilon, None
+                )
+        key = (cell.protocol, cell.n, cell.t, cell.epsilon, cell.dimension, rounds, program_key)
         entry = blocks.setdefault(key, (rounds, [], []))
         entry[1].append(index)
         entry[2].append(inputs)
@@ -642,6 +850,28 @@ def _run_ndbatch_chunk(chunk) -> List[CellOutcome]:
             if bundle.delay_model is not None
             else SeededOmission(cell.seed)
         )
+    bounds = PROTOCOL_BOUNDS[first.protocol](first.n, first.t)
+    if first.dimension > 1:
+        # Blocks group by dimension (see _group_ndbatch_blocks), so the whole
+        # chunk runs the (executions, n, d) tensor fast path.
+        vector_results = run_vector_block(
+            first.protocol,
+            inputs_block,
+            t=first.t,
+            epsilon=first.epsilon,
+            round_policy=FixedRounds(rounds),
+            fault_models=fault_models,
+            omission_policies=policies,
+            seeds=[cell.seed for cell in cells],
+            strict=True,
+            backend=options.get("backend"),
+            dtype=options.get("dtype"),
+            budget_bytes=options.get("budget_bytes"),
+        )
+        return [
+            _outcome_from_vector_result(cell, result, bounds)
+            for cell, result in zip(cells, vector_results)
+        ]
     results = run_ndbatch_block(
         first.protocol,
         inputs_block,
@@ -655,7 +885,6 @@ def _run_ndbatch_chunk(chunk) -> List[CellOutcome]:
         dtype=options.get("dtype"),
         budget_bytes=options.get("budget_bytes"),
     )
-    bounds = PROTOCOL_BOUNDS[first.protocol](first.n, first.t)
     return [
         _outcome_from_result(cell, result, bounds)
         for cell, result in zip(cells, results)
@@ -697,7 +926,12 @@ def _pack_chunk_groups(
             (
                 _fault_program_key(first),
                 ShapeCost(
-                    count=len(chunk_cells),
+                    # d > 1 chunks carry d value floats per (execution, pid)
+                    # slot; scaling the count approximates the value-array
+                    # footprint (quorum tensors stay d-free — see
+                    # planner.bytes_per_execution — so this slightly
+                    # over-estimates, which only makes packing conservative).
+                    count=len(chunk_cells) * first.dimension,
                     n=first.n,
                     m=bounds.sample_size,
                     rounds=rounds,
@@ -798,6 +1032,7 @@ def _auto_engine_for(cell: SweepCell) -> str:
         fault_plan=bundle.fault_plan,
         fault_model=fault_model,
         delay_model=bundle.delay_model,
+        dimension=cell.dimension,
     )
     return select_engine(
         features,
@@ -833,7 +1068,9 @@ def _iter_auto_outcomes(
         kept_blocks = [
             block
             for block in _group_ndbatch_blocks(nd_cells)
-            if len(block[1]) * block[0] * nd_cells[block[1][0]].n >= ndbatch_min_work()
+            if len(block[1]) * block[0] * nd_cells[block[1][0]].n
+            * nd_cells[block[1][0]].dimension
+            >= ndbatch_min_work()
         ]
         if kept_blocks:
             for sub_index, outcome in _iter_ndbatch_outcomes(
@@ -1169,6 +1406,11 @@ def _outcome_to_json_line(outcome: CellOutcome, include_wall_time: bool = True) 
         "engine_used": outcome.engine_used,
         "demoted_from": outcome.demoted_from,
     }
+    if cell.dimension != 1:
+        # Only d > 1 cells carry the key: scalar lines stay byte-identical to
+        # pre-dimension stores, so resume/merge/compaction of old stores keep
+        # working and canonical re-writes don't churn d=1 records.
+        payload["cell"]["dimension"] = cell.dimension
     if not include_wall_time:
         del payload["wall_time_seconds"]
     return json.dumps(payload) + "\n"
@@ -1339,6 +1581,7 @@ class SweepSummaryFold:
             key = (
                 cell.protocol, cell.n, cell.t, cell.epsilon,
                 cell.adversary, cell.workload, cell.engine,
+                getattr(cell, "dimension", 1),
             )
         self._quarantined[cell_id] = (fault_class, key)
 
@@ -1347,7 +1590,7 @@ class SweepSummaryFold:
         cell = outcome.cell
         key = (
             cell.protocol, cell.n, cell.t, cell.epsilon,
-            cell.adversary, cell.workload, cell.engine,
+            cell.adversary, cell.workload, cell.engine, cell.dimension,
         )
         self._groups.setdefault(key, _GroupFold()).update(outcome)
         self._total += 1
@@ -1379,7 +1622,7 @@ class SweepSummaryFold:
         records: List[ExperimentRecord] = []
         quarantined_groups = self._quarantined_by_group()
         for key in sorted(set(self._groups) | set(quarantined_groups)):
-            protocol, n, t, epsilon, adversary, workload, engine = key
+            protocol, n, t, epsilon, adversary, workload, engine, dimension = key
             group = self._groups.get(key)
             quarantined = quarantined_groups.get(key, 0)
             if group is not None:
@@ -1415,6 +1658,7 @@ class SweepSummaryFold:
                         "adversary": adversary,
                         "workload": workload,
                         "engine": engine,
+                        "dimension": dimension,
                     },
                     measured=measured,
                     expected=expected,
@@ -1427,7 +1671,8 @@ class SweepSummaryFold:
 def summarize_sweep(outcomes: Iterable[CellOutcome]) -> List[ExperimentRecord]:
     """Aggregate outcomes across seeds into per-configuration records.
 
-    Groups by (protocol, n, t, epsilon, adversary, workload, engine) and
+    Groups by (protocol, n, t, epsilon, adversary, workload, engine,
+    dimension) and
     reports the fraction of correct runs, mean rounds/messages, and the worst
     observed contraction against the theoretical bound — the columns of
     :data:`SUMMARY_COLUMNS`, renderable with

@@ -8,6 +8,13 @@ vectors, plus structured worst cases used by the convergence experiments.
 
 Every generator takes an explicit ``seed`` and returns a plain list of floats
 whose index is the process identifier; generators never mutate global state.
+
+The *vector* generators at the bottom re-cast the three worked examples
+(``examples/clock_sync.py``, ``examples/sensor_fusion.py``,
+``examples/drone_rendezvous.py``) as seeded ``R^d`` scenario families for the
+multidimensional sweep axis: each returns one length-``dimension`` vector per
+process, suitable for :func:`repro.sim.ndbatch.run_vector_block` and for
+sweep cells with ``dimension > 1``.
 """
 
 from __future__ import annotations
@@ -22,6 +29,9 @@ __all__ = [
     "sensor_readings",
     "clock_offsets",
     "linear_inputs",
+    "drifting_clocks",
+    "noisy_sensors",
+    "rendezvous_positions",
 ]
 
 
@@ -119,3 +129,80 @@ def clock_offsets(
         raise ValueError("n must be positive")
     rng = random.Random(seed)
     return [rng.uniform(-max_skew, max_skew) + pid * drift_per_process for pid in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Vector (R^d) scenario families — the worked examples as sweepable grids
+# ----------------------------------------------------------------------
+
+
+def _require_vector_shape(n: int, dimension: int) -> None:
+    if n < 1:
+        raise ValueError("n must be positive")
+    if dimension < 1:
+        raise ValueError("dimension must be positive")
+
+
+def drifting_clocks(
+    n: int,
+    dimension: int = 2,
+    max_skew: float = 0.01,
+    drift_per_process: float = 0.001,
+    seed: int = 0,
+) -> List[List[float]]:
+    """Clock offsets observed at ``dimension`` successive resync epochs.
+
+    The clock-synchronisation example in ``R^d``: coordinate ``k`` is process
+    ``p``'s offset at epoch ``k`` — its seeded initial skew plus ``k + 1``
+    accumulations of its deterministic per-process drift rate.  Agreeing on
+    the whole vector agrees on a common *drift trajectory*, not just one
+    instant.
+    """
+    _require_vector_shape(n, dimension)
+    rng = random.Random(seed)
+    skews = [rng.uniform(-max_skew, max_skew) for _ in range(n)]
+    return [
+        [skews[pid] + pid * drift_per_process * (epoch + 1) for epoch in range(dimension)]
+        for pid in range(n)
+    ]
+
+
+def noisy_sensors(
+    n: int,
+    dimension: int = 2,
+    noise: float = 0.5,
+    seed: int = 0,
+) -> List[List[float]]:
+    """Per-process readings of ``dimension`` distinct physical quantities.
+
+    The sensor-fusion example in ``R^d``: quantity ``k`` has true value
+    ``20 + 5k`` and every process observes it through independent Gaussian
+    noise.  Coordinates have deliberately different scales so per-coordinate
+    spreads differ — the shared round count must cover the widest one
+    (:func:`repro.core.termination.default_vector_round_policy`).
+    """
+    _require_vector_shape(n, dimension)
+    rng = random.Random(seed)
+    return [
+        [20.0 + 5.0 * k + rng.gauss(0.0, noise * (1.0 + k)) for k in range(dimension)]
+        for _ in range(n)
+    ]
+
+
+def rendezvous_positions(
+    n: int,
+    dimension: int = 2,
+    box: float = 100.0,
+    seed: int = 0,
+) -> List[List[float]]:
+    """Agent positions drawn uniformly from the ``[0, box]^dimension`` cube.
+
+    The drone-rendezvous example in ``R^d``: each process starts at a seeded
+    position and vector agreement yields approximately equal rendezvous
+    points inside the bounding box of the honest starting positions.
+    """
+    _require_vector_shape(n, dimension)
+    if box <= 0:
+        raise ValueError("box must be positive")
+    rng = random.Random(seed)
+    return [[rng.uniform(0.0, box) for _ in range(dimension)] for _ in range(n)]

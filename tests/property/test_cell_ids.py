@@ -3,7 +3,7 @@
 The job layer's resume and sharding guarantees rest on three properties of
 :func:`repro.sim.job.cell_id` / :func:`repro.sim.job.cell_shard`:
 
-* IDs are a pure function of the cell's eight fields — no process state,
+* IDs are a pure function of the cell's nine fields — no process state,
   dict order or hash randomisation leaks in (cross-process stability is
   pinned separately in ``tests/sim/test_job.py`` via subprocesses with
   varying ``PYTHONHASHSEED``);
@@ -39,6 +39,7 @@ def cells(draw):
         workload=draw(workloads),
         seed=draw(st.integers(min_value=0, max_value=2**63)),
         engine=draw(engines),
+        dimension=draw(st.integers(min_value=1, max_value=4)),
     )
 
 
@@ -65,6 +66,14 @@ class TestCellIdProperties:
         import dataclasses
 
         bumped = dataclasses.replace(cell, seed=cell.seed + delta)
+        assert cell_id(bumped) != cell_id(cell)
+
+    @given(cell=cells(), delta=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_dimension_axis_always_separates_ids(self, cell, delta):
+        import dataclasses
+
+        bumped = dataclasses.replace(cell, dimension=cell.dimension + delta)
         assert cell_id(bumped) != cell_id(cell)
 
 

@@ -561,3 +561,130 @@ class TestCommandLine:
             capture_output=True, text=True, check=True, env=env,
         )
         assert "shard 1/3" in completed.stdout
+
+
+class TestCompaction:
+    def test_compact_rewrites_shards_into_grid_order(self, tmp_path):
+        job = SweepJob(SPEC, str(tmp_path / "job"), workers=1)
+        for index in range(3):
+            job.run(shard=(index, 3))
+        before = {cell_id(o.cell): o for o in job.iter_outcomes()}
+        result = job.compact()
+        assert result.records == SPEC.cell_count
+        assert len(result.removed_paths) == 3
+        assert job.store_paths() == [job.store_path()]
+        # Same record set, now in grid order.
+        assert {cell_id(o.cell): o for o in job.iter_outcomes()} == before
+        assert [cell_id(o.cell) for o in job.iter_outcomes()] == [
+            cell_id(cell) for cell in SPEC.cells()
+        ]
+
+    def test_compact_store_is_bit_identical_to_uninterrupted_run(self, tmp_path):
+        sharded = SweepJob(SPEC, str(tmp_path / "sharded"), workers=1)
+        for index in range(2):
+            sharded.run(shard=(index, 2))
+        sharded.compact()
+        straight = SweepJob(SPEC, str(tmp_path / "straight"), workers=1)
+        straight.run()
+        assert (
+            sharded.store_path().read_bytes() == straight.store_path().read_bytes()
+        )
+
+    def test_compact_is_idempotent_and_drops_duplicates(self, tmp_path):
+        job = SweepJob(SPEC, str(tmp_path / "job"), workers=1)
+        job.run()
+        # Duplicate the store under a shard-style name: dedup must keep the
+        # first-store-wins record set, exactly like iter_outcomes.
+        clone = job.directory / "cells.shard-00-of-02.jsonl"
+        clone.write_bytes(job.store_path().read_bytes())
+        result = job.compact()
+        assert result.duplicates_dropped == SPEC.cell_count
+        assert result.records == SPEC.cell_count
+        again = job.compact()
+        assert again.duplicates_dropped == 0 and not again.removed_paths
+
+    def test_compact_refuses_corrupt_tail(self, tmp_path):
+        job = SweepJob(SPEC, str(tmp_path / "job"), workers=1)
+        job.run()
+        with open(job.store_path(), "a", encoding="utf-8") as handle:
+            handle.write('{"cell": {"protoc')  # killed mid-write
+        with pytest.raises(SweepJobError, match="truncated/corrupt tail"):
+            job.compact()
+        job.run()  # resume repairs the tail
+        assert job.compact().records == SPEC.cell_count
+
+    def test_compact_refuses_foreign_cells(self, tmp_path):
+        job = SweepJob(SPEC, str(tmp_path / "job"), workers=1)
+        job.run()
+        other = dataclasses.replace(SPEC, seeds=(99,))
+        foreign = SweepJob(other, str(tmp_path / "foreign"), workers=1)
+        foreign.run()
+        with open(job.store_path(), "a", encoding="utf-8") as handle:
+            handle.write(foreign.store_path().read_text(encoding="utf-8"))
+        with pytest.raises(SweepJobError, match="not in this job's grid"):
+            job.compact()
+
+    def test_compact_refuses_other_grids_directory(self, tmp_path):
+        job = SweepJob(SPEC, str(tmp_path / "job"), workers=1)
+        job.run()
+        mismatched = SweepJob(
+            dataclasses.replace(SPEC, seeds=(0,)), str(tmp_path / "job")
+        )
+        with pytest.raises(SweepJobError, match="different sweep"):
+            mismatched.compact()
+
+    def test_compact_cli(self, tmp_path, capsys):
+        from repro.sim.job import main
+
+        directory = str(tmp_path / "job")
+        assert main([
+            "run", "--dir", directory, "--shard", "0/2",
+            "--protocols", "async-crash", "--sizes", "7:2",
+            "--seeds", "0..3", "--engine", "batch",
+        ]) == 0
+        assert main(["run", "--dir", directory, "--shard", "1/2"]) == 0
+        capsys.readouterr()
+        assert main(["compact", "--dir", directory]) == 0
+        out = capsys.readouterr().out
+        assert "4 records in grid order" in out
+        assert "2 store file(s) removed" in out
+
+
+class TestDimensionAxisJobs:
+    def test_d1_cell_ids_unchanged_and_d2_distinct(self):
+        # The v1 pinned literal in TestCellIds already guards d=1 stability;
+        # here: adding the axis separates IDs without touching scalar ones.
+        assert cell_id(A_CELL) == cell_id(dataclasses.replace(A_CELL, dimension=1))
+        assert cell_id(dataclasses.replace(A_CELL, dimension=2)) != cell_id(A_CELL)
+
+    def test_vector_job_runs_resumes_and_compacts(self, tmp_path):
+        spec = dataclasses.replace(
+            SPEC,
+            system_sizes=((7, 2),),
+            workloads=("rendezvous",),
+            seeds=(0, 1),
+            dimensions=(1, 2),
+        )
+        job = SweepJob(spec, str(tmp_path / "job"), workers=1)
+        first = job.run()
+        assert first.executed == spec.cell_count == 8
+        again = SweepJob(spec, str(tmp_path / "job"), workers=1).run()
+        assert again.executed == 0 and again.skipped == 8
+        job.compact()
+        dims = sorted({o.cell.dimension for o in job.iter_outcomes()})
+        assert dims == [1, 2]
+
+    def test_v1_manifest_resumes_under_v2(self, tmp_path):
+        spec = dataclasses.replace(SPEC, system_sizes=((7, 2),), seeds=(0, 1))
+        job = SweepJob(spec, str(tmp_path / "job"), workers=1)
+        job.run()
+        manifest_path = job.manifest_path
+        payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+        payload["schema_version"] = 1
+        del payload["spec"]["dimensions"]
+        del payload["retry_policy"]
+        manifest_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        resumed = SweepJob(spec, str(tmp_path / "job"), workers=1).run()
+        assert resumed.executed == 0 and resumed.skipped == spec.cell_count
