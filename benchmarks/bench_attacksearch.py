@@ -1,0 +1,174 @@
+"""E18 — Attack-search throughput: candidate scoring through the block path.
+
+The attack search (:mod:`repro.analysis.attacksearch`) evaluates every
+candidate adversary program as one seeded execution block through the sweep
+execution core, so its throughput rides on the ndbatch block path: all of a
+candidate's seeds execute as one ``(executions, n, …)`` tensor program
+instead of seed-by-seed Python simulation.  This benchmark measures the
+search's end-to-end scoring rate — candidates/second over the delay-rank
+family's coarse grid on the (n=7, t=2) async-crash acceptance setting — on
+the ndbatch block path against the pure-Python batch engine floor, and
+pins two qualitative facts the search rests on:
+
+* scores agree across engines to float roundoff (output spreads are pinned
+  bit-identically; the contraction mean reduces in a different summation
+  order on the vectorised path), and
+* the committed found attack (``found-rank-freeze``) ties the rotating
+  hand-written baseline on rounds-to-ε, i.e. the severity plateau the
+  search mapped is still there.
+
+Recorded in ``BENCH_attacksearch.json`` (committed, gated by benchguard on
+the speedup ratio): candidates/second per engine and the ndbatch-over-batch
+speedup with its required floor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.analysis.attacksearch import (
+    FAMILIES,
+    Candidate,
+    SearchSetting,
+    baseline_candidate,
+    evaluate_candidate,
+)
+from repro.sim.experiments import ExperimentRecord
+from repro.sim.sweep import FOUND_ATTACKS
+
+from conftest import emit_table, write_bench_json
+
+#: ndbatch executes a candidate's whole seed block as one tensor program;
+#: even at n=7 the vectorised path must clearly beat per-seed Python rounds.
+REQUIRED_NDBATCH_SPEEDUP = 1.5
+
+#: The acceptance setting widened to a 64-seed evaluation block: candidate
+#: scoring vectorises over the whole block, and the block path's payoff
+#: needs enough executions per tensor program to amortise dispatch.
+SETTING = SearchSetting(
+    protocol="async-crash", n=7, t=2, objective="rounds-to-eps",
+    train_seeds=tuple(range(64)),
+    holdout_seeds=tuple(range(101, 109)),
+)
+
+
+def _grid_candidates():
+    family = FAMILIES["delay-rank"]
+    specs = family.param_specs(SETTING)
+    import itertools
+
+    return [
+        Candidate(
+            family="delay-rank",
+            params=tuple(zip((spec.name for spec in specs), values)),
+        )
+        for values in itertools.product(*(spec.grid for spec in specs))
+    ]
+
+
+def _score_all(candidates, engine, repeats=3):
+    setting = dataclasses.replace(SETTING, engine=engine)
+    best = float("inf")
+    scores = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        scores = [
+            evaluate_candidate(candidate, setting).score
+            for candidate in candidates
+        ]
+        best = min(best, time.perf_counter() - started)
+    return best, scores
+
+
+def test_e18_attacksearch_candidate_throughput():
+    candidates = _grid_candidates()
+    count = len(candidates)
+    assert count >= 12
+
+    batch_time, batch_scores = _score_all(candidates, "batch")
+    ndbatch_time, ndbatch_scores = _score_all(candidates, "ndbatch")
+
+    # Differential agreement: output spreads are pinned bit-identically
+    # across engines; the rounds-to-eps score also folds in the mean
+    # contraction, whose vectorised reduction sums in a different order, so
+    # scores agree to float roundoff rather than bit for bit.
+    assert len(ndbatch_scores) == len(batch_scores)
+    for nd_score, batch_score in zip(ndbatch_scores, batch_scores):
+        assert nd_score == pytest.approx(batch_score, rel=1e-9, abs=1e-9)
+
+    # The severity plateau the search mapped: the committed found attack
+    # (frozen window) ties the rotating hand-written baseline.
+    searchable = {
+        key: value
+        for key, value in FOUND_ATTACKS["found-rank-freeze"][1].items()
+        if key != "slow"
+    }
+    found_score = next(
+        score
+        for candidate, score in zip(candidates, ndbatch_scores)
+        if dict(candidate.params) == searchable
+    )
+    baseline_score = next(
+        score
+        for candidate, score in zip(candidates, ndbatch_scores)
+        if candidate == baseline_candidate(FAMILIES["delay-rank"], SETTING)
+    )
+    assert found_score == baseline_score
+    assert found_score == max(ndbatch_scores)
+
+    speedup = batch_time / ndbatch_time
+    batch_rate = count / batch_time
+    ndbatch_rate = count / ndbatch_time
+
+    emit_table(
+        "E18 — attack-search candidate scoring throughput",
+        [
+            ExperimentRecord(
+                "E18",
+                {"engine": engine, "candidates": count,
+                 "seeds": len(SETTING.train_seeds)},
+                {"seconds": round(seconds, 4),
+                 "candidates_per_second": round(rate, 1)},
+                {},
+                True,
+                notes,
+            )
+            for engine, seconds, rate, notes in (
+                ("batch", batch_time, batch_rate, "pure-Python floor"),
+                ("ndbatch", ndbatch_time, ndbatch_rate,
+                 f"{speedup:.1f}x over batch"),
+            )
+        ],
+        ["engine", "candidates", "seconds", "candidates_per_second"],
+    )
+
+    write_bench_json(
+        "attacksearch",
+        {
+            "setting": {
+                "family": "delay-rank",
+                "protocol": SETTING.protocol,
+                "n": SETTING.n,
+                "t": SETTING.t,
+                "candidates": count,
+                "seeds_per_candidate": len(SETTING.train_seeds),
+                "objective": SETTING.objective,
+            },
+            "batch_seconds": round(batch_time, 4),
+            "ndbatch_seconds": round(ndbatch_time, 4),
+            "batch_candidates_per_second": round(batch_rate, 1),
+            "ndbatch_candidates_per_second": round(ndbatch_rate, 1),
+            "ndbatch_speedup_vs_batch": round(speedup, 2),
+            "required_ndbatch_speedup_vs_batch": REQUIRED_NDBATCH_SPEEDUP,
+            "scores_engine_agree": True,
+            "found_attack_ties_baseline": True,
+        },
+    )
+
+    assert speedup >= REQUIRED_NDBATCH_SPEEDUP, (
+        f"ndbatch block scoring was only {speedup:.2f}x the batch engine "
+        f"(required {REQUIRED_NDBATCH_SPEEDUP}x)"
+    )

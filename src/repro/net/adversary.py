@@ -379,22 +379,32 @@ class AntiConvergenceStrategy(ByzantineValueStrategy):
     always discard them, making this the strongest convergence-slowing
     strategy among the ones shipped with the library (exercised by the
     adversary-ablation benchmark).
+
+    ``parity`` flips which recipient class receives the low end: recipient
+    ``q`` gets the minimum when ``(q + parity) % 2 == 0``.  The default
+    ``parity=0`` is the historic behaviour bit for bit; the knob exists so
+    the attack-search families (:mod:`repro.analysis.attacksearch`) can
+    explore both phase assignments of the split as one searchable program
+    axis.
     """
 
     stateless = True
 
-    def __init__(self, stretch: float = 0.0) -> None:
+    def __init__(self, stretch: float = 0.0, parity: int = 0) -> None:
+        if parity not in (0, 1):
+            raise ValueError("parity must be 0 or 1")
         self.stretch = float(stretch)
+        self.parity = int(parity)
 
     def value(self, round_number: int, recipient: int, observed: Sequence[float]) -> float:
         if not observed:
             return 0.0
         low = min(observed) - self.stretch
         high = max(observed) + self.stretch
-        return low if recipient % 2 == 0 else high
+        return low if (recipient + self.parity) % 2 == 0 else high
 
     def tensor_key(self) -> tuple:
-        return ("anti-convergence", self.stretch)
+        return ("anti-convergence", self.stretch, self.parity)
 
     def value_tensor(self, round_number: int, n: int, observed, seed_mix):
         from repro.core.backend import array_namespace
@@ -414,11 +424,11 @@ class AntiConvergenceStrategy(ByzantineValueStrategy):
         has_observed = xp.isfinite(low)
         low = xp.where(has_observed, low - self.stretch, 0.0)
         high = xp.where(has_observed, high + self.stretch, 0.0)
-        even = xp.arange(n) % 2 == 0
+        even = (xp.arange(n) + self.parity) % 2 == 0
         return xp.where(even[None, :], low[:, None], high[:, None])
 
     def describe(self) -> str:
-        return f"AntiConvergenceStrategy(stretch={self.stretch})"
+        return f"AntiConvergenceStrategy(stretch={self.stretch}, parity={self.parity})"
 
 
 class RoundEchoByzantine(Process):
@@ -646,11 +656,27 @@ class StaggeredExclusionDelay(DelayModel):
     round as a static partition does.  This is the schedule used by the
     convergence benchmarks to push executions toward the worst-case
     contraction bound.
+
+    ``stride`` and ``phase`` generalise the rotation: the excluded window
+    for recipient ``q`` in round ``r`` starts at
+    ``(q + stride*r + phase) mod n``.  The defaults ``stride=1, phase=0``
+    are the historic schedule bit for bit; ``stride=0`` freezes the window
+    per recipient (a static, recipient-dependent partition) and other
+    strides skip around the ring — the schedule family the attack search
+    (:mod:`repro.analysis.attacksearch`) optimises over.
     """
 
     stateless = True
 
-    def __init__(self, n: int, exclude: int, fast: float = 1.0, slow: float = 50.0) -> None:
+    def __init__(
+        self,
+        n: int,
+        exclude: int,
+        fast: float = 1.0,
+        slow: float = 50.0,
+        stride: int = 1,
+        phase: int = 0,
+    ) -> None:
         if fast <= 0 or slow <= 0:
             raise ValueError("delays must be positive")
         if not 0 <= exclude < n:
@@ -659,17 +685,22 @@ class StaggeredExclusionDelay(DelayModel):
         self.exclude = exclude
         self.fast = fast
         self.slow = slow
+        self.stride = int(stride)
+        self.phase = int(phase)
 
     def delay(self, sender: int, recipient: int, message: Message, now: float) -> float:
         if self.exclude == 0:
             return self.fast
         round_number = message.round if message.round is not None else 0
-        start = (recipient + round_number) % self.n
+        start = (recipient + self.stride * round_number + self.phase) % self.n
         offset = (sender - start) % self.n
         return self.slow if offset < self.exclude else self.fast
 
     def tensor_key(self) -> tuple:
-        return ("staggered-exclusion", self.n, self.exclude, self.fast, self.slow)
+        return (
+            "staggered-exclusion",
+            self.n, self.exclude, self.fast, self.slow, self.stride, self.phase,
+        )
 
 
 class TargetedDelay(DelayModel):

@@ -134,6 +134,9 @@ def cell_id(cell: SweepCell) -> str:
     supported Python versions.  ``dimension`` enters the digest only when
     it is not 1, so every scalar cell keeps the ID it had before the
     dimension axis existed — v1 stores stay valid verbatim.
+    ``adversary_params`` follows the same omit-when-empty contract: only
+    parameterised attack-family cells (:mod:`repro.analysis.attacksearch`)
+    carry the key, so parameterless cells keep their historic IDs.
     """
     fields = {
         "protocol": cell.protocol,
@@ -147,6 +150,8 @@ def cell_id(cell: SweepCell) -> str:
     }
     if cell.dimension != 1:
         fields["dimension"] = cell.dimension
+    if cell.adversary_params:
+        fields["adversary_params"] = dict(cell.adversary_params)
     payload = json.dumps(fields, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 

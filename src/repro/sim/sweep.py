@@ -137,7 +137,9 @@ __all__ = [
     "SUMMARY_COLUMNS",
     "CELL_COLUMNS",
     "DEFAULT_MAX_BLOCK_SIZE",
+    "FOUND_ATTACKS",
     "AdversaryBundle",
+    "build_adversary_bundle",
     "SweepCell",
     "SweepSpec",
     "CellOutcome",
@@ -203,6 +205,28 @@ def _byzantine(strategy_factory: Callable[[int], object]) -> Callable[..., Adver
     return build
 
 
+def _merge_params(
+    adversary: str,
+    params: Sequence[Tuple[str, Union[int, float]]],
+    defaults: Dict[str, Union[int, float]],
+) -> Dict[str, Union[int, float]]:
+    """Overlay a cell's ``adversary_params`` pairs on a factory's defaults.
+
+    Unknown parameter names fail loudly — a silently ignored knob would make
+    two *different* attack programs collide on one cell identity, corrupting
+    resume and the attack-search score cache.
+    """
+    merged: Dict[str, Union[int, float]] = dict(defaults)
+    for key, value in params or ():
+        if key not in defaults:
+            raise ValueError(
+                f"adversary {adversary!r} has no parameter {key!r}; "
+                f"searchable parameters: {sorted(defaults)}"
+            )
+        merged[key] = value
+    return merged
+
+
 def _partition(protocol: str, n: int, t: int, seed: int) -> AdversaryBundle:
     return AdversaryBundle(None, PartitionDelay(camp_a=range((n + 1) // 2)))
 
@@ -211,8 +235,72 @@ def _laggard(protocol: str, n: int, t: int, seed: int) -> AdversaryBundle:
     return AdversaryBundle(None, LaggardDelay(slow_senders=range(n - t, n)))
 
 
-def _staggered(protocol: str, n: int, t: int, seed: int) -> AdversaryBundle:
-    return AdversaryBundle(None, StaggeredExclusionDelay(n, exclude=t))
+def _byz_anti(
+    protocol: str, n: int, t: int, seed: int, params: Sequence = ()
+) -> AdversaryBundle:
+    """Anti-convergence Byzantine values, optionally over an exclusion schedule.
+
+    With no parameters this is the historic ``byz-anti`` bundle bit for bit:
+    the ``t`` highest-id processes run :class:`AntiConvergenceStrategy` and
+    quorums are benign (seeded omission).  The searchable parameters expose
+    the family the attack search optimises over — ``stretch``/``parity``
+    shape the injected values, and a non-zero ``exclude`` additionally puts
+    the *honest* quorums on a :class:`StaggeredExclusionDelay` rotation
+    (``stride``/``phase``/``slow``), combining value injection with an
+    adversarial message schedule.
+    """
+    p = _merge_params(
+        "byz-anti",
+        params,
+        {"stretch": 0.0, "parity": 0, "exclude": 0, "stride": 1, "phase": 0, "slow": 50.0},
+    )
+    behaviours = {
+        n - 1 - i: RoundEchoByzantine(
+            AntiConvergenceStrategy(stretch=float(p["stretch"]), parity=int(p["parity"]))
+        )
+        for i in range(t)
+    }
+    delay = None
+    if int(p["exclude"]):
+        delay = StaggeredExclusionDelay(
+            n,
+            exclude=int(p["exclude"]),
+            slow=float(p["slow"]),
+            stride=int(p["stride"]),
+            phase=int(p["phase"]),
+        )
+    return AdversaryBundle(ByzantineFaultPlan(behaviours) if t else None, delay, True)
+
+
+_byz_anti.accepts_params = True
+
+
+def _staggered(
+    protocol: str, n: int, t: int, seed: int, params: Sequence = ()
+) -> AdversaryBundle:
+    """Rotating delay-rank exclusion; the delay-rank attack-search family.
+
+    Default is the historic ``staggered`` bundle (exclude the ``t``-window
+    rotating by one each round).  The searchable parameters sweep the window
+    size and the rotation schedule (``stride=0`` freezes the window per
+    recipient; other strides skip around the ring).
+    """
+    p = _merge_params(
+        "staggered", params, {"exclude": t, "stride": 1, "phase": 0, "slow": 50.0}
+    )
+    return AdversaryBundle(
+        None,
+        StaggeredExclusionDelay(
+            n,
+            exclude=int(p["exclude"]),
+            slow=float(p["slow"]),
+            stride=int(p["stride"]),
+            phase=int(p["phase"]),
+        ),
+    )
+
+
+_staggered.accepts_params = True
 
 
 def _random_delays(protocol: str, n: int, t: int, seed: int) -> AdversaryBundle:
@@ -223,24 +311,42 @@ def _random_delays(protocol: str, n: int, t: int, seed: int) -> AdversaryBundle:
     return AdversaryBundle(None, SeededDelay(low=0.1, high=2.0, seed=seed))
 
 
-def _witness_partition(protocol: str, n: int, t: int, seed: int) -> AdversaryBundle:
+def _witness_partition(
+    protocol: str, n: int, t: int, seed: int, params: Sequence = ()
+) -> AdversaryBundle:
     # Partition-aware witness report schedule: cross-camp REPORT messages are
     # slow, everything else fast.  On witness cells this maximally staggers
     # the witness waits across the cut without shaping the sampled values
     # (shapes_witness_samples=False), so the round-level form agrees with the
     # event simulator exactly (tests/sim/test_witness_partition.py); on the
-    # direct protocols the schedule leaves VALUE rounds uniform.
-    return AdversaryBundle(None, PartitionReportDelay(camp_a=range((n + 1) // 2)))
+    # direct protocols the schedule leaves VALUE rounds uniform.  The ``cut``
+    # parameter moves the camp boundary (camp A = processes 0..cut-1), the
+    # witness-partition attack-search axis.
+    p = _merge_params(
+        "witness-partition", params, {"cut": (n + 1) // 2, "slow": 200.0}
+    )
+    return AdversaryBundle(
+        None, PartitionReportDelay(camp_a=range(int(p["cut"])), slow=float(p["slow"]))
+    )
+
+
+_witness_partition.accepts_params = True
 
 
 #: Adversary name → builder(protocol, n, t, seed) → :class:`AdversaryBundle`.
+#: Factories carrying ``accepts_params = True`` additionally take a
+#: ``params=`` keyword (``(name, value)`` pairs, a :attr:`SweepCell.
+#: adversary_params` payload) selecting one member of their attack family;
+#: route cell execution through :func:`build_adversary_bundle`, which
+#: dispatches on that marker and rejects parameters the factory cannot
+#: honour.
 ADVERSARY_SPECS: Dict[str, Callable[[str, int, int, int], AdversaryBundle]] = {
     "none": _no_adversary,
     "crash-initial": _crash_initial,
     "crash-staggered": _crash_staggered,
     "byz-fixed": _byzantine(lambda seed: FixedValueStrategy(1e3)),
     "byz-equivocate": _byzantine(lambda seed: EquivocatingStrategy(-1.0, 2.0)),
-    "byz-anti": _byzantine(lambda seed: AntiConvergenceStrategy()),
+    "byz-anti": _byz_anti,
     "byz-random": _byzantine(lambda seed: RandomValueStrategy(-2.0, 3.0, seed=seed)),
     "partition": _partition,
     "laggard": _laggard,
@@ -249,8 +355,55 @@ ADVERSARY_SPECS: Dict[str, Callable[[str, int, int, int], AdversaryBundle]] = {
     "witness-partition": _witness_partition,
 }
 
+
+def _found_attack(base: str, params: Dict[str, Union[int, float]]) -> Callable:
+    """Bind one attack-search discovery to a plain ``(protocol, n, t, seed)`` factory."""
+    frozen = tuple(sorted(params.items()))
+
+    def build(protocol: str, n: int, t: int, seed: int) -> AdversaryBundle:
+        return ADVERSARY_SPECS[base](protocol, n, t, seed, params=frozen)
+
+    build.__doc__ = f"Attack-search discovery over the {base!r} family: {params!r}."
+    return build
+
+
+#: Worst-case adversaries *found* by the attack search
+#: (:mod:`repro.analysis.attacksearch`) on the (n=7, t=2) reference grids and
+#: committed as named adversaries: name → (base family adversary, parameters).
+#: Severity is pinned by ``tests/analysis/test_found_attacks.py`` — each entry
+#: must keep scoring at least its hand-written baseline (``byz-anti`` /
+#: ``staggered``) on rounds-to-ε.
+FOUND_ATTACKS: Dict[str, Tuple[str, Dict[str, Union[int, float]]]] = {
+    # Anti-convergence byzantine pair + a frozen (stride-0) two-process
+    # exclusion window.  Found by the attack search on the witness protocol
+    # at n=7, t=2, where the hand-written ``byz-anti`` converges within its
+    # scheduled rounds (rounds-to-eps overtime 0.0) but the frozen window
+    # stalls the report quorums enough to leave residual spread (~5.5 extra
+    # rounds on the training block).  On sync protocols the delay component
+    # is inert and the member ties ``byz-anti`` exactly.
+    "found-anti-stagger": (
+        "byz-anti",
+        {"stretch": 0.0, "parity": 0, "exclude": 2, "stride": 0, "phase": 0, "slow": 50.0},
+    ),
+    # Frozen-window delay-rank exclusion: the attack search on async-crash at
+    # n=7, t=2 found that freezing the t-wide exclusion window (stride=0) is
+    # exactly as severe as the rotating hand-written ``staggered`` schedule —
+    # the family optimum is a severity *plateau* over the rotation axis, and
+    # widening the window past t (exclude=3,4) actually *helps* convergence
+    # by delaying everyone more uniformly.
+    "found-rank-freeze": (
+        "staggered",
+        {"exclude": 2, "stride": 0, "phase": 0, "slow": 50.0},
+    ),
+}
+
+for _name, (_base, _params) in FOUND_ATTACKS.items():
+    ADVERSARY_SPECS[_name] = _found_attack(_base, _params)
+
 #: Adversaries that replace processes with Byzantine behaviours.
-_BYZANTINE_ADVERSARIES = frozenset({"byz-fixed", "byz-equivocate", "byz-anti", "byz-random"})
+_BYZANTINE_ADVERSARIES = frozenset(
+    {"byz-fixed", "byz-equivocate", "byz-anti", "byz-random", "found-anti-stagger"}
+)
 
 #: Protocols whose fault model covers Byzantine behaviour.
 _BYZANTINE_PROTOCOLS = frozenset({"async-byzantine", "sync-byzantine", "witness"})
@@ -338,12 +491,41 @@ class SweepCell:
     #: records are unchanged from schema v1) or d > 1 for vector agreement
     #: in R^d with ℓ∞ ε-agreement and box validity.
     dimension: int = 1
+    #: Adversary family parameters: ``(name, value)`` pairs selecting one
+    #: member of a parameterised attack family (see
+    #: :func:`build_adversary_bundle` and :mod:`repro.analysis.attacksearch`).
+    #: Normalised to a key-sorted tuple on construction, so cells built from
+    #: dicts (e.g. decoded JSONL) and tuples compare and hash identically.
+    #: Empty — the default — is omitted from cell IDs and store lines, so
+    #: every parameterless cell keeps its pre-params identity and v1/v2
+    #: stores stay byte-valid.
+    adversary_params: Tuple[Tuple[str, Union[int, float]], ...] = ()
+
+    def __post_init__(self) -> None:
+        params = self.adversary_params
+        items = params.items() if isinstance(params, dict) else params
+        normalized = tuple(sorted((str(key), value) for key, value in items))
+        object.__setattr__(self, "adversary_params", normalized)
 
     def validate(self) -> None:
         if self.protocol not in PROTOCOL_FACTORIES:
             raise ValueError(f"unknown protocol {self.protocol!r}")
         if self.adversary not in ADVERSARY_SPECS:
             raise ValueError(f"unknown adversary {self.adversary!r}")
+        if self.adversary_params:
+            factory = ADVERSARY_SPECS[self.adversary]
+            if not getattr(factory, "accepts_params", False):
+                raise ValueError(
+                    f"adversary {self.adversary!r} accepts no parameters, but "
+                    f"the cell carries adversary_params="
+                    f"{dict(self.adversary_params)!r}"
+                )
+            for key, value in self.adversary_params:
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise ValueError(
+                        f"adversary parameter {key!r} must be an int or float, "
+                        f"got {value!r}"
+                    )
         if self.workload not in WORKLOAD_SPECS and self.workload not in VECTOR_WORKLOAD_SPECS:
             raise ValueError(f"unknown workload {self.workload!r}")
         if self.engine not in ("auto", "batch", "ndbatch", "event"):
@@ -457,21 +639,24 @@ class CellOutcome:
 
     def as_record(self) -> ExperimentRecord:
         cell = self.cell
+        params = {
+            "protocol": cell.protocol,
+            "n": cell.n,
+            "t": cell.t,
+            # epsilon is part of the cell identity: dropping it here made
+            # records from different-ε grids indistinguishable downstream.
+            "epsilon": cell.epsilon,
+            "adversary": cell.adversary,
+            "workload": cell.workload,
+            "seed": cell.seed,
+            "engine": cell.engine,
+            "dimension": cell.dimension,
+        }
+        if cell.adversary_params:
+            params["adversary_params"] = dict(cell.adversary_params)
         return ExperimentRecord(
             experiment="sweep",
-            params={
-                "protocol": cell.protocol,
-                "n": cell.n,
-                "t": cell.t,
-                # epsilon is part of the cell identity: dropping it here made
-                # records from different-ε grids indistinguishable downstream.
-                "epsilon": cell.epsilon,
-                "adversary": cell.adversary,
-                "workload": cell.workload,
-                "seed": cell.seed,
-                "engine": cell.engine,
-                "dimension": cell.dimension,
-            },
+            params=params,
             measured={
                 "rounds": self.rounds,
                 "messages": self.messages,
@@ -499,10 +684,34 @@ SUMMARY_COLUMNS = [
 ]
 
 
+def build_adversary_bundle(cell: SweepCell) -> AdversaryBundle:
+    """The cell's :class:`AdversaryBundle`, honouring ``adversary_params``.
+
+    The single front door every execution path uses to materialise a cell's
+    adversary: parameterless cells call the registry factory exactly as
+    before, and cells carrying :attr:`SweepCell.adversary_params` route the
+    payload to family-capable factories (``accepts_params = True``).  A
+    parameter payload aimed at a factory that cannot honour it fails loudly —
+    silently dropping it would score/execute a *different* adversary under
+    the parameterised cell's identity.
+    """
+    factory = ADVERSARY_SPECS[cell.adversary]
+    if not cell.adversary_params:
+        return factory(cell.protocol, cell.n, cell.t, cell.seed)
+    if not getattr(factory, "accepts_params", False):
+        raise ValueError(
+            f"adversary {cell.adversary!r} accepts no parameters, but the cell "
+            f"carries adversary_params={dict(cell.adversary_params)!r}"
+        )
+    return factory(
+        cell.protocol, cell.n, cell.t, cell.seed, params=cell.adversary_params
+    )
+
+
 def _execute_cell(cell: SweepCell, engine: Optional[str] = None) -> ExecutionResult:
     cell.validate()
     inputs = _cell_inputs(cell)
-    bundle = ADVERSARY_SPECS[cell.adversary](cell.protocol, cell.n, cell.t, cell.seed)
+    bundle = build_adversary_bundle(cell)
     # One front door for every engine: the dispatch layer selects the fastest
     # capable engine for "auto" and validates explicit overrides against the
     # capability matrix (EngineCapabilityError names the capable engines).
@@ -613,7 +822,7 @@ def _run_vector_cell(cell: SweepCell, engine: Optional[str] = None) -> CellOutco
     vectors = _cell_vector_inputs(cell)
     bounds = PROTOCOL_BOUNDS[cell.protocol](cell.n, cell.t)
     policy = default_vector_round_policy(bounds, vectors, cell.epsilon)
-    bundle = ADVERSARY_SPECS[cell.adversary](cell.protocol, cell.n, cell.t, cell.seed)
+    bundle = build_adversary_bundle(cell)
     if chosen == "ndbatch":
         if run_vector_block is None:
             raise ImportError(
@@ -651,7 +860,7 @@ def _run_vector_cell(cell: SweepCell, engine: Optional[str] = None) -> CellOutco
         normalized = normalize_vector_inputs(vectors)
         coordinate_results = []
         for coordinate in range(cell.dimension):
-            fresh = ADVERSARY_SPECS[cell.adversary](cell.protocol, cell.n, cell.t, cell.seed)
+            fresh = build_adversary_bundle(cell)
             coordinate_results.append(
                 run_batch_protocol(
                     cell.protocol,
@@ -706,7 +915,7 @@ def _fault_program_key(cell: SweepCell) -> Tuple:
     a tensor form fall back to their type name, which still merges
     same-named adversaries into one (per-execution-path) block.
     """
-    bundle = ADVERSARY_SPECS[cell.adversary](cell.protocol, cell.n, cell.t, cell.seed)
+    bundle = build_adversary_bundle(cell)
     try:
         model = round_fault_model(bundle.fault_plan, cell.n)
     except ValueError:
@@ -746,14 +955,16 @@ def _group_ndbatch_blocks(
     # vary by seed would merely over-merge blocks — the engine regroups by
     # the true per-execution tensor keys inside each block, so outcomes
     # cannot change.
-    program_cache: Dict[Tuple[str, str, int, int], Tuple] = {}
+    program_cache: Dict[Tuple, Tuple] = {}
     for index, cell in enumerate(cells):
         shape = (cell.protocol, cell.n, cell.t)
         bounds = bounds_cache.get(shape)
         if bounds is None:
             bounds = PROTOCOL_BOUNDS[cell.protocol](cell.n, cell.t)
             bounds_cache[shape] = bounds
-        program_slot = (cell.adversary,) + shape
+        # adversary_params is part of the slot: two parameterisations of one
+        # family are different programs and must not share a cached key.
+        program_slot = (cell.adversary, cell.adversary_params) + shape
         program_key = program_cache.get(program_slot)
         if program_key is None:
             program_key = _fault_program_key(cell)
@@ -843,7 +1054,7 @@ def _run_ndbatch_chunk(chunk) -> List[CellOutcome]:
     policies = []
     for cell in cells:
         cell.validate()
-        bundle = ADVERSARY_SPECS[cell.adversary](cell.protocol, cell.n, cell.t, cell.seed)
+        bundle = build_adversary_bundle(cell)
         fault_models.append(round_fault_model(bundle.fault_plan, cell.n))
         policies.append(
             DelayRankOmission(bundle.delay_model)
@@ -1018,7 +1229,7 @@ def _auto_engine_for(cell: SweepCell) -> str:
     batch engine (event when their crash plan has mid-multicast prefixes),
     vectorisable direct-protocol cells to ndbatch, everything else to batch.
     """
-    bundle = ADVERSARY_SPECS[cell.adversary](cell.protocol, cell.n, cell.t, cell.seed)
+    bundle = build_adversary_bundle(cell)
     fault_model = None
     if bundle.fault_plan is not None:
         try:
@@ -1411,6 +1622,11 @@ def _outcome_to_json_line(outcome: CellOutcome, include_wall_time: bool = True) 
         # pre-dimension stores, so resume/merge/compaction of old stores keep
         # working and canonical re-writes don't churn d=1 records.
         payload["cell"]["dimension"] = cell.dimension
+    if cell.adversary_params:
+        # Same omit-when-empty contract as "dimension": only parameterised
+        # cells (attack-search candidates, found attacks pinned with explicit
+        # payloads) carry the key, so existing stores stay byte-valid.
+        payload["cell"]["adversary_params"] = dict(cell.adversary_params)
     if not include_wall_time:
         del payload["wall_time_seconds"]
     return json.dumps(payload) + "\n"
@@ -1582,6 +1798,7 @@ class SweepSummaryFold:
                 cell.protocol, cell.n, cell.t, cell.epsilon,
                 cell.adversary, cell.workload, cell.engine,
                 getattr(cell, "dimension", 1),
+                tuple(getattr(cell, "adversary_params", ()) or ()),
             )
         self._quarantined[cell_id] = (fault_class, key)
 
@@ -1591,6 +1808,7 @@ class SweepSummaryFold:
         key = (
             cell.protocol, cell.n, cell.t, cell.epsilon,
             cell.adversary, cell.workload, cell.engine, cell.dimension,
+            cell.adversary_params,
         )
         self._groups.setdefault(key, _GroupFold()).update(outcome)
         self._total += 1
@@ -1622,7 +1840,10 @@ class SweepSummaryFold:
         records: List[ExperimentRecord] = []
         quarantined_groups = self._quarantined_by_group()
         for key in sorted(set(self._groups) | set(quarantined_groups)):
-            protocol, n, t, epsilon, adversary, workload, engine, dimension = key
+            (
+                protocol, n, t, epsilon, adversary, workload, engine,
+                dimension, adversary_params,
+            ) = key
             group = self._groups.get(key)
             quarantined = quarantined_groups.get(key, 0)
             if group is not None:
@@ -1647,19 +1868,22 @@ class SweepSummaryFold:
                 }
                 expected = {"contraction": None}
                 ok = False
+            params = {
+                "protocol": protocol,
+                "n": n,
+                "t": t,
+                "epsilon": epsilon,
+                "adversary": adversary,
+                "workload": workload,
+                "engine": engine,
+                "dimension": dimension,
+            }
+            if adversary_params:
+                params["adversary_params"] = dict(adversary_params)
             records.append(
                 ExperimentRecord(
                     experiment="sweep-summary",
-                    params={
-                        "protocol": protocol,
-                        "n": n,
-                        "t": t,
-                        "epsilon": epsilon,
-                        "adversary": adversary,
-                        "workload": workload,
-                        "engine": engine,
-                        "dimension": dimension,
-                    },
+                    params=params,
                     measured=measured,
                     expected=expected,
                     ok=ok,
@@ -1672,7 +1896,7 @@ def summarize_sweep(outcomes: Iterable[CellOutcome]) -> List[ExperimentRecord]:
     """Aggregate outcomes across seeds into per-configuration records.
 
     Groups by (protocol, n, t, epsilon, adversary, workload, engine,
-    dimension) and
+    dimension, adversary_params) and
     reports the fraction of correct runs, mean rounds/messages, and the worst
     observed contraction against the theoretical bound — the columns of
     :data:`SUMMARY_COLUMNS`, renderable with

@@ -1,0 +1,278 @@
+"""Tests for the attack-search subsystem (:mod:`repro.analysis.attacksearch`)."""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+
+import pytest
+
+from repro.analysis.attacksearch import (
+    FAMILIES,
+    KNOWN_BAD_CANDIDATES,
+    OBJECTIVES,
+    AttackSearchChaosWarning,
+    Candidate,
+    CandidateStore,
+    SearchSetting,
+    baseline_candidate,
+    candidate_cells,
+    candidate_id,
+    evaluate_candidate,
+    main,
+    run_search,
+    smoke_setting,
+)
+from repro.sim.chaos import CHAOS_ENV_VAR, FAULT_RAISE, ChaosPlan, ChaosRule
+from repro.sim.sweep import run_cell
+
+SMOKE = smoke_setting("delay-rank", "async-crash", 5, 1)
+
+
+class TestFamilies:
+    def test_baseline_candidate_matches_handwritten_adversary(self):
+        # The family's baseline member must be the registry adversary bit for
+        # bit: a cell carrying the baseline params and a parameterless cell
+        # produce identical outcomes.
+        for family_name, protocol in (
+            ("delay-rank", "async-crash"),
+            ("anti-convergence", "sync-byzantine"),
+            ("witness-cut", "witness"),
+        ):
+            family = FAMILIES[family_name]
+            setting = smoke_setting(family_name, protocol, 5, 1)
+            base = baseline_candidate(family, setting)
+            param_cell = candidate_cells(base, setting, [3])[0]
+            bare_cell = type(param_cell)(
+                protocol=protocol, n=5, t=1, epsilon=setting.epsilon,
+                adversary=family.adversary, workload=setting.workload,
+                seed=3, engine=setting.engine,
+            )
+            got, want = run_cell(param_cell), run_cell(bare_cell)
+            assert got.output_spread == want.output_spread, family_name
+            assert got.rounds == want.rounds, family_name
+
+    def test_candidate_ids_canonical(self):
+        a = Candidate("delay-rank", (("stride", 1), ("exclude", 2), ("phase", 0)))
+        b = Candidate("delay-rank", (("exclude", 2), ("phase", 0), ("stride", 1)))
+        assert a == b
+        assert candidate_id(a) == candidate_id(b)
+        c = Candidate("delay-rank", (("exclude", 3), ("phase", 0), ("stride", 1)))
+        assert candidate_id(c) != candidate_id(a)
+
+    def test_setting_validation(self):
+        family = FAMILIES["witness-cut"]
+        with pytest.raises(ValueError, match="does not cover protocol"):
+            SearchSetting(protocol="async-crash", n=5, t=1).validate(family)
+        with pytest.raises(ValueError, match="unknown objective"):
+            SearchSetting(
+                protocol="witness", n=5, t=1, objective="vibes"
+            ).validate(family)
+        with pytest.raises(ValueError, match="disjoint"):
+            SearchSetting(
+                protocol="witness", n=5, t=1,
+                train_seeds=(0, 1), holdout_seeds=(1, 2),
+            ).validate(family)
+
+
+class TestObjectives:
+    def test_rounds_to_eps_orders_severity(self):
+        # The frozen single-process window (severe) must outscore the
+        # over-wide window (harmless: it delays everyone uniformly).
+        severe = Candidate(
+            "delay-rank", (("exclude", 1), ("stride", 0), ("phase", 0))
+        )
+        harmless = Candidate(
+            "delay-rank", (("exclude", 0), ("stride", 0), ("phase", 0))
+        )
+        assert (
+            evaluate_candidate(severe, SMOKE).score
+            > evaluate_candidate(harmless, SMOKE).score
+        )
+
+    def test_stagger_closed_form(self):
+        setting = smoke_setting("witness-cut", "witness", 5, 1)
+        # cut=4 strands one process behind the report threshold (n-t=4):
+        # stagger = (slow - fast) * 1/5.
+        lopsided = Candidate("witness-cut", (("cut", 4), ("slow", 200.0)))
+        score = evaluate_candidate(lopsided, setting).score
+        assert score == pytest.approx((200.0 - 1.0) * 1 / 5)
+        # cut=3 stalls both camps together: nothing staggers.
+        balanced = Candidate("witness-cut", (("cut", 3), ("slow", 200.0)))
+        assert evaluate_candidate(balanced, setting).score == 0.0
+
+    def test_rebound_bounded_by_theory(self):
+        candidate = baseline_candidate(FAMILIES["delay-rank"], SMOKE)
+        setting = SearchSetting(
+            protocol="async-crash", n=5, t=1, objective="rebound",
+            train_seeds=SMOKE.train_seeds, holdout_seeds=SMOKE.holdout_seeds,
+        )
+        score = evaluate_candidate(candidate, setting).score
+        assert 0.0 < score <= 1.0 + 1e-9
+
+    def test_every_objective_is_deterministic(self):
+        candidate = baseline_candidate(FAMILIES["delay-rank"], SMOKE)
+        for objective in OBJECTIVES:
+            if objective == "stagger":
+                continue  # witness-cut only; covered above
+            setting = SearchSetting(
+                protocol="async-crash", n=5, t=1, objective=objective,
+                train_seeds=SMOKE.train_seeds,
+                holdout_seeds=SMOKE.holdout_seeds,
+            )
+            first = evaluate_candidate(candidate, setting).score
+            assert first == evaluate_candidate(candidate, setting).score
+
+
+class TestChaosImmunity:
+    """Satellite: ambient ``REPRO_CHAOS`` must never corrupt scores."""
+
+    PLAN = ChaosPlan(seed=99, rules=(ChaosRule(fault=FAULT_RAISE, rate=1.0),))
+
+    def test_scores_identical_with_ambient_chaos_env(self, monkeypatch):
+        candidate = baseline_candidate(FAMILIES["delay-rank"], SMOKE)
+        monkeypatch.delenv(CHAOS_ENV_VAR, raising=False)
+        clean = evaluate_candidate(candidate, SMOKE)
+        monkeypatch.setenv(CHAOS_ENV_VAR, self.PLAN.to_env())
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", AttackSearchChaosWarning)
+            dirty = evaluate_candidate(candidate, SMOKE)
+        # rate=1.0 FAULT_RAISE chaos would fail every execution attempt; the
+        # scores being bit-identical proves evaluation never consulted the
+        # environment.
+        assert dirty.score == clean.score
+        assert dirty.metrics == clean.metrics
+
+    def test_warning_names_the_ignored_plan(self, monkeypatch):
+        candidate = baseline_candidate(FAMILIES["delay-rank"], SMOKE)
+        monkeypatch.setenv(CHAOS_ENV_VAR, self.PLAN.to_env())
+        with pytest.warns(AttackSearchChaosWarning) as caught:
+            evaluate_candidate(candidate, SMOKE)
+        message = str(caught[0].message)
+        assert CHAOS_ENV_VAR in message
+        assert "seed=99" in message
+        assert FAULT_RAISE in message
+        assert "chaos=None" in message
+
+    def test_no_warning_without_ambient_plan(self, monkeypatch):
+        candidate = baseline_candidate(FAMILIES["delay-rank"], SMOKE)
+        monkeypatch.delenv(CHAOS_ENV_VAR, raising=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", AttackSearchChaosWarning)
+            evaluate_candidate(candidate, SMOKE)
+
+
+class TestSearchDrivers:
+    def test_budget_counts_distinct_candidates(self):
+        result = run_search("delay-rank", SMOKE, budget=6, search_seed=0)
+        assert result.spent == 6
+        assert len(result.evaluated) == 6
+        ids = [candidate_id(score.candidate) for score in result.evaluated]
+        assert len(set(ids)) == len(ids)
+
+    def test_baseline_always_first_so_best_dominates(self):
+        result = run_search("delay-rank", SMOKE, budget=5, search_seed=1)
+        assert result.evaluated[0].phase == "baseline"
+        assert result.evaluated[0].candidate == baseline_candidate(
+            FAMILIES["delay-rank"], SMOKE
+        )
+        assert result.best.score >= result.baseline.score
+
+    def test_budget_one_is_just_the_baseline(self):
+        result = run_search("delay-rank", SMOKE, budget=1, search_seed=0)
+        assert result.spent == 1
+        assert result.best.candidate == result.baseline.candidate
+
+    def test_holdout_block_scores_the_winner(self):
+        result = run_search("delay-rank", SMOKE, budget=4, search_seed=0)
+        assert result.best_holdout.block == "holdout"
+        assert result.best_holdout.seeds == SMOKE.holdout_seeds
+        assert result.best_holdout.candidate == result.best.candidate
+
+    def test_rediscovers_known_bad_candidates(self):
+        # The CI smoke contract: a tiny grid+random budget rediscovers (ties
+        # or beats) every committed known-bad candidate on its setting.
+        for (family, protocol, n, t), params in KNOWN_BAD_CANDIDATES.items():
+            setting = smoke_setting(family, protocol, n, t)
+            known_bad = evaluate_candidate(
+                Candidate(family, tuple(params.items())), setting
+            )
+            result = run_search(family, setting, budget=12, search_seed=0)
+            assert result.best.score >= known_bad.score, (family, params)
+
+
+class TestCandidateStore:
+    def test_resume_reuses_persisted_scores(self, tmp_path):
+        store_dir = str(tmp_path / "attack")
+        first = run_search(
+            "delay-rank", SMOKE, budget=5, search_seed=0, store_dir=store_dir
+        )
+        lines_after_first = open(
+            os.path.join(store_dir, "candidates.jsonl")
+        ).read().splitlines()
+        second = run_search(
+            "delay-rank", SMOKE, budget=5, search_seed=0, store_dir=store_dir
+        )
+        # Bit-identical result, zero new evaluations persisted.
+        assert [s.score for s in second.evaluated] == [
+            s.score for s in first.evaluated
+        ]
+        assert second.best.candidate == first.best.candidate
+        lines_after_second = open(
+            os.path.join(store_dir, "candidates.jsonl")
+        ).read().splitlines()
+        assert lines_after_second == lines_after_first
+
+    def test_truncated_tail_is_repaired(self, tmp_path):
+        store_dir = str(tmp_path / "attack")
+        run_search(
+            "delay-rank", SMOKE, budget=4, search_seed=0, store_dir=store_dir
+        )
+        jsonl = os.path.join(store_dir, "candidates.jsonl")
+        with open(jsonl, "rb") as handle:
+            payload = handle.read()
+        # Simulate a kill mid-write: keep a partial trailing line.
+        with open(jsonl, "wb") as handle:
+            handle.write(payload[: len(payload) - 17])
+        store = CandidateStore(store_dir)
+        records = store.load()
+        assert records  # earlier complete lines survive
+        for (cid, block), record in records.items():
+            assert record["id"] == cid
+            assert record["block"] == block
+        # The file was truncated back to its last complete line.
+        with open(jsonl, "rb") as handle:
+            repaired = handle.read()
+        assert repaired.endswith(b"\n")
+        assert len(repaired) < len(payload)
+
+    def test_manifest_guards_against_config_mixing(self, tmp_path):
+        store_dir = str(tmp_path / "attack")
+        run_search(
+            "delay-rank", SMOKE, budget=2, search_seed=0, store_dir=store_dir
+        )
+        with pytest.raises(ValueError, match="different search configuration"):
+            run_search(
+                "delay-rank", SMOKE, budget=2, search_seed=1,
+                store_dir=store_dir,
+            )
+
+
+class TestCli:
+    def test_cli_smoke(self, tmp_path, capsys):
+        code = main([
+            "--family", "delay-rank", "--protocol", "async-crash",
+            "--n", "5", "--t", "1", "--budget", "4",
+            "--train-seeds", "2", "--holdout-seeds", "2",
+            "--dir", str(tmp_path / "cli-store"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "attack search: delay-rank on async-crash" in out
+        assert "baseline" in out
+        assert "severity margin over hand-written baseline" in out
+        manifest = json.load(
+            open(tmp_path / "cli-store" / "manifest.json")
+        )
+        assert manifest["family"] == "delay-rank"
